@@ -1,0 +1,1 @@
+bench/bench_util.ml: Analyze Bechamel Benchmark Float Fmt Hashtbl List Measure String Test Time Toolkit

@@ -1,0 +1,34 @@
+(* Table printing and a thin Bechamel wrapper shared by the experiment
+   harness. *)
+
+let heading title =
+  Fmt.pr "@.%s@.%s@." title (String.make (String.length title) '-')
+
+let row fmt = Fmt.pr fmt
+
+(* Run a group of Bechamel tests on the monotonic clock and print the
+   OLS estimate (ns/run) per test. *)
+let run_bechamel ~name tests =
+  let open Bechamel in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.25) ~kde:None ~stabilize:false () in
+  let grouped = Test.make_grouped ~name ~fmt:"%s/%s" tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun key v acc ->
+        let estimate =
+          match Analyze.OLS.estimates v with Some (e :: _) -> e | _ -> Float.nan
+        in
+        (key, estimate) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (key, ns) ->
+      if ns < 1_000. then Fmt.pr "  %-48s %10.0f ns/run@." key ns
+      else if ns < 1_000_000. then Fmt.pr "  %-48s %10.2f us/run@." key (ns /. 1_000.)
+      else Fmt.pr "  %-48s %10.2f ms/run@." key (ns /. 1_000_000.))
+    rows

@@ -1,0 +1,383 @@
+(* Experiment harness: one experiment per figure/claim of the paper
+   (see DESIGN.md section 4 and EXPERIMENTS.md), each also registered as
+   a Bechamel micro-benchmark at the end.
+
+   Run with: dune exec bench/main.exe            (all experiments)
+             dune exec bench/main.exe -- e3 e5   (a selection)        *)
+
+open Redo_core
+open Redo_methods
+open Redo_sim
+
+(* ------------------------------------------------------------------ *)
+(* F1-F3: the paper's scenarios, as a one-line sanity table.           *)
+
+let fig1_scenarios () =
+  Bench_util.heading "F1-F3: Scenarios 1-3 (Figures 1-3)";
+  Fmt.pr "  %-12s %-22s %-18s %-14s@." "scenario" "installation prefix?" "explains state?"
+    "recoverable?";
+  List.iter
+    (fun (s : Scenario.t) ->
+      let cg = Conflict_graph.of_exec s.Scenario.exec in
+      let prefix_ok = Explain.is_installation_prefix cg s.Scenario.claimed_installed in
+      let explains =
+        prefix_ok
+        && Explain.explains cg ~prefix:s.Scenario.claimed_installed s.Scenario.crash_state
+      in
+      let recoverable = Replay.potentially_recoverable cg s.Scenario.crash_state in
+      Fmt.pr "  %-12s %-22b %-18b %-14b@." s.Scenario.name prefix_ok explains recoverable)
+    Scenario.all
+
+(* ------------------------------------------------------------------ *)
+(* E1: flexibility — conflict prefixes vs installation prefixes vs     *)
+(* exposure freedom, sweeping the blind-write fraction.                *)
+
+let e1_flexibility () =
+  Bench_util.heading
+    "E1: recoverable-state flexibility (conflict vs installation prefixes, Figure 5)";
+  Fmt.pr "  %-12s %-10s %-12s %-14s %-8s %-16s@." "blind-frac" "ops" "conflict" "installation"
+    "gain" "unexposed/prefix";
+  List.iter
+    (fun blind_fraction ->
+      let seeds = List.init 30 (fun i -> 1000 + i) in
+      let totals =
+        List.map
+          (fun seed ->
+            let params =
+              { Redo_workload.Op_gen.default with
+                Redo_workload.Op_gen.n_ops = 9;
+                n_vars = 4;
+                blind_fraction;
+              }
+            in
+            let exec = Redo_workload.Op_gen.exec ~params seed in
+            let cg = Conflict_graph.of_exec exec in
+            let conflict = Digraph.count_downsets (Conflict_graph.graph cg) in
+            let installation = Digraph.count_downsets (Conflict_graph.installation cg) in
+            (* Exposure freedom: average unexposed variables over all
+               installation prefixes (each unexposed variable is a page
+               whose stable value is completely unconstrained). *)
+            let prefixes = Digraph.downsets (Conflict_graph.installation cg) in
+            let unexposed =
+              List.fold_left
+                (fun acc p ->
+                  acc + Var.Set.cardinal (Exposed.unexposed_vars cg ~installed:p))
+                0 prefixes
+            in
+            conflict, installation, float unexposed /. float (List.length prefixes))
+          seeds
+      in
+      let n = float (List.length totals) in
+      let mean f = List.fold_left (fun a x -> a +. f x) 0. totals /. n in
+      let conflict = mean (fun (c, _, _) -> float c) in
+      let installation = mean (fun (_, i, _) -> float i) in
+      let unexposed = mean (fun (_, _, u) -> u) in
+      Fmt.pr "  %-12.1f %-10d %-12.1f %-14.1f %-8.2f %-16.2f@." blind_fraction 9 conflict
+        installation (installation /. conflict) unexposed)
+    [ 0.0; 0.2; 0.4; 0.6; 0.8 ]
+
+(* ------------------------------------------------------------------ *)
+(* E2: the four methods under the same crashing workload.              *)
+
+let run_sim ?(total_ops = 400) ?(checkpoint_every = Some 50) ?(crash_every = Some 93)
+    ?(verify_theory = true) name =
+  let config =
+    {
+      Simulator.default_config with
+      Simulator.seed = 2026;
+      total_ops;
+      checkpoint_every;
+      crash_every;
+      partitions = 8;
+      cache_capacity = 12;
+      verify_theory;
+    }
+  in
+  let make = Registry.find name in
+  let instance = make ~cache_capacity:config.Simulator.cache_capacity
+      ~partitions:config.Simulator.partitions ()
+  in
+  let outcome = Simulator.run config instance in
+  outcome, Method_intf.instance_log_stats instance
+
+let e2_methods () =
+  Bench_util.heading "E2: the four recovery methods, same workload, random crashes (Section 6)";
+  Fmt.pr "  %-14s %8s %8s %8s %8s %10s %10s %9s %7s@." "method" "crashes" "scanned" "redone"
+    "skipped" "log-bytes" "recov-ms" "verified" "theory";
+  List.iter
+    (fun (name, _) ->
+      let o, log_stats = run_sim name in
+      Fmt.pr "  %-14s %8d %8d %8d %8d %10d %10.2f %9s %7s@." name o.Simulator.crashes
+        o.Simulator.scanned o.Simulator.redone o.Simulator.skipped
+        log_stats.Redo_wal.Log_manager.appended_bytes
+        (o.Simulator.recovery_seconds *. 1000.)
+        (if o.Simulator.verify_failures = [] then "ok" else "FAIL")
+        (if List.for_all Theory_check.ok o.Simulator.theory_reports then "ok" else "FAIL"))
+    Registry.all
+
+(* ------------------------------------------------------------------ *)
+(* E3: split logging volume (Section 6.4 / Figure 8).                  *)
+
+let btree_load strategy ~max_keys ~inserts =
+  let t = Redo_btree.Btree.create ~cache_capacity:64 ~max_keys ~strategy () in
+  for i = 1 to inserts do
+    Redo_btree.Btree.insert t
+      (Printf.sprintf "key%05d" ((i * 7919) mod 100_000))
+      (Printf.sprintf "value-%05d-%s" i (String.make 24 'x'))
+  done;
+  Redo_btree.Btree.sync t;
+  t
+
+let e3_split_logging () =
+  Bench_util.heading "E3: B-tree split logging volume, physiological vs generalized (Section 6.4)";
+  Fmt.pr "  %-10s %-22s %8s %8s %12s %12s@." "node-cap" "strategy" "splits" "records"
+    "log-bytes" "bytes/insert";
+  let inserts = 600 in
+  List.iter
+    (fun max_keys ->
+      let volumes =
+        List.map
+          (fun strategy ->
+            let t = btree_load strategy ~max_keys ~inserts in
+            let stats = Redo_btree.Btree.log_stats t in
+            Fmt.pr "  %-10d %-22s %8d %8d %12d %12.1f@." max_keys
+              (Redo_btree.Btree.strategy_name strategy)
+              (Redo_btree.Btree.splits t)
+              stats.Redo_wal.Log_manager.appended_records
+              stats.Redo_wal.Log_manager.appended_bytes
+              (float stats.Redo_wal.Log_manager.appended_bytes /. float inserts);
+            stats.Redo_wal.Log_manager.appended_bytes)
+          [ Redo_btree.Btree.Physiological_split; Redo_btree.Btree.Generalized_split ]
+      in
+      match volumes with
+      | [ physiological; generalized ] ->
+        Fmt.pr "  %-10s generalized saves %.1f%%@." ""
+          (100. *. (1. -. (float generalized /. float physiological)))
+      | _ -> ())
+    [ 4; 8; 16; 32 ]
+
+(* ------------------------------------------------------------------ *)
+(* E4: the cost of the careful write order.                            *)
+
+let e4_write_order () =
+  Bench_util.heading "E4: careful write order - what the Figure 8 constraint costs the cache";
+  Fmt.pr "  %-10s %-22s %8s %8s %14s %10s@." "cache-cap" "strategy" "flushes" "forced"
+    "forced-ratio" "evictions";
+  List.iter
+    (fun capacity ->
+      List.iter
+        (fun strategy ->
+          let t = Redo_btree.Btree.create ~cache_capacity:capacity ~max_keys:4 ~strategy () in
+          let rng = Random.State.make [| 7 |] in
+          for i = 1 to 500 do
+            Redo_btree.Btree.insert t
+              (Printf.sprintf "key%05d" ((i * 7919) mod 100_000))
+              (Printf.sprintf "v%d" i);
+            if i mod 5 = 0 then Redo_btree.Btree.flush_some t rng
+          done;
+          let stats = Redo_btree.Btree.cache_stats t in
+          Fmt.pr "  %-10d %-22s %8d %8d %14.3f %10d@." capacity
+            (Redo_btree.Btree.strategy_name strategy)
+            stats.Redo_storage.Cache.flushes stats.Redo_storage.Cache.forced_order_flushes
+            (float stats.Redo_storage.Cache.forced_order_flushes
+            /. float (max 1 stats.Redo_storage.Cache.flushes))
+            stats.Redo_storage.Cache.evictions)
+        [ Redo_btree.Btree.Physiological_split; Redo_btree.Btree.Generalized_split ])
+    [ 4; 8; 32 ]
+
+(* ------------------------------------------------------------------ *)
+(* E5: remove-a-write — unexposed variables shrink atomic write sets.  *)
+
+let e5_remove_write () =
+  Bench_util.heading "E5: 'remove a write' - unexposed variables shrink atomic write sets (Sec 5)";
+  Fmt.pr "  %-12s %-16s %-16s %-14s@." "blind-frac" "baseline-writes" "after-removal"
+    "writes-removed";
+  List.iter
+    (fun blind_fraction ->
+      let seeds = List.init 30 (fun i -> 500 + i) in
+      let totals =
+        List.map
+          (fun seed ->
+            let params =
+              { Redo_workload.Op_gen.default with
+                Redo_workload.Op_gen.n_ops = 10;
+                n_vars = 5;
+                max_write_set = 3;
+                blind_fraction;
+              }
+            in
+            let exec = Redo_workload.Op_gen.exec ~params seed in
+            let cg = Conflict_graph.of_exec exec in
+            let wg = Write_graph.of_conflict_graph cg in
+            let count g =
+              Digraph.Node_set.fold
+                (fun id acc -> acc + Var.Map.cardinal (Write_graph.writes_of g id))
+                (Write_graph.node_ids g) 0
+            in
+            let baseline = count wg in
+            (* Greedily remove every removable write, in installation
+               order. *)
+            let wg =
+              List.fold_left
+                (fun wg id ->
+                  Var.Map.fold
+                    (fun x _ wg ->
+                      match Write_graph.remove_write wg id x with
+                      | wg -> wg
+                      | exception Write_graph.Violation _ -> wg)
+                    (Write_graph.writes_of wg id) wg)
+                wg
+                (Digraph.topo_sort (Write_graph.graph wg))
+            in
+            baseline, count wg)
+          seeds
+      in
+      let n = float (List.length totals) in
+      let baseline = List.fold_left (fun a (b, _) -> a +. float b) 0. totals /. n in
+      let optimized = List.fold_left (fun a (_, o) -> a +. float o) 0. totals /. n in
+      Fmt.pr "  %-12.1f %-16.1f %-16.1f %-14.1f@." blind_fraction baseline optimized
+        (100. *. (1. -. (optimized /. baseline))))
+    [ 0.0; 0.2; 0.4; 0.6; 0.8 ]
+
+(* ------------------------------------------------------------------ *)
+(* E6: checkpoint interval vs recovery work.                           *)
+
+let e6_checkpoint () =
+  Bench_util.heading "E6: checkpoint interval vs redo-scan length (Section 4.2)";
+  Fmt.pr "  %-14s %-12s %10s %10s %10s %10s %12s@." "method" "ckpt-every" "analysis" "scanned"
+    "redone" "skipped" "recov-ms";
+  List.iter
+    (fun name ->
+      List.iter
+        (fun checkpoint_every ->
+          let o, _ =
+            run_sim ~total_ops:400 ~crash_every:(Some 97) ~checkpoint_every
+              ~verify_theory:false name
+          in
+          Fmt.pr "  %-14s %-12s %10d %10d %10d %10d %12.2f@." name
+            (match checkpoint_every with None -> "never" | Some n -> string_of_int n)
+            o.Simulator.analysis_scanned o.Simulator.scanned o.Simulator.redone
+            o.Simulator.skipped
+            (o.Simulator.recovery_seconds *. 1000.))
+        [ None; Some 100; Some 50; Some 20 ])
+    [ "logical"; "physical"; "physiological"; "generalized" ]
+
+
+(* ------------------------------------------------------------------ *)
+(* E7: fault injection — the checker catches broken recovery designs.  *)
+
+let e7_faults () =
+  Bench_util.heading
+    "E7: fault injection - checker detections for deliberately broken methods";
+  Fmt.pr "  %-24s %8s %8s %10s %12s  %s@." "variant" "seeds" "crashes" "content" "checker"
+    "omitted mechanism";
+  List.iter
+    (fun (name, what, (make : ?cache_capacity:int -> ?partitions:int -> unit -> Method_intf.instance)) ->
+      let seeds = 10 in
+      let crashes = ref 0 and content = ref 0 and checker = ref 0 in
+      for seed = 1 to seeds do
+        let config =
+          {
+            Simulator.default_config with
+            Simulator.seed;
+            total_ops = 200;
+            crash_every = Some 45;
+            checkpoint_every = Some 30;
+            cache_capacity = 6;
+            partitions = 4;
+            flush_prob = 0.4;
+          }
+        in
+        let o = Simulator.run config (make ~cache_capacity:6 ~partitions:4 ()) in
+        crashes := !crashes + o.Simulator.crashes;
+        content := !content + List.length o.Simulator.verify_failures;
+        List.iter
+          (fun r -> if not (Theory_check.ok r) then incr checker)
+          o.Simulator.theory_reports
+      done;
+      Fmt.pr "  %-24s %8d %8d %10d %12d  %s@." name seeds !crashes !content !checker what)
+    Registry.faults;
+  Fmt.pr "  (content = divergent/failed recoveries; checker = invariant violations flagged)@."
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per experiment kernel.     *)
+
+let micro_benchmarks () =
+  Bench_util.heading "Micro-benchmarks (Bechamel, OLS estimate per run)";
+  let open Bechamel in
+  let exec = Redo_workload.Op_gen.exec 99 in
+  let cg = Conflict_graph.of_exec exec in
+  let log = Log.of_conflict_graph cg in
+  let state = Exec.initial exec in
+  let btree_seed = ref 0 in
+  let tests =
+    [
+      Test.make ~name:"f1_scenario_check"
+        (Staged.stage (fun () ->
+             let s = Scenario.scenario_2 in
+             let cg = Conflict_graph.of_exec s.Scenario.exec in
+             Explain.explains cg ~prefix:s.Scenario.claimed_installed s.Scenario.crash_state));
+      Test.make ~name:"e1_conflict_graph_build"
+        (Staged.stage (fun () -> Conflict_graph.of_exec exec));
+      Test.make ~name:"e1_count_installation_prefixes"
+        (Staged.stage (fun () -> Digraph.count_downsets (Conflict_graph.installation cg)));
+      Test.make ~name:"e2_abstract_recovery"
+        (Staged.stage (fun () ->
+             Recovery.recover Recovery.always_redo ~state ~log
+               ~checkpoint:Digraph.Node_set.empty));
+      Test.make ~name:"e3_btree_insert_32"
+        (Staged.stage (fun () ->
+             incr btree_seed;
+             let t =
+               Redo_btree.Btree.create ~max_keys:8
+                 ~strategy:Redo_btree.Btree.Generalized_split ()
+             in
+             for i = 1 to 32 do
+               Redo_btree.Btree.insert t (Printf.sprintf "k%05d" (i * !btree_seed mod 997)) "v"
+             done));
+      Test.make ~name:"e5_write_graph_build"
+        (Staged.stage (fun () -> Write_graph.of_conflict_graph cg));
+      Test.make ~name:"theory_check_projection"
+        (Staged.stage (fun () ->
+             let store = Redo_kv.Store.create ~partitions:4 Redo_kv.Store.Physiological in
+             for i = 1 to 20 do
+               Redo_kv.Store.put store (Printf.sprintf "k%d" i) "v"
+             done;
+             Redo_kv.Store.sync store;
+             Redo_kv.Store.crash store;
+             Redo_kv.Store.verify_recovery_invariant store));
+    ]
+  in
+  Bench_util.run_bechamel ~name:"redo" tests
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    "f1", fig1_scenarios;
+    "e1", e1_flexibility;
+    "e2", e2_methods;
+    "e3", e3_split_logging;
+    "e4", e4_write_order;
+    "e5", e5_remove_write;
+    "e6", e6_checkpoint;
+    "e7", e7_faults;
+    "micro", micro_benchmarks;
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  Fmt.pr "A Theory of Redo Recovery - experiment harness@.";
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some run -> run ()
+      | None ->
+        Fmt.epr "unknown experiment %S; available: %s@." name
+          (String.concat ", " (List.map fst experiments));
+        exit 1)
+    requested

@@ -1,0 +1,298 @@
+(* Command-line interface to the redo-recovery library.
+
+   redo demo                 - the paper's scenarios, explained
+   redo graphs [-o DIR]      - dot files for the paper's figures
+   redo sim -m METHOD ...    - crash-recovery simulation, theory-checked
+   redo torture ...          - many seeds x all methods
+   redo check -m METHOD ...  - run a workload, crash, print the invariant report *)
+
+open Cmdliner
+
+let method_names = List.map fst Redo_methods.Registry.all
+
+let method_arg =
+  let doc = Printf.sprintf "Recovery method (%s)." (String.concat ", " method_names) in
+  Arg.(value & opt string "physiological" & info [ "m"; "method" ] ~docv:"METHOD" ~doc)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let ops_arg =
+  Arg.(value & opt int 300 & info [ "n"; "ops" ] ~docv:"N" ~doc:"Key-value operations to run.")
+
+let partitions_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "p"; "partitions" ] ~docv:"P"
+        ~doc:"Page partitions (or B-tree node capacity for the generalized method).")
+
+let cache_arg =
+  Arg.(value & opt int 12 & info [ "cache" ] ~docv:"PAGES" ~doc:"Buffer cache capacity.")
+
+let crash_every_arg =
+  Arg.(value & opt int 75 & info [ "crash-every" ] ~docv:"N" ~doc:"Crash every N operations.")
+
+let checkpoint_every_arg =
+  Arg.(
+    value & opt int 40 & info [ "checkpoint-every" ] ~docv:"N" ~doc:"Checkpoint every N operations.")
+
+(* --- demo --- *)
+
+let demo () =
+  let open Redo_core in
+  Fmt.pr "The three scenarios of 'A Theory of Redo Recovery' (Lomet & Tuttle, SIGMOD 2003)@.@.";
+  List.iter
+    (fun (s : Scenario.t) ->
+      let cg = Conflict_graph.of_exec s.Scenario.exec in
+      Fmt.pr "%s: %s@." s.Scenario.name s.Scenario.description;
+      Fmt.pr "  conflict edges: %a@."
+        Fmt.(
+          list ~sep:(any "  ")
+            (fun ppf (a, b, ks) ->
+              Fmt.pf ppf "%s-[%s]->%s" a
+                (String.concat "," (List.map Conflict_graph.kind_to_string ks))
+                b))
+        (Conflict_graph.edges_with_kinds cg);
+      Fmt.pr "  crash state %a with %a installed: %s@.@." State.pp s.Scenario.crash_state
+        Digraph.Node_set.pp s.Scenario.claimed_installed
+        (if Replay.potentially_recoverable cg s.Scenario.crash_state then
+           "recoverable (and the installation graph explains why)"
+         else "NOT recoverable (a read-write edge was violated)"))
+    Scenario.all;
+  0
+
+(* --- graphs --- *)
+
+let graphs dir =
+  let open Redo_core in
+  let write name contents =
+    let path = Filename.concat dir (name ^ ".dot") in
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc;
+    Fmt.pr "wrote %s@." path
+  in
+  (match Sys.is_directory dir with
+  | true -> ()
+  | false | (exception Sys_error _) -> Sys.mkdir dir 0o755);
+  let cg = Conflict_graph.of_exec Scenario.figure_4 in
+  write "figure4_conflict" (Conflict_graph.to_dot ~name:"figure4" cg);
+  write "figure5_installation"
+    (Digraph.to_dot ~name:"figure5" (Conflict_graph.installation cg));
+  let wg = Write_graph.of_conflict_graph cg in
+  let _, wg = Write_graph.collapse ~new_id:"OQ" wg [ "O"; "Q" ] in
+  write "figure7_write_graph" (Write_graph.to_dot ~name:"figure7" wg);
+  let cg8 = Conflict_graph.of_exec Scenario.figure_8 in
+  let wg8 = Write_graph.of_conflict_graph cg8 in
+  let _, wg8 = Write_graph.collapse ~new_id:"old-page" wg8 [ "O"; "Q" ] in
+  write "figure8_split" (Write_graph.to_dot ~name:"figure8" wg8);
+  0
+
+(* --- sim --- *)
+
+let sim method_name seed ops partitions cache crash_every checkpoint_every =
+  let open Redo_sim in
+  let make =
+    match List.assoc_opt method_name Redo_methods.Registry.all with
+    | Some make -> make
+    | None ->
+      Fmt.epr "unknown method %S (available: %s)@." method_name
+        (String.concat ", " method_names);
+      exit 2
+  in
+  let config =
+    {
+      Simulator.default_config with
+      Simulator.seed;
+      total_ops = ops;
+      partitions;
+      cache_capacity = cache;
+      crash_every = (if crash_every <= 0 then None else Some crash_every);
+      checkpoint_every = (if checkpoint_every <= 0 then None else Some checkpoint_every);
+    }
+  in
+  let instance = make ~cache_capacity:cache ~partitions () in
+  let o = Simulator.run config instance in
+  Fmt.pr "%a@." Simulator.pp_outcome o;
+  List.iter (fun m -> Fmt.pr "content failure: %s@." m) o.Simulator.verify_failures;
+  List.iter
+    (fun r -> Fmt.pr "%a@." Redo_methods.Theory_check.pp_report r)
+    o.Simulator.theory_reports;
+  if
+    o.Simulator.verify_failures = []
+    && List.for_all Redo_methods.Theory_check.ok o.Simulator.theory_reports
+  then 0
+  else 1
+
+(* --- torture --- *)
+
+let torture seeds ops =
+  let open Redo_sim in
+  let failures = ref 0 in
+  List.iter
+    (fun
+      ( name,
+        (make :
+          ?cache_capacity:int -> ?partitions:int -> unit -> Redo_methods.Method_intf.instance) )
+    ->
+      for seed = 1 to seeds do
+        let config =
+          {
+            Simulator.default_config with
+            Simulator.seed;
+            total_ops = ops;
+            crash_every = Some (max 20 (ops / 4));
+            checkpoint_every = Some (max 10 (ops / 8));
+            cache_capacity = 8;
+            partitions = 6;
+          }
+        in
+        let instance = make ~cache_capacity:8 ~partitions:6 () in
+        let o = Simulator.run config instance in
+        let ok =
+          o.Simulator.verify_failures = []
+          && List.for_all Redo_methods.Theory_check.ok o.Simulator.theory_reports
+        in
+        if not ok then incr failures;
+        Fmt.pr "%-14s seed=%-4d crashes=%-3d %s@." name seed o.Simulator.crashes
+          (if ok then "ok" else "FAIL")
+      done)
+    Redo_methods.Registry.all;
+  if !failures = 0 then begin
+    Fmt.pr "all runs verified@.";
+    0
+  end
+  else begin
+    Fmt.pr "%d failing runs@." !failures;
+    1
+  end
+
+(* --- faults --- *)
+
+let faults seeds =
+  let open Redo_sim in
+  Fmt.pr "Fault injection: deliberately broken variants vs the recovery checker@.@.";
+  let all_detected = ref true in
+  List.iter
+    (fun ( name,
+           what,
+           (make :
+             ?cache_capacity:int ->
+             ?partitions:int ->
+             unit ->
+             Redo_methods.Method_intf.instance) )
+    ->
+      let detections = ref 0 and crashes = ref 0 in
+      let sample = ref None in
+      for seed = 1 to seeds do
+        let config =
+          {
+            Simulator.default_config with
+            Simulator.seed;
+            total_ops = 200;
+            crash_every = Some 45;
+            checkpoint_every = Some 30;
+            cache_capacity = 6;
+            partitions = 4;
+            flush_prob = 0.4;
+          }
+        in
+        let o = Simulator.run config (make ~cache_capacity:6 ~partitions:4 ()) in
+        crashes := !crashes + o.Simulator.crashes;
+        List.iter
+          (fun r ->
+            if not (Redo_methods.Theory_check.ok r) then begin
+              incr detections;
+              if !sample = None then sample := Some r
+            end)
+          o.Simulator.theory_reports
+      done;
+      Fmt.pr "%-24s %s@." name what;
+      Fmt.pr "  detected at %d of %d crashes%s@." !detections !crashes
+        (if !detections = 0 then " <- NOT DETECTED" else "");
+      (match !sample with
+      | Some r -> Fmt.pr "  e.g. @[<v>%a@]@." Redo_methods.Theory_check.pp_report r
+      | None -> ());
+      if !detections = 0 then all_detected := false)
+    Redo_methods.Registry.faults;
+  if !all_detected then 0 else 1
+
+(* --- check --- *)
+
+let check method_name seed ops partitions cache =
+  let store_method =
+    match method_name with
+    | "logical" -> Redo_kv.Store.Logical
+    | "physical" -> Redo_kv.Store.Physical
+    | "physiological" -> Redo_kv.Store.Physiological
+    | "generalized" -> Redo_kv.Store.Generalized
+    | _ ->
+      Fmt.epr "unknown method %S@." method_name;
+      exit 2
+  in
+  let store = Redo_kv.Store.create ~cache_capacity:cache ~partitions store_method in
+  let rng = Random.State.make [| seed |] in
+  for i = 1 to ops do
+    let key = Printf.sprintf "k%04d" (Random.State.int rng 50) in
+    if Random.State.int rng 10 < 2 then Redo_kv.Store.delete store key
+    else Redo_kv.Store.put store key (Printf.sprintf "v%d" i);
+    if Random.State.int rng 20 = 0 then Redo_kv.Store.checkpoint store;
+    if Random.State.int rng 10 = 0 then Redo_kv.Store.sync store
+  done;
+  Redo_kv.Store.sync store;
+  Redo_kv.Store.crash store;
+  match Redo_kv.Store.verify_recovery_invariant store with
+  | Ok report ->
+    Fmt.pr "%a@." Redo_methods.Theory_check.pp_report report;
+    Redo_kv.Store.recover store;
+    Fmt.pr "recovered %d keys; stats: %a@."
+      (List.length (Redo_kv.Store.dump store))
+      Redo_kv.Store.pp_stats (Redo_kv.Store.stats store);
+    0
+  | Error msg ->
+    Fmt.pr "INVARIANT VIOLATION: %s@." msg;
+    1
+
+(* --- command wiring --- *)
+
+let demo_cmd =
+  Cmd.v (Cmd.info "demo" ~doc:"Walk through the paper's three scenarios")
+    Term.(const demo $ const ())
+
+let graphs_cmd =
+  let dir =
+    Arg.(value & opt string "graphs" & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  Cmd.v (Cmd.info "graphs" ~doc:"Emit Graphviz files for the paper's figures")
+    Term.(const graphs $ dir)
+
+let sim_cmd =
+  Cmd.v
+    (Cmd.info "sim" ~doc:"Run a crash-recovery simulation with content and theory verification")
+    Term.(
+      const sim $ method_arg $ seed_arg $ ops_arg $ partitions_arg $ cache_arg $ crash_every_arg
+      $ checkpoint_every_arg)
+
+let torture_cmd =
+  let seeds = Arg.(value & opt int 5 & info [ "seeds" ] ~docv:"N" ~doc:"Seeds per method.") in
+  Cmd.v (Cmd.info "torture" ~doc:"Torture all methods across many seeds")
+    Term.(const torture $ seeds $ ops_arg)
+
+let check_cmd =
+  Cmd.v
+    (Cmd.info "check" ~doc:"Run a workload, crash, and print the Recovery Invariant report")
+    Term.(const check $ method_arg $ seed_arg $ ops_arg $ partitions_arg $ cache_arg)
+
+let faults_cmd =
+  let seeds = Arg.(value & opt int 8 & info [ "seeds" ] ~docv:"N" ~doc:"Seeds per variant.") in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:"Run deliberately broken recovery variants and show the checker catching them")
+    Term.(const faults $ seeds)
+
+let main_cmd =
+  let doc = "A Theory of Redo Recovery (Lomet & Tuttle, SIGMOD 2003), executable" in
+  Cmd.group (Cmd.info "redo" ~version:"1.0.0" ~doc)
+    [ demo_cmd; graphs_cmd; sim_cmd; torture_cmd; check_cmd; faults_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/btree_split.ml: Btree Cache Disk Fmt List Log_manager Printf Random Redo_btree Redo_methods Redo_storage Redo_wal String

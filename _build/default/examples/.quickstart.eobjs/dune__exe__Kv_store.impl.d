@@ -1,0 +1,1 @@
+examples/kv_store.ml: Fmt List Redo_kv Redo_methods Store

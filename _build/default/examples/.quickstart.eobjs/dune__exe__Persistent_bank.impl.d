@@ -1,0 +1,1 @@
+examples/persistent_bank.ml: Bank Fmt Redo_methods Redo_persist

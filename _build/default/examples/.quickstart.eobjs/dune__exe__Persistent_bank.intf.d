@@ -1,0 +1,1 @@
+examples/persistent_bank.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Conflict_graph Digraph Exec Explain Fmt List Log Recovery Redo_core Replay Scenario State State_graph String Var Write_graph

@@ -1,0 +1,1 @@
+examples/system_r.ml: Fmt Redo_kv Redo_methods Store

@@ -1,0 +1,1 @@
+examples/torture.ml: Array Fmt List Method_intf Redo_methods Redo_sim Registry Simulator Sys Theory_check

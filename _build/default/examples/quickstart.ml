@@ -1,0 +1,121 @@
+(* Quickstart: the paper's theory, end to end on its own examples.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Redo_core
+
+let section title = Fmt.pr "@.== %s ==@." title
+
+let universe = Var.Set.of_list [ Scenario.x; Scenario.y ]
+
+let show_scenario (s : Scenario.t) =
+  section s.Scenario.name;
+  Fmt.pr "%s@." s.Scenario.description;
+  let cg = Conflict_graph.of_exec s.Scenario.exec in
+  Fmt.pr "conflict graph:@.%a@." Conflict_graph.pp cg;
+  Fmt.pr "crash state: %a@." State.pp s.Scenario.crash_state;
+  Fmt.pr "claimed installed: %a@." Digraph.Node_set.pp s.Scenario.claimed_installed;
+  let is_prefix = Explain.is_installation_prefix cg s.Scenario.claimed_installed in
+  Fmt.pr "installation-graph prefix? %b@." is_prefix;
+  if is_prefix then begin
+    let explained =
+      Explain.explains ~universe cg ~prefix:s.Scenario.claimed_installed s.Scenario.crash_state
+    in
+    Fmt.pr "explains the crash state? %b@." explained;
+    if explained then begin
+      let final, trace =
+        Replay.replay cg ~installed:s.Scenario.claimed_installed s.Scenario.crash_state
+      in
+      Fmt.pr "replayed %a -> %a@."
+        Fmt.(list ~sep:(any ", ") string)
+        (List.map (fun e -> e.Replay.op_id) trace)
+        State.pp (State.restrict final universe);
+      Fmt.pr "matches the final state? %b@."
+        (State.equal_on universe final (Exec.final_state s.Scenario.exec))
+    end
+  end;
+  Fmt.pr "potentially recoverable at all (brute force)? %b@."
+    (Replay.potentially_recoverable cg s.Scenario.crash_state)
+
+let show_figure_4_and_5 () =
+  section "figures 4 and 5: the O, P, Q running example";
+  let cg = Conflict_graph.of_exec Scenario.figure_4 in
+  Fmt.pr "conflict graph:@.%a@." Conflict_graph.pp cg;
+  let sg = State_graph.conflict_state_graph cg in
+  let show_prefix ids =
+    let set = Digraph.Node_set.of_list ids in
+    Fmt.pr "prefix {%s} determines %a@."
+      (String.concat "," ids)
+      State.pp
+      (State.restrict (State_graph.state_of_prefix sg set) universe)
+  in
+  List.iter show_prefix [ []; [ "O" ]; [ "O"; "P" ]; [ "O"; "P"; "Q" ] ];
+  Fmt.pr "installation graph drops the O->P write-read edge:@.";
+  Fmt.pr "  conflict prefixes:     %d@." (Digraph.count_downsets (Conflict_graph.graph cg));
+  Fmt.pr "  installation prefixes: %d@." (Digraph.count_downsets (Conflict_graph.installation cg));
+  let isg = State_graph.installation_state_graph cg in
+  Fmt.pr "the extra recoverable state, {P} alone: %a@." State.pp
+    (State.restrict (State_graph.state_of_prefix isg (Digraph.Node_set.singleton "P")) universe);
+  Fmt.pr "@.graphviz (dashed = write-read only, removed in the installation graph):@.%s@."
+    (Conflict_graph.to_dot ~name:"figure4" cg)
+
+let show_figure_7 () =
+  section "figure 7: write graph collapse";
+  let cg = Conflict_graph.of_exec Scenario.figure_4 in
+  let wg = Write_graph.of_conflict_graph cg in
+  let merged, wg = Write_graph.collapse ~new_id:"OQ" wg [ "O"; "Q" ] in
+  Fmt.pr "collapsing O and Q (the x page) into %s:@.%a@." merged Write_graph.pp wg;
+  (match Write_graph.install wg merged with
+  | exception Write_graph.Violation msg -> Fmt.pr "installing %s first is refused: %s@." merged msg
+  | _ -> assert false);
+  let wg = Write_graph.install wg "P" in
+  let wg = Write_graph.install wg merged in
+  Fmt.pr "after installing P then %s, stable state: %a (explainable: %b)@." merged State.pp
+    (State.restrict (Write_graph.stable_state wg) universe)
+    (Write_graph.explainable ~universe wg)
+
+let show_section_5 () =
+  section "section 5: atomicity and remove-a-write";
+  let cg = Conflict_graph.of_exec Scenario.section_5_efg in
+  let wg = Write_graph.of_conflict_graph cg in
+  (match Write_graph.collapse ~new_id:"EG" wg [ "E"; "G" ] with
+  | exception Write_graph.Violation msg -> Fmt.pr "E,G alone cannot be collapsed: %s@." msg
+  | _ -> assert false);
+  let all, wg = Write_graph.collapse ~new_id:"EFG" wg [ "E"; "F"; "G" ] in
+  let wg = Write_graph.install wg all in
+  Fmt.pr "E, F, G installed atomically; stable: %a@." State.pp
+    (State.restrict (Write_graph.stable_state wg) universe);
+  let cg = Conflict_graph.of_exec Scenario.section_5_hj in
+  let wg = Write_graph.of_conflict_graph cg in
+  let wg = Write_graph.remove_write wg "H" Scenario.y in
+  let wg = Write_graph.install wg "H" in
+  Fmt.pr "H installed writing only x (y is unexposed thanks to J): stable %a, explainable %b@."
+    State.pp
+    (State.restrict (Write_graph.stable_state wg) universe)
+    (Write_graph.explainable ~universe wg)
+
+let show_recovery_procedure () =
+  section "figure 6: the abstract recovery procedure";
+  let s = Scenario.scenario_2 in
+  let cg = Conflict_graph.of_exec s.Scenario.exec in
+  let log = Log.of_conflict_graph cg in
+  let result =
+    Recovery.recover Recovery.always_redo ~state:s.Scenario.crash_state ~log
+      ~checkpoint:s.Scenario.claimed_installed
+  in
+  Fmt.pr "checkpoint {A}, redo everything else; redo set = %a@." Digraph.Node_set.pp
+    result.Recovery.redo_set;
+  Fmt.pr "recovered state: %a (success: %b)@." State.pp
+    (State.restrict result.Recovery.final universe)
+    (Recovery.succeeded ~universe ~log result);
+  (match Recovery.check_invariant ~universe ~log result with
+  | None -> Fmt.pr "the recovery invariant held at every iteration@."
+  | Some v -> Fmt.pr "%a@." Recovery.pp_violation v)
+
+let () =
+  Fmt.pr "A Theory of Redo Recovery - executable quickstart@.";
+  List.iter show_scenario Scenario.all;
+  show_figure_4_and_5 ();
+  show_figure_7 ();
+  show_section_5 ();
+  show_recovery_procedure ()

@@ -1,0 +1,52 @@
+(* Section 6.1: logical recovery, System R style.
+
+   Walks through the quiesce/staging/pointer-swing checkpoint and shows
+   how writing the checkpoint record atomically installs every operation
+   logged so far — collapsing the write graph's staging node into the
+   stable node.
+
+   Run with: dune exec examples/system_r.exe *)
+
+open Redo_kv
+
+let show store label =
+  Fmt.pr "  %-28s durable=%d contents=%a@." label (Store.durable_ops store)
+    Fmt.(brackets (list ~sep:(any "; ") (pair ~sep:(any "=") string string)))
+    (Store.dump store)
+
+let () =
+  Fmt.pr "System R style logical recovery (Section 6.1)@.@.";
+  let store = Store.create ~partitions:4 Store.Logical in
+
+  Fmt.pr "1. Updates accumulate in volatile state and in the log:@.";
+  Store.put store "account:alice" "100";
+  Store.put store "account:bob" "200";
+  show store "after two puts";
+  Fmt.pr "   The stable database on disk is still empty; a crash now loses everything@.";
+  Fmt.pr "   that was not forced to the log.@.@.";
+
+  Fmt.pr "2. The quiesce checkpoint writes the staging area and swings the pointer:@.";
+  Store.checkpoint store;
+  show store "after checkpoint";
+  Fmt.pr "   Writing the checkpoint record atomically installed both operations:@.";
+  Fmt.pr "   in write-graph terms, the staging node collapsed into the stable node.@.@.";
+
+  Fmt.pr "3. Post-checkpoint updates are recovered by replaying the log tail:@.";
+  Store.put store "account:alice" "175";
+  Store.put store "account:carol" "50";
+  Store.sync store;
+  Store.put store "account:mallory" "999" (* never forced: lost *);
+  Store.crash store;
+  (match Store.verify_recovery_invariant store with
+  | Ok r ->
+    Fmt.pr "   invariant at crash: %d ops logged, %d installed by the checkpoint, %d to redo@."
+      r.Redo_methods.Theory_check.op_count r.Redo_methods.Theory_check.installed_count
+      r.Redo_methods.Theory_check.redo_count
+  | Error msg -> Fmt.pr "   INVARIANT VIOLATION: %s@." msg);
+  Store.recover store;
+  show store "after crash + recovery";
+  Fmt.pr "   mallory's update was never durable and is gone; everything else is back.@.@.";
+
+  Fmt.pr "4. Logical operations conceptually read and write the whole database,@.";
+  Fmt.pr "   so recovery must replay ALL of them in order (stats below):@.";
+  Fmt.pr "   %a@." Store.pp_stats (Store.stats store)

@@ -1,0 +1,1 @@
+lib/btree/btree.ml: Cache Disk Fmt Fun List Log_manager Lsn Multi_op Option Page Page_op Printf Random Record Redo_storage Redo_wal String

@@ -1,0 +1,1 @@
+lib/btree/btree.mli: Cache Disk Log_manager Lsn Random Redo_storage Redo_wal

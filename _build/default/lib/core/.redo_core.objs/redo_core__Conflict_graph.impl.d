@@ -1,0 +1,1 @@
+lib/core/conflict_graph.ml: Digraph Exec Fmt List Map Op Option Printf Set String Var

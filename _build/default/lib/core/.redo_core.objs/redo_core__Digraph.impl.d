@@ -1,0 +1,1 @@
+lib/core/digraph.ml: Buffer Fmt Hashtbl List Map Printf Random Set String

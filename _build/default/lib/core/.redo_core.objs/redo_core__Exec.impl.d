@@ -1,0 +1,1 @@
+lib/core/exec.ml: Digraph Fmt List Op State Var

@@ -1,0 +1,1 @@
+lib/core/exec.mli: Digraph Fmt Op State Var

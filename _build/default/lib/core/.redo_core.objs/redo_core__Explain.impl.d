@@ -1,0 +1,1 @@
+lib/core/explain.ml: Conflict_graph Digraph Exec List Op Option State State_graph Value Var

@@ -1,0 +1,1 @@
+lib/core/explain.mli: Conflict_graph Digraph State Var

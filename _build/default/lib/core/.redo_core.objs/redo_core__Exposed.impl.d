@@ -1,0 +1,1 @@
+lib/core/exposed.ml: Conflict_graph Digraph Exec Op Var

@@ -1,0 +1,1 @@
+lib/core/exposed.mli: Conflict_graph Digraph Var

@@ -1,0 +1,1 @@
+lib/core/log.ml: Conflict_graph Digraph Exec Fmt Hashtbl List String

@@ -1,0 +1,1 @@
+lib/core/log.mli: Conflict_graph Digraph Fmt Op

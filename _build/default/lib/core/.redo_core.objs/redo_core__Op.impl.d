@@ -1,0 +1,1 @@
+lib/core/op.ml: Expr Fmt List State String Value Var

@@ -1,0 +1,1 @@
+lib/core/recovery.ml: Conflict_graph Digraph Exec Explain Fmt List Log Op Option State

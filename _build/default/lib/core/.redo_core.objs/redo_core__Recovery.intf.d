@@ -1,0 +1,1 @@
+lib/core/recovery.mli: Digraph Fmt Log Op State Var

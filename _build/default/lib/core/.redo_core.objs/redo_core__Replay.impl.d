@@ -1,0 +1,1 @@
+lib/core/replay.ml: Conflict_graph Digraph Exec Fmt List Op State State_graph Value Var

@@ -1,0 +1,1 @@
+lib/core/replay.mli: Conflict_graph Digraph Op State

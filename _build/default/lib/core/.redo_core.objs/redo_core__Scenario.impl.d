@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Digraph Exec Expr Op State Value Var

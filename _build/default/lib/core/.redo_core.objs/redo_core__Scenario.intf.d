@@ -1,0 +1,1 @@
+lib/core/scenario.mli: Digraph Exec State Var

@@ -1,0 +1,1 @@
+lib/core/state_graph.ml: Conflict_graph Digraph Exec Fmt List Op Option State Value Var

@@ -1,0 +1,1 @@
+lib/core/state_graph.mli: Conflict_graph Digraph Exec Fmt State Value Var

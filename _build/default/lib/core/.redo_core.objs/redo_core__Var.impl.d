@@ -1,0 +1,1 @@
+lib/core/var.ml: Fmt List Map Set String

@@ -1,0 +1,1 @@
+lib/core/write_graph.ml: Conflict_graph Digraph Exec Explain Fmt List Op Printf State State_graph String Value Var

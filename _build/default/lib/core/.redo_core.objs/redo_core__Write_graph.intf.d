@@ -1,0 +1,1 @@
+lib/core/write_graph.mli: Conflict_graph Digraph Fmt State Value Var

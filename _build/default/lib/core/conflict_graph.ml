@@ -1,0 +1,123 @@
+type kind = WW | WR | RW
+
+let kind_to_string = function WW -> "ww" | WR -> "wr" | RW -> "rw"
+let pp_kind ppf k = Fmt.string ppf (kind_to_string k)
+
+module Kind_set = Set.Make (struct
+  type t = kind
+  let compare = compare
+end)
+
+module Edge_map = Map.Make (struct
+  type t = string * string
+  let compare = compare
+end)
+
+type t = {
+  exec : Exec.t;
+  graph : Digraph.t;
+  kinds : Kind_set.t Edge_map.t;
+}
+
+let add_kind kinds a b k =
+  let key = a, b in
+  let set =
+    match Edge_map.find_opt key kinds with
+    | Some s -> Kind_set.add k s
+    | None -> Kind_set.singleton k
+  in
+  Edge_map.add key set kinds
+
+(* Build the conflict graph from the execution order, tracking per
+   variable the preceding write and the operations that have read the
+   current version (Section 2.2). *)
+let of_exec exec =
+  let graph = ref (List.fold_left Digraph.add_node Digraph.empty (Exec.op_ids exec)) in
+  let kinds = ref Edge_map.empty in
+  let last_writer : string Var.Map.t ref = ref Var.Map.empty in
+  let readers : string list Var.Map.t ref = ref Var.Map.empty in
+  let edge a b k =
+    if not (String.equal a b) then begin
+      graph := Digraph.add_edge !graph a b;
+      kinds := add_kind !kinds a b k
+    end
+  in
+  let process op =
+    let o = Op.id op in
+    (* Reads first: a write-read conflict from the preceding write. *)
+    Var.Set.iter
+      (fun x ->
+        (match Var.Map.find_opt x !last_writer with
+        | Some w -> edge w o WR
+        | None -> ());
+        let prior = Option.value ~default:[] (Var.Map.find_opt x !readers) in
+        readers := Var.Map.add x (o :: prior) !readers)
+      (Op.reads op);
+    (* Writes: write-write from the preceding write, read-write from
+       every reader of the version being overwritten. *)
+    Var.Set.iter
+      (fun x ->
+        (match Var.Map.find_opt x !last_writer with
+        | Some w -> edge w o WW
+        | None -> ());
+        List.iter
+          (fun r -> edge r o RW)
+          (Option.value ~default:[] (Var.Map.find_opt x !readers));
+        last_writer := Var.Map.add x o !last_writer;
+        (* An operation that reads and writes x is itself a reader whose
+           "following write" is the *next* writer of x, so it stays in
+           the reader list across its own write. *)
+        readers := Var.Map.add x (if Op.reads_var op x then [ o ] else []) !readers)
+      (Op.writes op)
+  in
+  List.iter process (Exec.ops exec);
+  { exec; graph = !graph; kinds = !kinds }
+
+let exec t = t.exec
+let graph t = t.graph
+let ops t = Exec.ops t.exec
+let op_ids t = Digraph.nodes t.graph
+let find_op t id = Exec.find t.exec id
+
+let edge_kinds t a b =
+  match Edge_map.find_opt (a, b) t.kinds with
+  | Some s -> Kind_set.elements s
+  | None -> []
+
+let edges_with_kinds t =
+  Edge_map.bindings t.kinds
+  |> List.map (fun ((a, b), ks) -> a, b, Kind_set.elements ks)
+
+let installation t =
+  (* Drop edges that exist solely because of write-read conflicts
+     (Section 3.1). *)
+  List.fold_left
+    (fun g ((a, b), ks) ->
+      if Kind_set.equal ks (Kind_set.singleton WR) then Digraph.remove_edge g a b else g)
+    t.graph (Edge_map.bindings t.kinds)
+
+let equal a b =
+  Digraph.Node_set.equal (Digraph.nodes a.graph) (Digraph.nodes b.graph)
+  && Edge_map.equal Kind_set.equal a.kinds b.kinds
+
+let predecessors_of t id = Digraph.ancestors t.graph id
+
+let accessors t x =
+  List.filter (fun op -> Op.accesses_var op x) (ops t)
+  |> List.map Op.id
+  |> Digraph.Node_set.of_list
+
+let to_dot ?name t =
+  let edge_attrs a b =
+    let ks = edge_kinds t a b in
+    let label = String.concat "," (List.map kind_to_string ks) in
+    let style = if ks = [WR] then "style=dashed" else "style=solid" in
+    Printf.sprintf "label=\"%s\",%s" label style
+  in
+  Digraph.to_dot ?name ~edge_attrs t.graph
+
+let pp ppf t =
+  let pp_edge ppf (a, b, ks) =
+    Fmt.pf ppf "%s -[%a]-> %s" a Fmt.(list ~sep:(any ",") pp_kind) ks b
+  in
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut pp_edge) (edges_with_kinds t)

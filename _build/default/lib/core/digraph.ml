@@ -1,0 +1,257 @@
+module Node_set = struct
+  include Set.Make (String)
+
+  let pp ppf s =
+    Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ", ") string) (elements s)
+end
+
+module Node_map = Map.Make (String)
+
+exception Cycle of string list
+
+type t = {
+  nodes : Node_set.t;
+  succ : Node_set.t Node_map.t;
+  pred : Node_set.t Node_map.t;
+}
+
+let empty = { nodes = Node_set.empty; succ = Node_map.empty; pred = Node_map.empty }
+
+let mem_node g n = Node_set.mem n g.nodes
+
+let add_node g n = { g with nodes = Node_set.add n g.nodes }
+
+let neighbours map n =
+  match Node_map.find_opt n map with
+  | Some s -> s
+  | None -> Node_set.empty
+
+let succs g n = neighbours g.succ n
+let preds g n = neighbours g.pred n
+
+let mem_edge g a b = Node_set.mem b (succs g a)
+
+let add_edge g a b =
+  let g = add_node (add_node g a) b in
+  {
+    g with
+    succ = Node_map.add a (Node_set.add b (succs g a)) g.succ;
+    pred = Node_map.add b (Node_set.add a (preds g b)) g.pred;
+  }
+
+let remove_edge g a b =
+  {
+    g with
+    succ = Node_map.add a (Node_set.remove b (succs g a)) g.succ;
+    pred = Node_map.add b (Node_set.remove a (preds g b)) g.pred;
+  }
+
+let of_edges ?(nodes = []) edges =
+  let g = List.fold_left add_node empty nodes in
+  List.fold_left (fun g (a, b) -> add_edge g a b) g edges
+
+let nodes g = g.nodes
+let node_count g = Node_set.cardinal g.nodes
+
+let edges g =
+  Node_map.fold
+    (fun a succ acc -> Node_set.fold (fun b acc -> (a, b) :: acc) succ acc)
+    g.succ []
+  |> List.sort compare
+
+let edge_count g = List.length (edges g)
+
+let fold_nodes f g acc = Node_set.fold f g.nodes acc
+
+(* Breadth-first reachability along [next] links, excluding the start. *)
+let reachable next start =
+  let rec go seen = function
+    | [] -> seen
+    | n :: rest ->
+      let fresh = Node_set.diff (next n) seen in
+      go (Node_set.union seen fresh) (Node_set.elements fresh @ rest)
+  in
+  go Node_set.empty [start]
+
+let descendants g n = reachable (succs g) n
+let ancestors g n = reachable (preds g) n
+
+let reaches g a b =
+  (* Early-exit BFS: in the common validation pattern (consecutive
+     writers of one variable) the target is a direct successor. *)
+  let rec go seen = function
+    | [] -> false
+    | n :: rest ->
+      let next = succs g n in
+      Node_set.mem b next
+      ||
+      let fresh = Node_set.diff next seen in
+      go (Node_set.union seen fresh) (Node_set.elements fresh @ rest)
+  in
+  go Node_set.empty [ a ]
+
+let comparable g a b = String.equal a b || reaches g a b || reaches g b a
+
+(* Kahn's algorithm with lexicographically smallest available node, so
+   results are deterministic. *)
+let topo_sort g =
+  let rec go acc indeg avail =
+    match Node_set.min_elt_opt avail with
+    | None ->
+      if List.length acc = Node_set.cardinal g.nodes then List.rev acc
+      else raise (Cycle (Node_set.elements (Node_set.diff g.nodes (Node_set.of_list acc))))
+    | Some n ->
+      let avail = Node_set.remove n avail in
+      let indeg, avail =
+        Node_set.fold
+          (fun m (indeg, avail) ->
+            let d = Node_map.find m indeg - 1 in
+            Node_map.add m d indeg, (if d = 0 then Node_set.add m avail else avail))
+          (succs g n) (indeg, avail)
+      in
+      go (n :: acc) indeg avail
+  in
+  let indeg =
+    Node_set.fold (fun n m -> Node_map.add n (Node_set.cardinal (preds g n)) m)
+      g.nodes Node_map.empty
+  in
+  let avail = Node_set.filter (fun n -> Node_map.find n indeg = 0) g.nodes in
+  go [] indeg avail
+
+let is_acyclic g =
+  match topo_sort g with _ -> true | exception Cycle _ -> false
+
+let all_topo_sorts ?(limit = 10_000) g =
+  let count = ref 0 in
+  let exception Limit in
+  let rec go acc remaining results =
+    if Node_set.is_empty remaining then begin
+      incr count;
+      if !count > limit then raise Limit;
+      List.rev acc :: results
+    end
+    else
+      let minimal =
+        Node_set.filter
+          (fun n -> Node_set.is_empty (Node_set.inter (preds g n) remaining))
+          remaining
+      in
+      Node_set.fold
+        (fun n results -> go (n :: acc) (Node_set.remove n remaining) results)
+        minimal results
+  in
+  try List.rev (go [] g.nodes []) with Limit -> invalid_arg "Digraph.all_topo_sorts: too many orders"
+
+let random_topo rng g =
+  let rec go acc remaining =
+    if Node_set.is_empty remaining then List.rev acc
+    else
+      let minimal =
+        Node_set.filter
+          (fun n -> Node_set.is_empty (Node_set.inter (preds g n) remaining))
+          remaining
+        |> Node_set.elements
+      in
+      match minimal with
+      | [] -> raise (Cycle (Node_set.elements remaining))
+      | _ ->
+        let n = List.nth minimal (Random.State.int rng (List.length minimal)) in
+        go (n :: acc) (Node_set.remove n remaining)
+  in
+  go [] g.nodes
+
+let is_prefix g set =
+  Node_set.subset set g.nodes
+  && Node_set.for_all (fun n -> Node_set.subset (preds g n) set) set
+
+let prefix_close g set =
+  Node_set.fold (fun n acc -> Node_set.union acc (ancestors g n)) set set
+
+let minimal_nodes g = Node_set.filter (fun n -> Node_set.is_empty (preds g n)) g.nodes
+
+let minimal_of g set =
+  (* Minimal elements of [set] under the graph's reachability order:
+     no other member of [set] strictly precedes them. *)
+  Node_set.filter
+    (fun n -> Node_set.for_all (fun m -> String.equal m n || not (reaches g m n)) set)
+    set
+
+let restrict g set =
+  let keep n = Node_set.mem n set in
+  {
+    nodes = Node_set.inter g.nodes set;
+    succ =
+      Node_map.filter_map (fun a s -> if keep a then Some (Node_set.filter keep s) else None) g.succ;
+    pred =
+      Node_map.filter_map (fun a s -> if keep a then Some (Node_set.filter keep s) else None) g.pred;
+  }
+
+let count_downsets g =
+  let memo = Hashtbl.create 97 in
+  let key set = String.concat "\x00" (Node_set.elements set) in
+  (* Downsets of the subgraph induced by [set]: pick a minimal node [v];
+     downsets either contain [v] (rest: any downset of set - v) or omit it
+     (and hence all of v's descendants). *)
+  let rec go set =
+    match Node_set.min_elt_opt set with
+    | None -> 1
+    | Some _ ->
+      let k = key set in
+      (match Hashtbl.find_opt memo k with
+      | Some n -> n
+      | None ->
+        let sub = restrict g set in
+        let v = Node_set.min_elt (minimal_nodes sub) in
+        let with_v = go (Node_set.remove v set) in
+        let without_v = go (Node_set.diff set (Node_set.add v (descendants sub v))) in
+        let n = with_v + without_v in
+        Hashtbl.add memo k n;
+        n)
+  in
+  go g.nodes
+
+let downsets ?(limit = 100_000) g =
+  let count = ref 0 in
+  (* Branch on a minimal node v of the induced subgraph: downsets either
+     contain v (v plus any downset of set - v) or omit v (and therefore
+     all of v's descendants, which is why they drop out of the
+     recursion). The two branches are disjoint, so no deduplication is
+     needed. *)
+  let rec go set =
+    incr count;
+    if !count > limit then invalid_arg "Digraph.downsets: too many prefixes";
+    let sub = restrict g set in
+    match Node_set.min_elt_opt (minimal_nodes sub) with
+    | None -> [ Node_set.empty ]
+    | Some v ->
+      let without = go (Node_set.diff set (Node_set.add v (descendants sub v))) in
+      let with_v = List.map (Node_set.add v) (go (Node_set.remove v set)) in
+      without @ with_v
+  in
+  go g.nodes
+
+let transitive_reduction g =
+  let reduced = ref g in
+  List.iter
+    (fun (a, b) ->
+      let without = remove_edge !reduced a b in
+      if reaches without a b then reduced := without)
+    (edges g);
+  !reduced
+
+let to_dot ?(name = "g") ?(node_attrs = fun _ -> "") ?(edge_attrs = fun _ _ -> "") g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  Node_set.iter
+    (fun n -> Buffer.add_string buf (Printf.sprintf "  %S [%s];\n" n (node_attrs n)))
+    g.nodes;
+  List.iter
+    (fun (a, b) -> Buffer.add_string buf (Printf.sprintf "  %S -> %S [%s];\n" a b (edge_attrs a b)))
+    (edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let pp ppf g =
+  Fmt.pf ppf "nodes=%a edges=%a" Node_set.pp g.nodes
+    Fmt.(list ~sep:(any " ") (pair ~sep:(any "->") string string))
+    (edges g)

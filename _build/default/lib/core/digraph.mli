@@ -1,0 +1,117 @@
+(** Directed acyclic graphs over string-named nodes.
+
+    One shared representation backs all four graph notions of the paper:
+    conflict graphs, installation graphs, state graphs and write graphs.
+    Nodes are operation ids (or write-graph node ids); higher layers
+    attach their own labels in side maps.
+
+    The paper's vocabulary maps directly: the {e predecessors} of a node
+    are {!ancestors} ("all nodes [m] such that there is a path from [m]
+    to [n]"), and a {e prefix} is a downward-closed node set
+    ({!is_prefix}). *)
+
+module Node_set : sig
+  include Set.S with type elt = string
+
+  val pp : t Fmt.t
+end
+
+module Node_map : Map.S with type key = string
+
+exception Cycle of string list
+(** Raised by order-dependent operations on a cyclic graph, carrying the
+    nodes of the residual (cyclic) subgraph. *)
+
+type t
+
+val empty : t
+val add_node : t -> string -> t
+
+val add_edge : t -> string -> string -> t
+(** Adds both endpoints if missing. Self-edges are representable but
+    every construction in this library avoids creating them. *)
+
+val remove_edge : t -> string -> string -> t
+
+val of_edges : ?nodes:string list -> (string * string) list -> t
+(** Graph with the given edges plus any isolated [nodes]. *)
+
+val mem_node : t -> string -> bool
+val mem_edge : t -> string -> string -> bool
+val nodes : t -> Node_set.t
+val node_count : t -> int
+
+val edges : t -> (string * string) list
+(** Sorted edge list. *)
+
+val edge_count : t -> int
+val fold_nodes : (string -> 'a -> 'a) -> t -> 'a -> 'a
+
+val succs : t -> string -> Node_set.t
+val preds : t -> string -> Node_set.t
+
+val descendants : t -> string -> Node_set.t
+(** Nodes reachable from [n] by a non-empty path. *)
+
+val ancestors : t -> string -> Node_set.t
+(** Nodes that reach [n] by a non-empty path — the paper's
+    "predecessors". *)
+
+val reaches : t -> string -> string -> bool
+(** [reaches g a b] iff there is a non-empty path from [a] to [b]. *)
+
+val comparable : t -> string -> string -> bool
+(** Equal, or ordered one way or the other by the graph. *)
+
+val topo_sort : t -> string list
+(** Deterministic topological order (lexicographically smallest node
+    first among available ones).
+    @raise Cycle if the graph is cyclic. *)
+
+val is_acyclic : t -> bool
+
+val all_topo_sorts : ?limit:int -> t -> string list list
+(** Every total order consistent with the graph. Intended for the small
+    graphs in Lemma 1 / Lemma 2 tests.
+    @raise Invalid_argument past [limit] (default 10_000) orders. *)
+
+val random_topo : Random.State.t -> t -> string list
+(** A uniformly-constructed (not uniformly-distributed) random
+    topological order. *)
+
+val is_prefix : t -> Node_set.t -> bool
+(** "If a node is in the prefix, then all of its predecessors are in the
+    prefix" (Section 2.1). *)
+
+val prefix_close : t -> Node_set.t -> Node_set.t
+(** Smallest prefix containing the given nodes. *)
+
+val minimal_nodes : t -> Node_set.t
+(** Nodes with no predecessor. *)
+
+val minimal_of : t -> Node_set.t -> Node_set.t
+(** Minimal elements of a node {e subset} under the graph's partial
+    order: members of the set that no other member strictly precedes.
+    Used for "a minimal such operation" in the exposure definition and
+    for "minimal uninstalled operation" during replay. *)
+
+val restrict : t -> Node_set.t -> t
+(** Induced subgraph. *)
+
+val count_downsets : t -> int
+(** Number of downward-closed node sets (prefixes), counting the empty
+    prefix and the whole graph. Exponential-avoidant memoized recursion;
+    fine for the ≤ ~25-node graphs used by the flexibility experiment. *)
+
+val downsets : ?limit:int -> t -> Node_set.t list
+(** All prefixes (downward-closed sets), including the empty set and the
+    full node set. Exponential in general; guarded by [limit] (default
+    100_000 recursion steps).
+    @raise Invalid_argument past the limit. *)
+
+val transitive_reduction : t -> t
+(** Remove edges implied by longer paths (for readable dot output). *)
+
+val to_dot : ?name:string -> ?node_attrs:(string -> string) -> ?edge_attrs:(string -> string -> string) -> t -> string
+
+val pp : t Fmt.t

@@ -1,0 +1,57 @@
+type t = {
+  initial : State.t;
+  ops : Op.t list;
+  by_id : Op.t Digraph.Node_map.t;
+}
+
+exception Duplicate_id of string
+
+let make ?(initial = State.empty) ops =
+  let by_id =
+    List.fold_left
+      (fun acc op ->
+        let id = Op.id op in
+        if Digraph.Node_map.mem id acc then raise (Duplicate_id id);
+        Digraph.Node_map.add id op acc)
+      Digraph.Node_map.empty ops
+  in
+  { initial; ops; by_id }
+
+let initial t = t.initial
+let ops t = t.ops
+let op_ids t = List.map Op.id t.ops
+let op_id_set t = Digraph.Node_set.of_list (op_ids t)
+let length t = List.length t.ops
+
+let find t id =
+  match Digraph.Node_map.find_opt id t.by_id with
+  | Some op -> op
+  | None -> invalid_arg ("Exec.find: unknown operation " ^ id)
+
+let mem t id = Digraph.Node_map.mem id t.by_id
+
+let vars t =
+  List.fold_left (fun acc op -> Var.Set.union acc (Op.accesses op)) Var.Set.empty t.ops
+
+let states t =
+  let rec go state acc = function
+    | [] -> List.rev acc
+    | op :: rest ->
+      let state = Op.apply op state in
+      go state (state :: acc) rest
+  in
+  go t.initial [t.initial] t.ops
+
+let final_state t = List.fold_left (fun s op -> Op.apply op s) t.initial t.ops
+
+let reorder t ids =
+  let expected = op_id_set t in
+  let given = Digraph.Node_set.of_list ids in
+  if not (Digraph.Node_set.equal expected given) || List.length ids <> length t then
+    invalid_arg "Exec.reorder: ids are not a permutation of the execution's operations";
+  make ~initial:t.initial (List.map (find t) ids)
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>initial: %a@,%a@]" State.pp t.initial
+    Fmt.(list ~sep:cut Op.pp)
+    t.ops

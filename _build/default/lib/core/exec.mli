@@ -1,0 +1,42 @@
+(** Executions: an initial state plus an operation sequence.
+
+    An execution generates the paper's state sequence
+    [S0 S1 ... Sk] (Section 2.1), its conflict graph
+    ({!Conflict_graph.of_exec}) and its state graph
+    ({!State_graph.of_exec}). Operation ids must be distinct, as the
+    paper assumes for graph node labels. *)
+
+type t
+
+exception Duplicate_id of string
+
+val make : ?initial:State.t -> Op.t list -> t
+(** @raise Duplicate_id if two operations share an id. *)
+
+val initial : t -> State.t
+val ops : t -> Op.t list
+val op_ids : t -> string list
+val op_id_set : t -> Digraph.Node_set.t
+val length : t -> int
+
+val find : t -> string -> Op.t
+(** @raise Invalid_argument on an unknown id. *)
+
+val mem : t -> string -> bool
+
+val vars : t -> Var.Set.t
+(** Every variable read or written by some operation — the universe over
+    which states of this execution are compared. *)
+
+val states : t -> State.t list
+(** The state sequence [S0; S1; ...; Sk] ([k+1] states). *)
+
+val final_state : t -> State.t
+(** [Sk]; the state recovery must rebuild. *)
+
+val reorder : t -> string list -> t
+(** Same operations, replayed in the given order (used by Lemma 1 and
+    Lemma 2 tests over alternative topological orders).
+    @raise Invalid_argument if the ids are not a permutation. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,86 @@
+let universe_of cg state =
+  Var.Set.union (Exec.vars (Conflict_graph.exec cg)) (State.support state)
+
+(* Precomputed context: building the installation state graph replays
+   the execution, so callers evaluating many prefixes of one conflict
+   graph (the invariant checker most of all) should do it once.
+
+   The context also precomputes, per variable, the accessors in
+   execution order together with whether each reads the variable. That
+   makes the exposure test O(|accessors|) without reachability queries:
+   the execution order embeds the conflict order, and any two accessors
+   of x where one writes are comparable, so the earliest accessor
+   outside the installed set is always a *minimal* one, and if it writes
+   blindly every later reader is preceded by an intervening writer —
+   hence exposure is decided by that earliest accessor alone. *)
+type ctx = {
+  ctx_cg : Conflict_graph.t;
+  ctx_isg : State_graph.t;
+  ctx_installation : Digraph.t;
+  ctx_accessors : (string * bool) list Var.Map.t;
+      (* per variable: (op id, reads it?) in execution order *)
+}
+
+let ctx cg =
+  let accessors =
+    List.fold_left
+      (fun acc op ->
+        Var.Set.fold
+          (fun x acc ->
+            let prior = Option.value ~default:[] (Var.Map.find_opt x acc) in
+            Var.Map.add x ((Op.id op, Op.reads_var op x) :: prior) acc)
+          (Op.accesses op) acc)
+      Var.Map.empty
+      (Exec.ops (Conflict_graph.exec cg))
+  in
+  {
+    ctx_cg = cg;
+    ctx_isg = State_graph.installation_state_graph cg;
+    ctx_installation = Conflict_graph.installation cg;
+    ctx_accessors = Var.Map.map List.rev accessors;
+  }
+
+let ctx_state_determined_by_prefix ctx ~prefix = State_graph.state_of_prefix ctx.ctx_isg prefix
+
+let ctx_is_installation_prefix ctx prefix = Digraph.is_prefix ctx.ctx_installation prefix
+
+let ctx_is_exposed ctx ~installed x =
+  let rec first_outside = function
+    | [] -> None
+    | (id, reads) :: rest ->
+      if Digraph.Node_set.mem id installed then first_outside rest else Some reads
+  in
+  match first_outside (Option.value ~default:[] (Var.Map.find_opt x ctx.ctx_accessors)) with
+  | None -> true
+  | Some reads -> reads
+
+let ctx_explains ?universe ctx ~prefix state =
+  ctx_is_installation_prefix ctx prefix
+  &&
+  let universe = Option.value ~default:(universe_of ctx.ctx_cg state) universe in
+  let determined = ctx_state_determined_by_prefix ctx ~prefix in
+  Var.Set.for_all
+    (fun x ->
+      (not (ctx_is_exposed ctx ~installed:prefix x))
+      || Value.equal (State.get state x) (State.get determined x))
+    universe
+
+let state_determined_by_prefix cg ~prefix = ctx_state_determined_by_prefix (ctx cg) ~prefix
+
+let is_installation_prefix cg prefix =
+  Digraph.is_prefix (Conflict_graph.installation cg) prefix
+
+let is_conflict_prefix cg prefix = Digraph.is_prefix (Conflict_graph.graph cg) prefix
+
+let explains ?universe cg ~prefix state = ctx_explains ?universe (ctx cg) ~prefix state
+
+let installation_prefixes ?limit cg =
+  Digraph.downsets ?limit (Conflict_graph.installation cg)
+
+let conflict_prefixes ?limit cg = Digraph.downsets ?limit (Conflict_graph.graph cg)
+
+let explaining_prefixes ?universe ?limit cg state =
+  List.filter (fun prefix -> explains ?universe cg ~prefix state) (installation_prefixes ?limit cg)
+
+let is_explainable ?universe ?limit cg state =
+  explaining_prefixes ?universe ?limit cg state <> []

@@ -1,0 +1,56 @@
+(** Explainable states (Section 3.2).
+
+    A prefix σ of the installation graph {e explains} a state [S] when
+    every variable exposed by σ has the same value in [S] and in the
+    state determined by σ. Explainable states are exactly the states
+    Theorem 3 proves potentially recoverable; maintaining explainability
+    of the stable state is the whole game of Section 5's cache
+    management. *)
+
+type ctx
+(** Precomputed installation state graph for one conflict graph. Use
+    when evaluating many prefixes of the same execution ({!explains}
+    rebuilds it on every call). *)
+
+val ctx : Conflict_graph.t -> ctx
+val ctx_state_determined_by_prefix : ctx -> prefix:Digraph.Node_set.t -> State.t
+val ctx_is_installation_prefix : ctx -> Digraph.Node_set.t -> bool
+
+val ctx_is_exposed : ctx -> installed:Digraph.Node_set.t -> Var.t -> bool
+(** Constant-ish-time exposure test, equivalent to
+    {!Exposed.is_exposed}: the earliest accessor (in execution order)
+    outside the installed set is always a minimal one, and it alone
+    decides exposure. The equivalence is property-tested. *)
+
+val ctx_explains :
+  ?universe:Var.Set.t -> ctx -> prefix:Digraph.Node_set.t -> State.t -> bool
+
+val state_determined_by_prefix :
+  Conflict_graph.t -> prefix:Digraph.Node_set.t -> State.t
+(** "The state determined by a prefix of the installation graph": final
+    values for every variable written by the prefix's operations (in the
+    canonical execution), initial values elsewhere.
+    @raise State_graph.Invalid if [prefix] is not an installation-graph
+    prefix. *)
+
+val is_installation_prefix : Conflict_graph.t -> Digraph.Node_set.t -> bool
+val is_conflict_prefix : Conflict_graph.t -> Digraph.Node_set.t -> bool
+
+val explains :
+  ?universe:Var.Set.t -> Conflict_graph.t -> prefix:Digraph.Node_set.t -> State.t -> bool
+(** [explains cg ~prefix s]: [prefix] is an installation-graph prefix
+    and every exposed variable in [universe] (default: all variables the
+    execution or [s] mention) agrees between [s] and the state
+    determined by [prefix]. Unexposed variables may hold anything. *)
+
+val installation_prefixes : ?limit:int -> Conflict_graph.t -> Digraph.Node_set.t list
+(** All installation-graph prefixes ({!Digraph.downsets}). *)
+
+val conflict_prefixes : ?limit:int -> Conflict_graph.t -> Digraph.Node_set.t list
+
+val explaining_prefixes :
+  ?universe:Var.Set.t -> ?limit:int -> Conflict_graph.t -> State.t -> Digraph.Node_set.t list
+(** Every installation prefix that explains the state (small graphs). *)
+
+val is_explainable :
+  ?universe:Var.Set.t -> ?limit:int -> Conflict_graph.t -> State.t -> bool

@@ -1,0 +1,25 @@
+let outside_accessors cg ~installed x =
+  Digraph.Node_set.diff (Conflict_graph.accessors cg x) installed
+
+let minimal_accessors cg ~installed x =
+  Digraph.minimal_of (Conflict_graph.graph cg) (outside_accessors cg ~installed x)
+
+let is_exposed cg ~installed x =
+  let outside = outside_accessors cg ~installed x in
+  Digraph.Node_set.is_empty outside
+  ||
+  let minimal = minimal_accessors cg ~installed x in
+  Digraph.Node_set.exists
+    (fun id -> Op.reads_var (Conflict_graph.find_op cg id) x)
+    minimal
+
+let is_unexposed cg ~installed x = not (is_exposed cg ~installed x)
+
+let partition cg ~installed vars =
+  Var.Set.partition (is_exposed cg ~installed) vars
+
+let exposed_vars cg ~installed =
+  Var.Set.filter (is_exposed cg ~installed) (Exec.vars (Conflict_graph.exec cg))
+
+let unexposed_vars cg ~installed =
+  Var.Set.filter (is_unexposed cg ~installed) (Exec.vars (Conflict_graph.exec cg))

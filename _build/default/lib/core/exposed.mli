@@ -1,0 +1,33 @@
+(** Exposed and unexposed variables (Section 2.3).
+
+    Relative to a conflict graph and a set [I] of installed operations, a
+    variable [x] is {e exposed} iff
+    - no operation outside [I] accesses [x] ([x] already has its final
+      value), or
+    - some operation outside [I] accesses [x] and a minimal such
+      operation {e reads} [x] ([x] must hold the right value now).
+
+    [x] is {e unexposed} when a minimal uninstalled accessor writes [x]
+    without reading it: its current value will be blindly overwritten
+    before any uninstalled operation can observe it, so recovery may find
+    arbitrary garbage there. *)
+
+val is_exposed : Conflict_graph.t -> installed:Digraph.Node_set.t -> Var.t -> bool
+val is_unexposed : Conflict_graph.t -> installed:Digraph.Node_set.t -> Var.t -> bool
+
+val outside_accessors :
+  Conflict_graph.t -> installed:Digraph.Node_set.t -> Var.t -> Digraph.Node_set.t
+(** Operations outside [installed] that access [x]. *)
+
+val minimal_accessors :
+  Conflict_graph.t -> installed:Digraph.Node_set.t -> Var.t -> Digraph.Node_set.t
+(** Minimal elements (in conflict-graph order) of {!outside_accessors}. *)
+
+val partition :
+  Conflict_graph.t -> installed:Digraph.Node_set.t -> Var.Set.t -> Var.Set.t * Var.Set.t
+(** [(exposed, unexposed)] within the given variable set. *)
+
+val exposed_vars : Conflict_graph.t -> installed:Digraph.Node_set.t -> Var.Set.t
+(** Exposed variables among all variables the execution accesses. *)
+
+val unexposed_vars : Conflict_graph.t -> installed:Digraph.Node_set.t -> Var.Set.t

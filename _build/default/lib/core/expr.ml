@@ -1,0 +1,96 @@
+type t =
+  | Const of Value.t
+  | Read of Var.t
+  | Neg of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Mod of t * t
+  | Eq of t * t
+  | Lt of t * t
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | If of t * t * t
+  | Concat of t * t
+  | Pair of t * t
+  | Fst of t
+  | Snd of t
+  | Hash of t
+
+let rec free_vars = function
+  | Const _ -> Var.Set.empty
+  | Read x -> Var.Set.singleton x
+  | Neg e | Not e | Fst e | Snd e | Hash e -> free_vars e
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Mod (a, b)
+  | Eq (a, b) | Lt (a, b) | And (a, b) | Or (a, b)
+  | Concat (a, b) | Pair (a, b) ->
+    Var.Set.union (free_vars a) (free_vars b)
+  | If (c, a, b) ->
+    Var.Set.union (free_vars c) (Var.Set.union (free_vars a) (free_vars b))
+
+let rec eval lookup e =
+  let int2 op a b = Value.Int (op (Value.to_int (eval lookup a)) (Value.to_int (eval lookup b))) in
+  let bool2 op a b = Value.Bool (op (Value.to_bool (eval lookup a)) (Value.to_bool (eval lookup b))) in
+  match e with
+  | Const v -> v
+  | Read x -> lookup x
+  | Neg a -> Value.Int (-Value.to_int (eval lookup a))
+  | Add (a, b) -> int2 ( + ) a b
+  | Sub (a, b) -> int2 ( - ) a b
+  | Mul (a, b) -> int2 ( * ) a b
+  | Div (a, b) -> int2 (fun x y -> if y = 0 then 0 else x / y) a b
+  | Mod (a, b) -> int2 (fun x y -> if y = 0 then 0 else x mod y) a b
+  | Eq (a, b) -> Value.Bool (Value.equal (eval lookup a) (eval lookup b))
+  | Lt (a, b) -> Value.Bool (Value.compare (eval lookup a) (eval lookup b) < 0)
+  | Not a -> Value.Bool (not (Value.to_bool (eval lookup a)))
+  | And (a, b) -> bool2 ( && ) a b
+  | Or (a, b) -> bool2 ( || ) a b
+  | If (c, a, b) -> if Value.to_bool (eval lookup c) then eval lookup a else eval lookup b
+  | Concat (a, b) -> Value.Str (Value.to_str (eval lookup a) ^ Value.to_str (eval lookup b))
+  | Pair (a, b) -> Value.Pair (eval lookup a, eval lookup b)
+  | Fst a -> (match eval lookup a with Value.Pair (x, _) -> x | v -> v)
+  | Snd a -> (match eval lookup a with Value.Pair (_, y) -> y | v -> v)
+  | Hash a -> Value.Int (Value.hash (eval lookup a))
+
+let rec size = function
+  | Const _ | Read _ -> 1
+  | Neg e | Not e | Fst e | Snd e | Hash e -> 1 + size e
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Mod (a, b)
+  | Eq (a, b) | Lt (a, b) | And (a, b) | Or (a, b)
+  | Concat (a, b) | Pair (a, b) ->
+    1 + size a + size b
+  | If (c, a, b) -> 1 + size c + size a + size b
+
+let rec pp ppf = function
+  | Const v -> Value.pp ppf v
+  | Read x -> Var.pp ppf x
+  | Neg e -> Fmt.pf ppf "(- %a)" pp e
+  | Add (a, b) -> Fmt.pf ppf "(%a + %a)" pp a pp b
+  | Sub (a, b) -> Fmt.pf ppf "(%a - %a)" pp a pp b
+  | Mul (a, b) -> Fmt.pf ppf "(%a * %a)" pp a pp b
+  | Div (a, b) -> Fmt.pf ppf "(%a / %a)" pp a pp b
+  | Mod (a, b) -> Fmt.pf ppf "(%a %% %a)" pp a pp b
+  | Eq (a, b) -> Fmt.pf ppf "(%a = %a)" pp a pp b
+  | Lt (a, b) -> Fmt.pf ppf "(%a < %a)" pp a pp b
+  | Not e -> Fmt.pf ppf "(not %a)" pp e
+  | And (a, b) -> Fmt.pf ppf "(%a && %a)" pp a pp b
+  | Or (a, b) -> Fmt.pf ppf "(%a || %a)" pp a pp b
+  | If (c, a, b) -> Fmt.pf ppf "(if %a then %a else %a)" pp c pp a pp b
+  | Concat (a, b) -> Fmt.pf ppf "(%a ^ %a)" pp a pp b
+  | Pair (a, b) -> Fmt.pf ppf "(%a, %a)" pp a pp b
+  | Fst e -> Fmt.pf ppf "(fst %a)" pp e
+  | Snd e -> Fmt.pf ppf "(snd %a)" pp e
+  | Hash e -> Fmt.pf ppf "(hash %a)" pp e
+
+let to_string e = Fmt.str "%a" pp e
+
+let int n = Const (Value.Int n)
+let str s = Const (Value.Str s)
+let var x = Read x
+let ( + ) a b = Add (a, b)
+let ( - ) a b = Sub (a, b)
+let ( * ) a b = Mul (a, b)
+let ( = ) a b = Eq (a, b)
+let ( < ) a b = Lt (a, b)

@@ -1,0 +1,52 @@
+(** A small, total, serializable expression language.
+
+    Logged operations must be replayable after a crash, so operation
+    bodies that go into a log are expressed as assignments of these
+    expressions rather than opaque OCaml closures. Semantics are total
+    (via the coercions in {!Value}), which lets property tests generate
+    arbitrary expressions that always evaluate. *)
+
+type t =
+  | Const of Value.t
+  | Read of Var.t  (** Read the {e pre-state} value of a variable. *)
+  | Neg of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t  (** Division by zero yields 0 (total semantics). *)
+  | Mod of t * t  (** Modulo by zero yields 0. *)
+  | Eq of t * t
+  | Lt of t * t
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | If of t * t * t
+  | Concat of t * t  (** String concatenation after coercion. *)
+  | Pair of t * t
+  | Fst of t  (** First projection; identity on non-pairs. *)
+  | Snd of t  (** Second projection; identity on non-pairs. *)
+  | Hash of t  (** Deterministic structural hash, as an [Int]. *)
+
+val free_vars : t -> Var.Set.t
+(** Variables read by the expression. *)
+
+val eval : (Var.t -> Value.t) -> t -> Value.t
+(** [eval lookup e] evaluates [e], reading variables through [lookup].
+    Never raises (unless [lookup] does). *)
+
+val size : t -> int
+(** Number of AST nodes, used to approximate logged-record size. *)
+
+val pp : t Fmt.t
+val to_string : t -> string
+
+(** Convenience constructors used pervasively in examples and tests. *)
+
+val int : int -> t
+val str : string -> t
+val var : Var.t -> t
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( = ) : t -> t -> t
+val ( < ) : t -> t -> t

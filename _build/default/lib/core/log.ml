@@ -1,0 +1,66 @@
+type record = {
+  op_id : string;
+  labels : (string * string) list;
+}
+
+type t = {
+  records : record list;
+  cg : Conflict_graph.t;
+}
+
+exception Inconsistent of string
+
+let record ?(labels = []) op_id = { op_id; labels }
+
+let label r key = List.assoc_opt key r.labels
+
+let consistent cg order =
+  (* "If there is a path from O to P in the conflict graph, then there is
+     a path from O to P in the log": for a linear log, conflict order must
+     embed into log positions. *)
+  let positions = Hashtbl.create 16 in
+  List.iteri (fun i r -> Hashtbl.replace positions r.op_id i) order;
+  let graph = Conflict_graph.graph cg in
+  List.for_all
+    (fun (a, b) ->
+      match Hashtbl.find_opt positions a, Hashtbl.find_opt positions b with
+      | Some ia, Some ib -> ia < ib
+      | _ -> false)
+    (Digraph.edges graph)
+
+let make cg records =
+  let ids = List.map (fun r -> r.op_id) records in
+  let id_set = Digraph.Node_set.of_list ids in
+  if List.length ids <> Digraph.Node_set.cardinal id_set then
+    raise (Inconsistent "duplicate log records");
+  if not (Digraph.Node_set.equal id_set (Conflict_graph.op_ids cg)) then
+    raise
+      (Inconsistent
+         "log and conflict graph must mention the same operations");
+  if not (consistent cg records) then
+    raise (Inconsistent "log order is inconsistent with the conflict order");
+  { records; cg }
+
+let of_conflict_graph ?(labels = fun _ -> []) cg =
+  let order = Exec.op_ids (Conflict_graph.exec cg) in
+  make cg (List.map (fun id -> { op_id = id; labels = labels id }) order)
+
+let records t = t.records
+let conflict_graph t = t.cg
+let operations t = Conflict_graph.op_ids t.cg
+let length t = List.length t.records
+
+let find_op t id = Conflict_graph.find_op t.cg id
+
+let reorder t ids =
+  make t.cg
+    (List.map
+       (fun id ->
+         match List.find_opt (fun r -> String.equal r.op_id id) t.records with
+         | Some r -> r
+         | None -> raise (Inconsistent ("unknown operation " ^ id)))
+       ids)
+
+let pp ppf t =
+  let pp_record ppf r = Fmt.string ppf r.op_id in
+  Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any "; ") pp_record) t.records

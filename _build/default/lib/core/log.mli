@@ -1,0 +1,42 @@
+(** The abstract log (Section 4.1).
+
+    A log for a conflict graph contains exactly the graph's operations,
+    in an order consistent with the conflict order. (The paper allows a
+    DAG-shaped log; this implementation keeps the common linear form —
+    Lemma 1 shows any consistent total order carries the same
+    information.) Records may carry extra labels, which is where the
+    system-level methods stash LSNs and the like. *)
+
+type record = {
+  op_id : string;
+  labels : (string * string) list;
+}
+
+type t
+
+exception Inconsistent of string
+
+val record : ?labels:(string * string) list -> string -> record
+val label : record -> string -> string option
+
+val make : Conflict_graph.t -> record list -> t
+(** @raise Inconsistent if the records are not exactly the graph's
+    operations in a conflict-consistent order. *)
+
+val of_conflict_graph : ?labels:(string -> (string * string) list) -> Conflict_graph.t -> t
+(** Log in original invocation order. *)
+
+val consistent : Conflict_graph.t -> record list -> bool
+(** Does the record order embed the conflict order? *)
+
+val records : t -> record list
+val conflict_graph : t -> Conflict_graph.t
+val operations : t -> Digraph.Node_set.t
+val length : t -> int
+val find_op : t -> string -> Op.t
+
+val reorder : t -> string list -> t
+(** Rebuild the log in another (still consistent) order.
+    @raise Inconsistent otherwise. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,94 @@
+exception Access_violation of string
+
+type body =
+  | Assigns of (Var.t * Expr.t) list
+  | Fn of ((Var.t -> Value.t) -> (Var.t * Value.t) list)
+
+type t = {
+  id : string;
+  reads : Var.Set.t;
+  writes : Var.Set.t;
+  body : body;
+}
+
+let violation fmt = Fmt.kstr (fun s -> raise (Access_violation s)) fmt
+
+let id op = op.id
+let reads op = op.reads
+let writes op = op.writes
+let body op = op.body
+let accesses op = Var.Set.union op.reads op.writes
+
+let reads_var op x = Var.Set.mem x op.reads
+let writes_var op x = Var.Set.mem x op.writes
+let accesses_var op x = reads_var op x || writes_var op x
+
+let is_blind_write op x = writes_var op x && not (reads_var op x)
+
+let check_distinct_targets id assigns =
+  let rec go seen = function
+    | [] -> ()
+    | (x, _) :: rest ->
+      if Var.Set.mem x seen then
+        violation "operation %s assigns variable %a twice" id Var.pp x
+      else go (Var.Set.add x seen) rest
+  in
+  go Var.Set.empty assigns
+
+let of_assigns ?(extra_reads = Var.Set.empty) ~id assigns =
+  if String.length id = 0 then invalid_arg "Op.of_assigns: empty id";
+  check_distinct_targets id assigns;
+  let reads =
+    List.fold_left
+      (fun acc (_, e) -> Var.Set.union acc (Expr.free_vars e))
+      extra_reads assigns
+  in
+  let writes = Var.Set.of_list (List.map fst assigns) in
+  { id; reads; writes; body = Assigns assigns }
+
+let of_fn ~id ~reads ~writes fn =
+  if String.length id = 0 then invalid_arg "Op.of_fn: empty id";
+  { id; reads; writes; body = Fn fn }
+
+let guarded_lookup op state x =
+  if not (Var.Set.mem x op.reads) then
+    violation "operation %s read %a, which is outside its read set %a"
+      op.id Var.pp x Var.Set.pp op.reads;
+  State.get state x
+
+let effects op state =
+  let lookup = guarded_lookup op state in
+  let produced =
+    match op.body with
+    | Assigns assigns -> List.map (fun (x, e) -> x, Expr.eval lookup e) assigns
+    | Fn fn -> fn lookup
+  in
+  let produced_vars = Var.Set.of_list (List.map fst produced) in
+  if not (Var.Set.equal produced_vars op.writes) then
+    violation "operation %s wrote %a but its write set is %a"
+      op.id Var.Set.pp produced_vars Var.Set.pp op.writes;
+  check_distinct_targets op.id (List.map (fun (x, v) -> x, Expr.Const v) produced);
+  produced
+
+let apply op state = State.set_many state (effects op state)
+
+let pp ppf op =
+  let pp_body ppf = function
+    | Assigns assigns ->
+      let pp_a ppf (x, e) = Fmt.pf ppf "%a <- %a" Var.pp x Expr.pp e in
+      Fmt.(list ~sep:(any "; ") pp_a) ppf assigns
+    | Fn _ -> Fmt.pf ppf "<fn reads:%a writes:%a>" Var.Set.pp op.reads Var.Set.pp op.writes
+  in
+  Fmt.pf ppf "%s: %a" op.id pp_body op.body
+
+let to_string op = Fmt.str "%a" pp op
+
+let logged_size op =
+  match op.body with
+  | Assigns assigns ->
+    List.fold_left
+      (fun acc (x, e) -> acc + String.length (Var.to_string x) + Expr.size e)
+      (String.length op.id)
+      assigns
+  | Fn _ ->
+    String.length op.id + Var.Set.cardinal op.reads + Var.Set.cardinal op.writes

@@ -1,0 +1,68 @@
+(** Logged operations.
+
+    "An operation is a function with a fixed set of input variables and a
+    fixed set of output variables" that "atomically reads a set of
+    variables and then writes a set of variables" (Section 2.1).
+
+    Bodies come in two flavours: serializable assignment lists over
+    {!Expr} (what goes into a log, what generators produce) and opaque
+    OCaml functions (used when projecting a running system into the
+    theory). Application is dynamically checked: touching a variable
+    outside the declared read or write set raises
+    {!Access_violation} — the check that makes the theory usable as a
+    recovery {e checker}. *)
+
+exception Access_violation of string
+
+type body =
+  | Assigns of (Var.t * Expr.t) list
+      (** Simultaneous assignments; every right-hand side reads the
+          pre-state. Targets must be distinct. *)
+  | Fn of ((Var.t -> Value.t) -> (Var.t * Value.t) list)
+      (** Opaque body: given a (guarded) pre-state lookup, produce the
+          written variable/value pairs. *)
+
+type t
+
+val of_assigns : ?extra_reads:Var.Set.t -> id:string -> (Var.t * Expr.t) list -> t
+(** Build an operation from assignments. The read set is the union of
+    the right-hand sides' free variables plus [extra_reads]; the write
+    set is the set of targets.
+    @raise Invalid_argument on an empty id.
+    @raise Access_violation on duplicate targets. *)
+
+val of_fn : id:string -> reads:Var.Set.t -> writes:Var.Set.t -> ((Var.t -> Value.t) -> (Var.t * Value.t) list) -> t
+(** Build an operation with an opaque body and explicit read/write sets. *)
+
+val id : t -> string
+val reads : t -> Var.Set.t
+val writes : t -> Var.Set.t
+val body : t -> body
+
+val accesses : t -> Var.Set.t
+(** [reads ∪ writes]. *)
+
+val reads_var : t -> Var.t -> bool
+val writes_var : t -> Var.t -> bool
+val accesses_var : t -> Var.t -> bool
+
+val is_blind_write : t -> Var.t -> bool
+(** [is_blind_write op x] iff [op] "writes x without reading x" — the
+    condition that makes [x] unexposed when [op] is a minimal
+    uninstalled accessor (Section 2.3). *)
+
+val effects : t -> State.t -> (Var.t * Value.t) list
+(** The variable/value pairs the operation writes when invoked in the
+    given state.
+    @raise Access_violation if the body reads outside the read set or
+    does not write exactly the write set. *)
+
+val apply : t -> State.t -> State.t
+(** [apply op s] is [s] updated with {!effects}[ op s]. *)
+
+val logged_size : t -> int
+(** Abstract size of the operation's log record (AST nodes + names),
+    used by the log-volume experiments. *)
+
+val pp : t Fmt.t
+val to_string : t -> string

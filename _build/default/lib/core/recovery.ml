@@ -1,0 +1,114 @@
+type 'a spec = {
+  analyze :
+    state:State.t -> log:Log.t -> unrecovered:Digraph.Node_set.t -> 'a option -> 'a option;
+  redo : Op.t -> state:State.t -> log:Log.t -> analysis:'a option -> bool;
+}
+
+type iteration = {
+  op_id : string;
+  redone : bool;
+  state_before : State.t;
+  state_after : State.t;
+  unrecovered_before : Digraph.Node_set.t;
+}
+
+type result = {
+  final : State.t;
+  redo_set : Digraph.Node_set.t;
+  iterations : iteration list;
+}
+
+let no_analysis : unit spec -> unit spec = fun s -> s
+
+let always_redo =
+  {
+    analyze = (fun ~state:_ ~log:_ ~unrecovered:_ a -> a);
+    redo = (fun _ ~state:_ ~log:_ ~analysis:_ -> true);
+  }
+
+let redo_if test =
+  {
+    analyze = (fun ~state:_ ~log:_ ~unrecovered:_ a -> a);
+    redo = (fun op ~state ~log:_ ~analysis:_ -> test op state);
+  }
+
+(* The procedure of Figure 6, instrumented: every iteration is recorded so
+   that the Recovery Invariant can be audited after the fact. *)
+let recover spec ~state ~log ~checkpoint =
+  let in_log_order unrecovered =
+    List.find_opt
+      (fun r -> Digraph.Node_set.mem r.Log.op_id unrecovered)
+      (Log.records log)
+  in
+  let rec loop state unrecovered analysis iterations =
+    match in_log_order unrecovered with
+    | None ->
+      let redo_set =
+        List.fold_left
+          (fun acc it -> if it.redone then Digraph.Node_set.add it.op_id acc else acc)
+          Digraph.Node_set.empty iterations
+      in
+      { final = state; redo_set; iterations = List.rev iterations }
+    | Some r ->
+      let op = Log.find_op log r.Log.op_id in
+      let analysis = spec.analyze ~state ~log ~unrecovered analysis in
+      let redone = spec.redo op ~state ~log ~analysis in
+      let state' = if redone then Op.apply op state else state in
+      let it =
+        {
+          op_id = r.Log.op_id;
+          redone;
+          state_before = state;
+          state_after = state';
+          unrecovered_before = unrecovered;
+        }
+      in
+      loop state' (Digraph.Node_set.remove r.Log.op_id unrecovered) analysis (it :: iterations)
+  in
+  let unrecovered = Digraph.Node_set.diff (Log.operations log) checkpoint in
+  loop state unrecovered None []
+
+let succeeded ?universe ~log result =
+  let cg = Log.conflict_graph log in
+  let exec = Conflict_graph.exec cg in
+  let universe = Option.value ~default:(Exec.vars exec) universe in
+  State.equal_on universe result.final (Exec.final_state exec)
+
+type invariant_violation = {
+  at_iteration : int;  (* 0 = before the first iteration *)
+  installed : Digraph.Node_set.t;
+  reason : string;
+}
+
+let installed_at ~log ~redo_set ~unrecovered =
+  Digraph.Node_set.diff (Log.operations log) (Digraph.Node_set.inter redo_set unrecovered)
+
+let check_invariant ?universe ~log result =
+  (* "The set operations(log) - redo_set induces a prefix of the
+     installation graph that explains the state", evaluated at every
+     point of the recovery execution (Section 4.5). *)
+  let cg = Log.conflict_graph log in
+  let ctx = Explain.ctx cg in
+  let check i ~state ~unrecovered =
+    let installed = installed_at ~log ~redo_set:result.redo_set ~unrecovered in
+    if not (Explain.ctx_is_installation_prefix ctx installed) then
+      Some { at_iteration = i; installed; reason = "installed set is not an installation-graph prefix" }
+    else if not (Explain.ctx_explains ?universe ctx ~prefix:installed state) then
+      Some { at_iteration = i; installed; reason = "installed prefix does not explain the state" }
+    else None
+  in
+  let rec go i = function
+    | [] -> None
+    | it :: rest ->
+      (match check i ~state:it.state_before ~unrecovered:it.unrecovered_before with
+      | Some v -> Some v
+      | None -> go (i + 1) rest)
+  in
+  match go 0 result.iterations with
+  | Some v -> Some v
+  | None ->
+    check (List.length result.iterations) ~state:result.final ~unrecovered:Digraph.Node_set.empty
+
+let pp_violation ppf v =
+  Fmt.pf ppf "invariant violated at iteration %d (installed=%a): %s" v.at_iteration
+    Digraph.Node_set.pp v.installed v.reason

@@ -1,0 +1,79 @@
+(** The abstract recovery procedure (Section 4, Figure 6) and the
+    Recovery Invariant (Section 4.5).
+
+    [recover] is a literal transcription of Figure 6: scan the
+    unrecovered operations in log order; before each, run the [analyze]
+    phase; then ask the [redo] test whether to replay. The procedure is
+    instrumented so that {!check_invariant} can audit, at every loop
+    iteration, that [operations(log) − redo_set] induced a prefix of the
+    installation graph explaining the state — Corollary 4's premise, and
+    the paper's contract between state update and recovery. *)
+
+type 'a spec = {
+  analyze :
+    state:State.t -> log:Log.t -> unrecovered:Digraph.Node_set.t -> 'a option -> 'a option;
+      (** The analysis phase, run at the top of every iteration with the
+          previous analysis (initially [None]). A single up-front
+          analysis is the special case that computes on [None] and is
+          the identity otherwise. *)
+  redo : Op.t -> state:State.t -> log:Log.t -> analysis:'a option -> bool;
+      (** The redo test: should this logged operation be replayed? *)
+}
+
+type iteration = {
+  op_id : string;
+  redone : bool;
+  state_before : State.t;
+  state_after : State.t;
+  unrecovered_before : Digraph.Node_set.t;
+}
+
+type result = {
+  final : State.t;
+  redo_set : Digraph.Node_set.t;
+      (** Operations for which the redo test returned true. *)
+  iterations : iteration list;
+}
+
+val no_analysis : unit spec -> unit spec
+(** Identity; documents that a spec uses no analysis state. *)
+
+val always_redo : unit spec
+(** Redo every unrecovered operation — the redo test of logical and
+    physical recovery (Sections 6.1–6.2), which rely entirely on the
+    checkpoint to bound the redo set. *)
+
+val redo_if : (Op.t -> State.t -> bool) -> unit spec
+(** Analysis-free spec from a state-dependent test (e.g. an LSN
+    comparison, Section 6.3). *)
+
+val recover : 'a spec -> state:State.t -> log:Log.t -> checkpoint:Digraph.Node_set.t -> result
+(** Run Figure 6's [recover(state, log, checkpoint)]. [checkpoint] is
+    the set of operations the checkpoint allows recovery to ignore
+    (Section 4.2). *)
+
+val succeeded : ?universe:Var.Set.t -> log:Log.t -> result -> bool
+(** Did recovery terminate in the state determined by the conflict
+    graph (the execution's final state)? *)
+
+type invariant_violation = {
+  at_iteration : int;  (** 0 = before the first iteration. *)
+  installed : Digraph.Node_set.t;
+  reason : string;
+}
+
+val installed_at :
+  log:Log.t ->
+  redo_set:Digraph.Node_set.t ->
+  unrecovered:Digraph.Node_set.t ->
+  Digraph.Node_set.t
+(** [installed_i = operations(log) − (redo_set ∩ unrecovered_i)]: the
+    operations that will never (or never again) be redone. *)
+
+val check_invariant :
+  ?universe:Var.Set.t -> log:Log.t -> result -> invariant_violation option
+(** Audit the Recovery Invariant at every iteration of a completed run;
+    [None] means the invariant held throughout (and hence, by
+    Corollary 4, recovery succeeded). *)
+
+val pp_violation : invariant_violation Fmt.t

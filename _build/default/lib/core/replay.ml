@@ -1,0 +1,90 @@
+exception Not_applicable of string
+
+type trace_entry = {
+  op_id : string;
+  before : State.t;
+  after : State.t;
+}
+
+let pre_state_with csg cg id =
+  State_graph.state_of_prefix csg (Conflict_graph.predecessors_of cg id)
+
+let pre_state_of cg id = pre_state_with (State_graph.conflict_state_graph cg) cg id
+
+let applicable_with csg cg op state =
+  let pre = pre_state_with csg cg (Op.id op) in
+  Var.Set.for_all
+    (fun x -> Value.equal (State.get state x) (State.get pre x))
+    (Op.reads op)
+
+let applicable cg op state = applicable_with (State_graph.conflict_state_graph cg) cg op state
+
+let minimal_uninstalled cg ~installed =
+  let uninstalled = Digraph.Node_set.diff (Conflict_graph.op_ids cg) installed in
+  Digraph.minimal_of (Conflict_graph.graph cg) uninstalled
+
+let default_choose ids = Digraph.Node_set.min_elt ids
+
+let step_with ?(check = true) ?csg cg ~installed ~choose state =
+  let candidates = minimal_uninstalled cg ~installed in
+  match Digraph.Node_set.is_empty candidates with
+  | true -> None
+  | false ->
+    let id = choose candidates in
+    let op = Conflict_graph.find_op cg id in
+    (if check then
+       let csg =
+         match csg with Some csg -> csg | None -> State_graph.conflict_state_graph cg
+       in
+       if not (applicable_with csg cg op state) then
+         raise (Not_applicable (Fmt.str "operation %s is not applicable" id)));
+    let after = Op.apply op state in
+    Some (id, after, Digraph.Node_set.add id installed)
+
+let step ?check cg ~installed ~choose state = step_with ?check cg ~installed ~choose state
+
+let replay ?(check = true) ?(choose = default_choose) cg ~installed state =
+  let csg = if check then Some (State_graph.conflict_state_graph cg) else None in
+  let rec go installed state trace =
+    match step_with ~check ?csg cg ~installed ~choose state with
+    | None -> state, List.rev trace
+    | Some (id, after, installed') ->
+      go installed' after ({ op_id = id; before = state; after } :: trace)
+  in
+  go installed state []
+
+let recovers ?choose cg ~installed state =
+  let exec = Conflict_graph.exec cg in
+  let universe = Var.Set.union (Exec.vars exec) (State.support state) in
+  match replay ~check:true ?choose cg ~installed state with
+  | final, _ -> State.equal_on universe final (Exec.final_state exec)
+  | exception Not_applicable _ -> false
+
+let potentially_recoverable ?(max_orders = 2_000) cg state =
+  (* Brute force over every subset of operations to replay and every
+     conflict-consistent interleaving of that subset; only for the tiny
+     scenario graphs (used to demonstrate Scenario 1's impossibility). *)
+  let exec = Conflict_graph.exec cg in
+  let universe = Var.Set.union (Exec.vars exec) (State.support state) in
+  let final = Exec.final_state exec in
+  let all = Digraph.Node_set.elements (Conflict_graph.op_ids cg) in
+  let rec subsets = function
+    | [] -> [ [] ]
+    | x :: rest ->
+      let s = subsets rest in
+      s @ List.map (fun sub -> x :: sub) s
+  in
+  let graph = Conflict_graph.graph cg in
+  let orders_of subset =
+    let sub = Digraph.restrict graph (Digraph.Node_set.of_list subset) in
+    Digraph.all_topo_sorts ~limit:max_orders sub
+  in
+  let try_order order =
+    let end_state =
+      List.fold_left
+        (fun s id -> Op.apply (Conflict_graph.find_op cg id) s)
+        state order
+    in
+    State.equal_on universe end_state final
+  in
+  List.exists (fun subset -> List.exists try_order (orders_of subset)) (subsets all)

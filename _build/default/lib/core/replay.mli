@@ -1,0 +1,72 @@
+(** Replaying operations (Sections 3.3–3.4).
+
+    An operation is {e applicable} to a state when its read set holds the
+    same values as in the state determined by its conflict-graph
+    predecessors — it will read, and hence write, the same values as in
+    the original execution. {!replay} is the constructive content of
+    Theorem 3 (the Potential Recoverability Theorem): starting from a
+    state explained by a prefix σ, repeatedly applying a minimal
+    uninstalled operation reaches the final state. *)
+
+exception Not_applicable of string
+(** Raised when replay would apply an operation whose read set disagrees
+    with the canonical execution — the situation Theorem 3 proves cannot
+    arise from an explainable state. *)
+
+type trace_entry = {
+  op_id : string;
+  before : State.t;
+  after : State.t;
+}
+
+val pre_state_of : Conflict_graph.t -> string -> State.t
+(** The state determined by an operation's predecessors in the conflict
+    graph — what the operation read in the original execution. *)
+
+val applicable : Conflict_graph.t -> Op.t -> State.t -> bool
+(** Section 3.3's applicability test. *)
+
+val minimal_uninstalled :
+  Conflict_graph.t -> installed:Digraph.Node_set.t -> Digraph.Node_set.t
+(** The minimal operations of the conflict graph not in [installed];
+    the candidates for the next replay step. *)
+
+val step :
+  ?check:bool ->
+  Conflict_graph.t ->
+  installed:Digraph.Node_set.t ->
+  choose:(Digraph.Node_set.t -> string) ->
+  State.t ->
+  (string * State.t * Digraph.Node_set.t) option
+(** One replay step: choose a minimal uninstalled operation, check
+    applicability (unless [check:false]), apply it. [None] when all
+    operations are installed. *)
+
+val replay :
+  ?check:bool ->
+  ?choose:(Digraph.Node_set.t -> string) ->
+  Conflict_graph.t ->
+  installed:Digraph.Node_set.t ->
+  State.t ->
+  State.t * trace_entry list
+(** Replay every uninstalled operation in conflict-graph order. The
+    [choose] callback resolves ties between incomparable minimal
+    operations (default: lexicographic), which is how tests exercise
+    "any order consistent with the conflict graph". *)
+
+val recovers :
+  ?choose:(Digraph.Node_set.t -> string) ->
+  Conflict_graph.t ->
+  installed:Digraph.Node_set.t ->
+  State.t ->
+  bool
+(** Does replaying the uninstalled operations from this state reach the
+    execution's final state? (False also when a replayed operation turns
+    out not to be applicable.) *)
+
+val potentially_recoverable : ?max_orders:int -> Conflict_graph.t -> State.t -> bool
+(** Brute-force check of the Section 3 definition: does {e any} subset
+    of operations, replayed in {e any} conflict-consistent order, take
+    this state to the final state? Exponential — only for the paper's
+    toy scenarios (it is how Scenario 1's unrecoverability is
+    demonstrated). *)

@@ -1,0 +1,92 @@
+let x = Var.of_string "x"
+let y = Var.of_string "y"
+
+type t = {
+  name : string;
+  description : string;
+  exec : Exec.t;
+  crash_state : State.t;
+  claimed_installed : Digraph.Node_set.t;
+}
+
+let ids = Digraph.Node_set.of_list
+
+(* Scenario 1 (Figure 1): A: x <- y+1 then B: y <- 2; B's changes reach
+   the state but not A's. The read-write edge A -> B is violated and no
+   replay can regenerate x = 1. *)
+let scenario_1 =
+  let a = Op.of_assigns ~id:"A" [ x, Expr.(var y + int 1) ] in
+  let b = Op.of_assigns ~id:"B" [ y, Expr.int 2 ] in
+  {
+    name = "scenario-1";
+    description = "read-write edges are important: installing B before A is fatal";
+    exec = Exec.make [ a; b ];
+    crash_state = State.make [ x, Value.Int 0; y, Value.Int 2 ];
+    claimed_installed = ids [ "B" ];
+  }
+
+(* Scenario 2 (Figure 2): B: y <- 2 then A: x <- y+1; A's changes reach
+   the state but not B's. The write-read edge B -> A is violated, yet
+   replaying B recovers the state: {A} is an installation-graph prefix. *)
+let scenario_2 =
+  let b = Op.of_assigns ~id:"B" [ y, Expr.int 2 ] in
+  let a = Op.of_assigns ~id:"A" [ x, Expr.(var y + int 1) ] in
+  {
+    name = "scenario-2";
+    description = "write-read edges are unimportant: installing A before B is fine";
+    exec = Exec.make [ b; a ];
+    crash_state = State.make [ x, Value.Int 3; y, Value.Int 0 ];
+    claimed_installed = ids [ "A" ];
+  }
+
+(* Scenario 3 (Figure 3): C: <x <- x+1; y <- y+1> then D: x <- y+1; only
+   C's change to y reaches the state. x is unexposed by {C} (D blindly
+   overwrites it), so {C} still explains the state and replaying D
+   recovers. *)
+let scenario_3 =
+  let c = Op.of_assigns ~id:"C" [ x, Expr.(var x + int 1); y, Expr.(var y + int 1) ] in
+  let d = Op.of_assigns ~id:"D" [ x, Expr.(var y + int 1) ] in
+  {
+    name = "scenario-3";
+    description = "only exposed variables matter: C is installed without its write to x";
+    exec = Exec.make [ c; d ];
+    crash_state = State.make [ x, Value.Int 0; y, Value.Int 1 ];
+    claimed_installed = ids [ "C" ];
+  }
+
+(* The running example of Figures 4, 5 and 7: O reads and writes x,
+   P reads x and writes y, Q reads and writes x. *)
+let figure_4_ops () =
+  let o = Op.of_assigns ~id:"O" [ x, Expr.(var x + int 1) ] in
+  let p = Op.of_assigns ~id:"P" [ y, Expr.(var x + int 1) ] in
+  let q = Op.of_assigns ~id:"Q" [ x, Expr.(var x + int 2) ] in
+  [ o; p; q ]
+
+let figure_4 = Exec.make (figure_4_ops ())
+
+(* Section 5's first example: installing E and G's variable x (or F's y)
+   alone violates a read-write installation edge; x and y must reach the
+   stable state atomically. *)
+let section_5_efg =
+  let e = Op.of_assigns ~id:"E" [ x, Expr.(var y + int 1) ] in
+  let f = Op.of_assigns ~id:"F" [ y, Expr.(var x + int 1) ] in
+  let g = Op.of_assigns ~id:"G" [ x, Expr.(var x + int 1) ] in
+  Exec.make [ e; f; g ]
+
+(* Section 5's second example: J's blind write to y makes y unexposed
+   after H, so H can be installed by updating x alone (remove a write). *)
+let section_5_hj =
+  let h = Op.of_assigns ~id:"H" [ x, Expr.(var x + int 1); y, Expr.(var y + int 1) ] in
+  let j = Op.of_assigns ~id:"J" [ y, Expr.int 0 ] in
+  Exec.make [ h; j ]
+
+(* Figure 8, abstracted: O updates page x; the split operation P reads
+   old page x and writes new page y; Q overwrites x to remove the moved
+   half. The write graph must flush y before x. *)
+let figure_8 =
+  let o = Op.of_assigns ~id:"O" [ x, Expr.(var x + int 10) ] in
+  let p = Op.of_assigns ~id:"P" [ y, Expr.(var x * int 2) ] in
+  let q = Op.of_assigns ~id:"Q" [ x, Expr.(var x + int 1) ] in
+  Exec.make [ o; p; q ]
+
+let all = [ scenario_1; scenario_2; scenario_3 ]

@@ -1,0 +1,45 @@
+(** The paper's worked examples, as executable values.
+
+    Tests and the quickstart example are written against these, so every
+    figure of the paper has a single authoritative encoding. *)
+
+val x : Var.t
+val y : Var.t
+
+type t = {
+  name : string;
+  description : string;
+  exec : Exec.t;
+  crash_state : State.t;  (** The stable state the figure depicts at the crash. *)
+  claimed_installed : Digraph.Node_set.t;
+      (** The operations the figure treats as installed in that state. *)
+}
+
+val scenario_1 : t
+(** Figure 1: installing B's update before A's makes the state
+    unrecoverable (a violated read-write edge). *)
+
+val scenario_2 : t
+(** Figure 2: installing A's update before B's is fine (only a
+    write-read edge is violated). *)
+
+val scenario_3 : t
+(** Figure 3: C installed through its exposed variable [y] only; [x] is
+    unexposed because D blindly overwrites it. *)
+
+val figure_4 : Exec.t
+(** The O, P, Q running example generating Figure 4's conflict state
+    graph, Figure 5's installation graph, and Figure 7's write graph. *)
+
+val section_5_efg : Exec.t
+(** E, F, G: x and y must be installed atomically. *)
+
+val section_5_hj : Exec.t
+(** H, J: J's blind write leaves H's [y] unexposed — "remove a write". *)
+
+val figure_8 : Exec.t
+(** The B-tree split pattern: O updates page x, P reads x and writes new
+    page y, Q truncates x; careful write order y-before-x. *)
+
+val all : t list
+(** The three crash scenarios. *)

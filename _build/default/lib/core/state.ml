@@ -1,0 +1,53 @@
+type t = {
+  default : Value.t;
+  bindings : Value.t Var.Map.t;
+}
+
+let make ?(default = Value.zero) bindings =
+  { default; bindings = Var.Map.of_seq (List.to_seq bindings) }
+
+let empty = make []
+
+let get state x =
+  match Var.Map.find_opt x state.bindings with
+  | Some v -> v
+  | None -> state.default
+
+let set state x v = { state with bindings = Var.Map.add x v state.bindings }
+
+let set_many state writes =
+  List.fold_left (fun s (x, v) -> set s x v) state writes
+
+let lookup state x = get state x
+
+let support state = Var.Map.key_set state.bindings
+
+let default state = state.default
+
+let bindings state = Var.Map.bindings state.bindings
+
+let equal_on vars a b =
+  Var.Set.for_all (fun x -> Value.equal (get a x) (get b x)) vars
+
+let equal_over universe a b = equal_on universe a b
+
+let restrict state vars =
+  { state with bindings = Var.Map.filter (fun x _ -> Var.Set.mem x vars) state.bindings }
+
+let scramble ?(tag = "junk") state vars =
+  (* Give every variable in [vars] a value that no expression-generated
+     operation produces, so tests can detect any accidental dependence on
+     unexposed variables. *)
+  Var.Set.fold (fun x s -> set s x (Value.Str (tag ^ ":" ^ Var.to_string x))) vars state
+
+let pp ppf state =
+  let pp_binding ppf (x, v) = Fmt.pf ppf "%a=%a" Var.pp x Value.pp v in
+  Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any " ") pp_binding) (bindings state)
+
+let diff_on vars a b =
+  Var.Set.fold
+    (fun x acc ->
+      let va = get a x and vb = get b x in
+      if Value.equal va vb then acc else (x, va, vb) :: acc)
+    vars []
+  |> List.rev

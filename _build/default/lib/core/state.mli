@@ -1,0 +1,50 @@
+(** System states.
+
+    A state "maps each variable to a value" (Section 2.1) — a total
+    function. It is represented as a finite map plus a default value, so
+    the variables never touched by an execution all read the default. *)
+
+type t
+
+val make : ?default:Value.t -> (Var.t * Value.t) list -> t
+(** [make bindings] is the state with the given explicit bindings and
+    [default] (default {!Value.zero}) everywhere else. *)
+
+val empty : t
+(** All variables map to {!Value.zero}, matching the paper's
+    "both initially 0" scenarios. *)
+
+val get : t -> Var.t -> Value.t
+val set : t -> Var.t -> Value.t -> t
+val set_many : t -> (Var.t * Value.t) list -> t
+
+val lookup : t -> Var.t -> Value.t
+(** [lookup s] is [get s], curried for use as an {!Expr.eval} callback. *)
+
+val support : t -> Var.Set.t
+(** Variables with an explicit binding. *)
+
+val default : t -> Value.t
+val bindings : t -> (Var.t * Value.t) list
+
+val equal_on : Var.Set.t -> t -> t -> bool
+(** Pointwise equality restricted to a set of variables. States in this
+    theory are only ever compared over the variables an execution
+    accesses. *)
+
+val equal_over : Var.Set.t -> t -> t -> bool
+(** Alias of {!equal_on}, reading better when the set is a universe. *)
+
+val restrict : t -> Var.Set.t -> t
+(** Drop explicit bindings outside [vars] (they revert to the default). *)
+
+val scramble : ?tag:string -> t -> Var.Set.t -> t
+(** [scramble s vars] overwrites every variable in [vars] with a
+    distinctive garbage value. Tests use this on {e unexposed} variables
+    to verify that recovery never depends on them. *)
+
+val diff_on : Var.Set.t -> t -> t -> (Var.t * Value.t * Value.t) list
+(** Variables (within [vars]) on which the two states disagree, with
+    both values; empty iff {!equal_on}. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,139 @@
+exception Invalid of string
+
+type node = {
+  node_ops : Digraph.Node_set.t;
+  node_writes : Value.t Var.Map.t;
+}
+
+type t = {
+  graph : Digraph.t;
+  nodes : node Digraph.Node_map.t;
+  initial : State.t;
+}
+
+let invalid fmt = Fmt.kstr (fun s -> raise (Invalid s)) fmt
+
+let graph t = t.graph
+let initial t = t.initial
+let node t id =
+  match Digraph.Node_map.find_opt id t.nodes with
+  | Some n -> n
+  | None -> invalid "unknown state graph node %s" id
+
+let node_ids t = Digraph.nodes t.graph
+let ops_of t id = (node t id).node_ops
+let writes_of t id = (node t id).node_writes
+let vars_of t id = Var.Map.key_set (node t id).node_writes
+
+let writers t x =
+  Digraph.Node_map.fold
+    (fun id n acc -> if Var.Map.mem x n.node_writes then Digraph.Node_set.add id acc else acc)
+    t.nodes Digraph.Node_set.empty
+
+let all_written_vars t =
+  Digraph.Node_map.fold
+    (fun _ n acc -> Var.Set.union acc (Var.Map.key_set n.node_writes))
+    t.nodes Var.Set.empty
+
+let validate t =
+  if not (Digraph.is_acyclic t.graph) then invalid "state graph is cyclic";
+  if not (Digraph.Node_set.equal (Digraph.nodes t.graph) (Digraph.Node_map.fold (fun id _ s -> Digraph.Node_set.add id s) t.nodes Digraph.Node_set.empty))
+  then invalid "state graph nodes and labels disagree";
+  (* Nodes writing a common variable must be totally ordered: listed in
+     a topological order, it is enough that each consecutive pair is
+     ordered (transitivity gives the rest). *)
+  let order = Digraph.topo_sort t.graph in
+  Var.Set.iter
+    (fun x ->
+      let ws = writers t x in
+      let chain = List.filter (fun id -> Digraph.Node_set.mem id ws) order in
+      let rec check = function
+        | a :: (b :: _ as rest) ->
+          if not (Digraph.reaches t.graph a b) then
+            invalid "nodes %s and %s both write %a but are unordered" a b Var.pp x;
+          check rest
+        | [] | [ _ ] -> ()
+      in
+      check chain)
+    (all_written_vars t)
+
+let make ~initial ~graph nodes =
+  let node_map =
+    List.fold_left
+      (fun acc (id, node_ops, writes) ->
+        if Digraph.Node_map.mem id acc then invalid "duplicate state graph node %s" id;
+        Digraph.Node_map.add id { node_ops; node_writes = Var.Map.of_seq (List.to_seq writes) } acc)
+      Digraph.Node_map.empty nodes
+  in
+  let t = { graph; nodes = node_map; initial } in
+  validate t;
+  t
+
+let of_exec ?graph exec =
+  let cg = Conflict_graph.of_exec exec in
+  let base = Option.value ~default:(Conflict_graph.graph cg) graph in
+  (* Execute in the original order, recording the values each operation
+     writes: writes(n) pairs each written variable with its value in the
+     post-state of the operation (Section 2.4). *)
+  let _, nodes =
+    List.fold_left
+      (fun (state, acc) op ->
+        let effects = Op.effects op state in
+        let state = State.set_many state effects in
+        state, (Op.id op, Digraph.Node_set.singleton (Op.id op), effects) :: acc)
+      (Exec.initial exec, [])
+      (Exec.ops exec)
+  in
+  make ~initial:(Exec.initial exec) ~graph:base (List.rev nodes)
+
+let conflict_state_graph cg =
+  of_exec ~graph:(Conflict_graph.graph cg) (Conflict_graph.exec cg)
+
+let installation_state_graph cg =
+  of_exec ~graph:(Conflict_graph.installation cg) (Conflict_graph.exec cg)
+
+(* All versions of a variable, oldest first: state graphs "permit us to
+   consider regimes that maintain multiple versions of variables"
+   (Section 1.3) — every node's write is a retained version. *)
+let versions t x =
+  let order = Digraph.topo_sort t.graph in
+  List.filter_map
+    (fun id ->
+      match Var.Map.find_opt x (node t id).node_writes with
+      | Some v -> Some (id, v)
+      | None -> None)
+    order
+
+let determined_state t =
+  (* The last node writing x is well-defined because writers of x are
+     totally ordered; folding in any topological order finds it. *)
+  List.fold_left
+    (fun state id -> State.set_many state (Var.Map.bindings (node t id).node_writes))
+    t.initial (Digraph.topo_sort t.graph)
+
+let restrict t ids =
+  if not (Digraph.Node_set.subset ids (Digraph.nodes t.graph)) then
+    invalid "restrict: unknown nodes";
+  {
+    graph = Digraph.restrict t.graph ids;
+    nodes = Digraph.Node_map.filter (fun id _ -> Digraph.Node_set.mem id ids) t.nodes;
+    initial = t.initial;
+  }
+
+let prefix t ids =
+  if not (Digraph.is_prefix t.graph ids) then
+    invalid "prefix: node set is not downward closed";
+  restrict t ids
+
+let state_of_prefix t ids = determined_state (prefix t ids)
+
+let pp ppf t =
+  let pp_node ppf id =
+    let n = node t id in
+    Fmt.pf ppf "%s ops=%a writes=%a" id Digraph.Node_set.pp n.node_ops
+      (Var.Map.pp Value.pp) n.node_writes
+  in
+  Fmt.pf ppf "@[<v>%a@,%a@]"
+    Fmt.(list ~sep:cut pp_node)
+    (Digraph.Node_set.elements (node_ids t))
+    Digraph.pp t.graph

@@ -1,0 +1,84 @@
+type t =
+  | Int of int
+  | Bool of bool
+  | Str of string
+  | Pair of t * t
+  | Nil
+
+let rec equal a b =
+  match a, b with
+  | Int x, Int y -> Int.equal x y
+  | Bool x, Bool y -> Bool.equal x y
+  | Str x, Str y -> String.equal x y
+  | Pair (x1, x2), Pair (y1, y2) -> equal x1 y1 && equal x2 y2
+  | Nil, Nil -> true
+  | (Int _ | Bool _ | Str _ | Pair _ | Nil), _ -> false
+
+let rec compare a b =
+  let rank = function
+    | Int _ -> 0
+    | Bool _ -> 1
+    | Str _ -> 2
+    | Pair _ -> 3
+    | Nil -> 4
+  in
+  match a, b with
+  | Int x, Int y -> Int.compare x y
+  | Bool x, Bool y -> Bool.compare x y
+  | Str x, Str y -> String.compare x y
+  | Pair (x1, x2), Pair (y1, y2) ->
+    let c = compare x1 y1 in
+    if c <> 0 then c else compare x2 y2
+  | Nil, Nil -> 0
+  | _, _ -> Int.compare (rank a) (rank b)
+
+let rec pp ppf = function
+  | Int n -> Fmt.int ppf n
+  | Bool b -> Fmt.bool ppf b
+  | Str s -> Fmt.pf ppf "%S" s
+  | Pair (a, b) -> Fmt.pf ppf "(%a, %a)" pp a pp b
+  | Nil -> Fmt.string ppf "nil"
+
+let to_string v = Fmt.str "%a" pp v
+
+let zero = Int 0
+let of_int n = Int n
+let of_bool b = Bool b
+let of_string s = Str s
+
+(* Total coercions: the expression language of [Expr] has total semantics
+   so that randomly generated operations never fail to execute. *)
+
+let rec to_int = function
+  | Int n -> n
+  | Bool true -> 1
+  | Bool false -> 0
+  | Str s -> String.length s
+  | Pair (a, _) -> to_int a
+  | Nil -> 0
+
+let to_bool = function
+  | Int n -> n <> 0
+  | Bool b -> b
+  | Str s -> s <> ""
+  | Pair _ -> true
+  | Nil -> false
+
+let rec to_str = function
+  | Str s -> s
+  | Int n -> string_of_int n
+  | Bool b -> string_of_bool b
+  | Pair (a, b) -> "(" ^ to_str a ^ "," ^ to_str b ^ ")"
+  | Nil -> ""
+
+let hash v =
+  (* Deterministic structural hash, independent of OCaml's polymorphic
+     hash so that logged values replay identically across runs. *)
+  let rec go acc = function
+    | Int n -> (acc * 31) + n + 17
+    | Bool b -> (acc * 31) + (if b then 3 else 5)
+    | Str s -> String.fold_left (fun a c -> (a * 31) + Char.code c) ((acc * 31) + 7) s
+    | Pair (a, b) -> go (go ((acc * 31) + 11) a) b
+    | Nil -> (acc * 31) + 13
+  in
+  go 0 v land max_int

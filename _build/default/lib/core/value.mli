@@ -1,0 +1,40 @@
+(** Values a variable can assume.
+
+    The theory only needs equality on values; this structural variant is
+    rich enough to carry both the paper's arithmetic scenarios (ints) and
+    serialized page images (strings / pairs) from the system layers. *)
+
+type t =
+  | Int of int
+  | Bool of bool
+  | Str of string
+  | Pair of t * t
+  | Nil
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : t Fmt.t
+val to_string : t -> string
+
+val zero : t
+(** [Int 0] — the default value of every variable in a fresh state,
+    matching the paper's scenarios where "x and y [are] both initially 0". *)
+
+val of_int : int -> t
+val of_bool : bool -> t
+val of_string : string -> t
+
+val to_int : t -> int
+(** Total coercion to [int] (booleans map to 0/1, strings to their
+    length, pairs to their first component, [Nil] to 0). Totality keeps
+    the {!Expr} language total so generated operations always execute. *)
+
+val to_bool : t -> bool
+(** Total coercion to [bool] ([Int 0], [""] and [Nil] are false). *)
+
+val to_str : t -> string
+(** Total coercion to [string]. *)
+
+val hash : t -> int
+(** Deterministic structural hash (stable across runs and OCaml
+    versions), used by synthetic workloads to derive values. *)

@@ -1,0 +1,43 @@
+type t = string
+
+let compare = String.compare
+let equal = String.equal
+let pp = Fmt.string
+let to_string v = v
+let of_string s =
+  if String.length s = 0 then invalid_arg "Var.of_string: empty variable name";
+  s
+
+let page i =
+  if i < 0 then invalid_arg "Var.page: negative page number";
+  "pg:" ^ string_of_int i
+
+let page_number v =
+  match String.length v > 3 && String.sub v 0 3 = "pg:" with
+  | false -> None
+  | true -> int_of_string_opt (String.sub v 3 (String.length v - 3))
+
+module Ord = struct
+  type nonrec t = t
+  let compare = compare
+end
+
+module Set = struct
+  include Set.Make (Ord)
+
+  let pp ppf s =
+    Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ", ") string) (elements s)
+
+  let of_strings = of_list
+end
+
+module Map = struct
+  include Map.Make (Ord)
+
+  let keys m = fold (fun k _ acc -> k :: acc) m [] |> List.rev
+  let key_set m = fold (fun k _ acc -> Set.add k acc) m Set.empty
+
+  let pp pp_v ppf m =
+    let pp_binding ppf (k, v) = Fmt.pf ppf "%s -> %a" k pp_v v in
+    Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any "; ") pp_binding) (bindings m)
+end

@@ -1,0 +1,46 @@
+(** Variables of a recoverable system.
+
+    The paper's model fixes "a set of variables and a set of values"
+    (Section 2.1). Variables here are interned strings: the toy scenarios
+    use names like ["x"] and ["y"], while the page-level systems in
+    [Redo_storage] and [Redo_methods] use page variables such as
+    ["pg:42"] created with {!page}. *)
+
+type t = string
+(** A variable name. Must be non-empty. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : t Fmt.t
+val to_string : t -> string
+
+val of_string : string -> t
+(** [of_string s] validates [s] as a variable name.
+    @raise Invalid_argument if [s] is empty. *)
+
+val page : int -> t
+(** [page i] is the variable standing for disk page [i], spelled
+    ["pg:<i>"]. Used when mapping page-granularity systems into the
+    theory (one variable per page).
+    @raise Invalid_argument if [i < 0]. *)
+
+val page_number : t -> int option
+(** [page_number v] recovers [i] from a {!page}[ i] variable, and is
+    [None] for non-page variables. *)
+
+module Set : sig
+  include Set.S with type elt = t
+
+  val pp : t Fmt.t
+  val of_strings : string list -> t
+end
+
+module Map : sig
+  include Map.S with type key = t
+
+  val keys : 'a t -> key list
+  (** Keys in increasing order. *)
+
+  val key_set : 'a t -> Set.t
+  val pp : 'a Fmt.t -> 'a t Fmt.t
+end

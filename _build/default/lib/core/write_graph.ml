@@ -1,0 +1,307 @@
+exception Violation of string
+
+let violation fmt = Fmt.kstr (fun s -> raise (Violation s)) fmt
+
+type node = {
+  wg_ops : Digraph.Node_set.t;
+  wg_writes : Value.t Var.Map.t;
+  installed : bool;
+}
+
+type t = {
+  cg : Conflict_graph.t;
+  graph : Digraph.t;
+  nodes : node Digraph.Node_map.t;
+  fresh : int;
+}
+
+let conflict_graph t = t.cg
+let graph t = t.graph
+
+let node t id =
+  match Digraph.Node_map.find_opt id t.nodes with
+  | Some n -> n
+  | None -> violation "unknown write graph node %s" id
+
+let node_ids t = Digraph.nodes t.graph
+let ops_of t id = (node t id).wg_ops
+let writes_of t id = (node t id).wg_writes
+let is_installed t id = (node t id).installed
+
+let node_writes_var t id x = Var.Map.mem x (node t id).wg_writes
+
+let node_reads_var t id x =
+  Digraph.Node_set.exists
+    (fun op_id -> Op.reads_var (Conflict_graph.find_op t.cg op_id) x)
+    (node t id).wg_ops
+
+let node_of_op t op_id =
+  match
+    Digraph.Node_map.fold
+      (fun id n acc ->
+        if Digraph.Node_set.mem op_id n.wg_ops then Some id else acc)
+      t.nodes None
+  with
+  | Some id -> id
+  | None -> violation "operation %s is in no write graph node" op_id
+
+let installed_nodes t =
+  Digraph.Node_map.fold
+    (fun id n acc -> if n.installed then Digraph.Node_set.add id acc else acc)
+    t.nodes Digraph.Node_set.empty
+
+let uninstalled_nodes t = Digraph.Node_set.diff (node_ids t) (installed_nodes t)
+
+let installed_ops t =
+  Digraph.Node_set.fold
+    (fun id acc -> Digraph.Node_set.union acc (ops_of t id))
+    (installed_nodes t) Digraph.Node_set.empty
+
+let writers t x =
+  Digraph.Node_map.fold
+    (fun id n acc ->
+      if Var.Map.mem x n.wg_writes then Digraph.Node_set.add id acc else acc)
+    t.nodes Digraph.Node_set.empty
+
+let validate t =
+  if not (Digraph.is_acyclic t.graph) then violation "write graph is cyclic";
+  if not (Digraph.is_prefix t.graph (installed_nodes t)) then
+    violation "installed nodes do not form a prefix of the write graph";
+  (* Writers of a common variable must be totally ordered; as in
+     {!State_graph.validate}, checking consecutive pairs along a
+     topological order suffices. *)
+  let vars =
+    Digraph.Node_map.fold
+      (fun _ n acc -> Var.Set.union acc (Var.Map.key_set n.wg_writes))
+      t.nodes Var.Set.empty
+  in
+  let order = Digraph.topo_sort t.graph in
+  Var.Set.iter
+    (fun x ->
+      let ws = writers t x in
+      let chain = List.filter (fun id -> Digraph.Node_set.mem id ws) order in
+      let rec check = function
+        | a :: (b :: _ as rest) ->
+          if not (Digraph.reaches t.graph a b) then
+            violation "write graph nodes %s and %s both write %a but are unordered" a b Var.pp x;
+          check rest
+        | [] | [ _ ] -> ()
+      in
+      check chain)
+    vars;
+  (* Operation sets are disjoint and cover operations at most once. *)
+  let seen = ref Digraph.Node_set.empty in
+  Digraph.Node_map.iter
+    (fun id n ->
+      let overlap = Digraph.Node_set.inter !seen n.wg_ops in
+      if not (Digraph.Node_set.is_empty overlap) then
+        violation "write graph node %s repeats operations %a" id Digraph.Node_set.pp overlap;
+      seen := Digraph.Node_set.union !seen n.wg_ops)
+    t.nodes
+
+let of_conflict_graph cg =
+  (* "The simplest write graph is the installation state graph where
+     each node corresponds to an installation graph node." All nodes
+     start uninstalled. *)
+  let isg = State_graph.installation_state_graph cg in
+  let nodes =
+    Digraph.Node_set.fold
+      (fun id acc ->
+        Digraph.Node_map.add id
+          {
+            wg_ops = State_graph.ops_of isg id;
+            wg_writes = State_graph.writes_of isg id;
+            installed = false;
+          }
+          acc)
+      (State_graph.node_ids isg) Digraph.Node_map.empty
+  in
+  let t = { cg; graph = State_graph.graph isg; nodes; fresh = 0 } in
+  validate t;
+  t
+
+(* --- The four write graph operations (Section 5.1) --- *)
+
+let install t id =
+  let n = node t id in
+  if n.installed then t
+  else begin
+    Digraph.Node_set.iter
+      (fun p ->
+        if not (node t p).installed then
+          violation "install %s: predecessor %s is not installed" id p)
+      (Digraph.ancestors t.graph id);
+    { t with nodes = Digraph.Node_map.add id { n with installed = true } t.nodes }
+  end
+
+let add_edge t a b =
+  if not (Digraph.mem_node t.graph a && Digraph.mem_node t.graph b) then
+    violation "add_edge: unknown node";
+  if (node t b).installed then violation "add_edge %s -> %s: target is installed" a b;
+  let graph = Digraph.add_edge t.graph a b in
+  if not (Digraph.is_acyclic graph) then
+    violation "add_edge %s -> %s: would create a cycle" a b;
+  let t = { t with graph } in
+  validate t;
+  t
+
+let collapse ?new_id t ids =
+  (match ids with
+  | [] | [ _ ] -> violation "collapse: need at least two nodes"
+  | _ -> ());
+  let id_set = Digraph.Node_set.of_list ids in
+  if Digraph.Node_set.cardinal id_set <> List.length ids then
+    violation "collapse: duplicate node ids";
+  List.iter (fun id -> ignore (node t id)) ids;
+  let fresh = t.fresh + 1 in
+  let merged_id =
+    match new_id with Some id -> id | None -> Printf.sprintf "wg#%d" fresh
+  in
+  if Digraph.mem_node t.graph merged_id then
+    violation "collapse: node id %s already exists" merged_id;
+  (* writes(n): for each variable, the value from the last writer among
+     the collapsed nodes (they are totally ordered on common variables). *)
+  let order = Digraph.topo_sort (Digraph.restrict t.graph id_set) in
+  let merged_writes =
+    List.fold_left
+      (fun acc id ->
+        Var.Map.union (fun _ _ later -> Some later) acc (node t id).wg_writes)
+      Var.Map.empty order
+  in
+  let merged_ops =
+    List.fold_left
+      (fun acc id -> Digraph.Node_set.union acc (node t id).wg_ops)
+      Digraph.Node_set.empty ids
+  in
+  let merged_installed = List.exists (fun id -> (node t id).installed) ids in
+  (* Rewire edges: edges between collapsed nodes disappear; external
+     edges are redirected to the merged node. *)
+  let outside = Digraph.Node_set.diff (node_ids t) id_set in
+  let graph =
+    Digraph.Node_set.fold
+      (fun m g ->
+        let g =
+          if Digraph.Node_set.exists (fun s -> Digraph.mem_edge t.graph m s) id_set then
+            Digraph.add_edge g m merged_id
+          else g
+        in
+        if Digraph.Node_set.exists (fun s -> Digraph.mem_edge t.graph s m) id_set then
+          Digraph.add_edge g merged_id m
+        else g)
+      outside
+      (Digraph.add_node (Digraph.restrict t.graph outside) merged_id)
+  in
+  if not (Digraph.is_acyclic graph) then
+    violation "collapse %s: would create a cycle" (String.concat "," ids);
+  let nodes =
+    Digraph.Node_map.add merged_id
+      { wg_ops = merged_ops; wg_writes = merged_writes; installed = merged_installed }
+      (List.fold_left (fun m id -> Digraph.Node_map.remove id m) t.nodes ids)
+  in
+  let t = { t with graph; nodes; fresh } in
+  validate t;
+  merged_id, t
+
+let remove_write t id x =
+  let n = node t id in
+  if not (Var.Map.mem x n.wg_writes) then
+    violation "remove_write: node %s does not write %a" id Var.pp x;
+  (* "For every node m reading x, either m has installed set to true, or
+     m is ordered before n and a node following n writes x without
+     reading it." We additionally require the following blind writer
+     unconditionally: without one, n could be the final writer of x and
+     removing its write would lose x's final value with no reader left to
+     witness the loss (the paper's prose — nobody may "read the value
+     being removed" — implies this, since the final state itself needs a
+     last writer). *)
+  let following_blind_writer =
+    Digraph.Node_set.exists
+      (fun p -> node_writes_var t p x && not (node_reads_var t p x))
+      (Digraph.descendants t.graph id)
+  in
+  if not following_blind_writer then
+    violation
+      "remove_write %s/%a: no following node blindly overwrites %a, so the removed value \
+       would be lost"
+      id Var.pp x Var.pp x;
+  Digraph.Node_set.iter
+    (fun m ->
+      (* The node itself is not an obstacle: its operations read the
+         pre-state, and once installed they are never replayed. *)
+      if (not (String.equal m id)) && node_reads_var t m x then
+        let ok = (node t m).installed || Digraph.reaches t.graph m id in
+        if not ok then
+          violation "remove_write %s/%a: uninstalled node %s still reads %a" id Var.pp x m
+            Var.pp x)
+    (node_ids t);
+  let nodes =
+    Digraph.Node_map.add id { n with wg_writes = Var.Map.remove x n.wg_writes } t.nodes
+  in
+  { t with nodes }
+
+(* --- Derived state and Corollary 5 --- *)
+
+let stable_state ?initial t =
+  let initial =
+    match initial with
+    | Some s -> s
+    | None -> Exec.initial (Conflict_graph.exec t.cg)
+  in
+  let installed = installed_nodes t in
+  let order =
+    List.filter
+      (fun id -> Digraph.Node_set.mem id installed)
+      (Digraph.topo_sort t.graph)
+  in
+  List.fold_left
+    (fun state id -> State.set_many state (Var.Map.bindings (node t id).wg_writes))
+    initial order
+
+let determined_state_of_prefix t prefix =
+  if not (Digraph.is_prefix t.graph prefix) then
+    violation "determined_state_of_prefix: not a write graph prefix";
+  let order =
+    List.filter (fun id -> Digraph.Node_set.mem id prefix) (Digraph.topo_sort t.graph)
+  in
+  List.fold_left
+    (fun state id -> State.set_many state (Var.Map.bindings (node t id).wg_writes))
+    (Exec.initial (Conflict_graph.exec t.cg))
+    order
+
+let prefix_explainable ?universe t prefix =
+  let ops =
+    Digraph.Node_set.fold
+      (fun id acc -> Digraph.Node_set.union acc (ops_of t id))
+      prefix Digraph.Node_set.empty
+  in
+  Explain.is_installation_prefix t.cg ops
+  && Explain.explains ?universe t.cg ~prefix:ops (determined_state_of_prefix t prefix)
+
+let explainable ?universe t =
+  Explain.is_installation_prefix t.cg (installed_ops t)
+  && Explain.explains ?universe t.cg ~prefix:(installed_ops t) (stable_state t)
+
+let to_dot ?name t =
+  let node_attrs id =
+    let n = node t id in
+    let label =
+      Fmt.str "%s\\nops: %s\\nwrites: %s" id
+        (String.concat "," (Digraph.Node_set.elements n.wg_ops))
+        (String.concat "," (List.map Var.to_string (Var.Map.keys n.wg_writes)))
+    in
+    Printf.sprintf "label=\"%s\",shape=box%s" label
+      (if n.installed then ",style=filled" else "")
+  in
+  Digraph.to_dot ?name ~node_attrs t.graph
+
+let pp ppf t =
+  let pp_node ppf id =
+    let n = node t id in
+    Fmt.pf ppf "%s%s ops=%a writes=%a" id
+      (if n.installed then "[installed]" else "")
+      Digraph.Node_set.pp n.wg_ops (Var.Map.pp Value.pp) n.wg_writes
+  in
+  Fmt.pf ppf "@[<v>%a@,%a@]"
+    Fmt.(list ~sep:cut pp_node)
+    (Digraph.Node_set.elements (node_ids t))
+    Digraph.pp t.graph

@@ -1,0 +1,108 @@
+(** Write graphs (Section 5).
+
+    Real systems do not install one operation at a time: a page flushed
+    from the cache carries the accumulated effects of many operations,
+    and multi-variable operations force atomic multi-variable updates.
+    The write graph captures the resulting obligations. It is a state
+    graph whose nodes carry an [installed] flag (installed nodes form a
+    prefix), manipulated only through the paper's four operations:
+
+    - {!install}: mark a node installed (all predecessors installed);
+    - {!add_edge}: constrain update order further (target uninstalled,
+      acyclicity preserved);
+    - {!collapse}: merge nodes — how a cache accumulates several
+      operations' effects on one page, and how flushing a page into the
+      stable state is modelled (collapsing into an installed node);
+    - {!remove_write}: drop an update to a variable nobody uninstalled
+      will read (exploiting unexposed variables to shrink atomic write
+      sets).
+
+    Every operation validates its preconditions and the global
+    write-graph invariants; Corollary 5 ("the state determined by a
+    prefix of a write graph is potentially recoverable") is executable
+    as {!prefix_explainable} / {!explainable}. *)
+
+exception Violation of string
+(** An operation's precondition or a write-graph invariant failed. *)
+
+type node = {
+  wg_ops : Digraph.Node_set.t;
+  wg_writes : Value.t Var.Map.t;
+  installed : bool;
+}
+
+type t
+
+val of_conflict_graph : Conflict_graph.t -> t
+(** The simplest write graph: the installation state graph, one node per
+    operation, all uninstalled. *)
+
+val conflict_graph : t -> Conflict_graph.t
+val graph : t -> Digraph.t
+val node : t -> string -> node
+val node_ids : t -> Digraph.Node_set.t
+val ops_of : t -> string -> Digraph.Node_set.t
+val writes_of : t -> string -> Value.t Var.Map.t
+val is_installed : t -> string -> bool
+val node_writes_var : t -> string -> Var.t -> bool
+
+val node_reads_var : t -> string -> Var.t -> bool
+(** Some operation labelling the node reads the variable. *)
+
+val node_of_op : t -> string -> string
+(** The (unique) node whose operation set contains the given operation. *)
+
+val installed_nodes : t -> Digraph.Node_set.t
+val uninstalled_nodes : t -> Digraph.Node_set.t
+
+val installed_ops : t -> Digraph.Node_set.t
+(** Union of the installed nodes' operation sets — the prefix of the
+    installation graph the stable state is explained by. *)
+
+val writers : t -> Var.t -> Digraph.Node_set.t
+
+val validate : t -> unit
+(** Re-check all invariants. @raise Violation on failure. *)
+
+val install : t -> string -> t
+(** Mark a node installed. Idempotent.
+    @raise Violation if an uninstalled predecessor exists. *)
+
+val add_edge : t -> string -> string -> t
+(** @raise Violation if the target is installed or a cycle would form. *)
+
+val collapse : ?new_id:string -> t -> string list -> string * t
+(** Merge two or more nodes into one (fresh id unless [new_id]); returns
+    the merged node's id. Per-variable values come from the last writer
+    among the collapsed nodes; the merged node is installed iff any
+    member was (the installed-prefix property is re-validated, so a
+    collapse that would install out of order raises).
+    @raise Violation on precondition failure. *)
+
+val remove_write : t -> string -> Var.t -> t
+(** Remove one variable/value pair from a node. Permitted only when
+    (a) some node following this one blindly overwrites the variable —
+    so the removed value is dead and the variable stays unexposed until
+    that writer installs it — and (b) every other node reading the
+    variable is installed or precedes this node. (a) strengthens the
+    paper's displayed precondition, which its own prose requires: a
+    removable value is one "no uninstalled node reads", and the final
+    state itself needs the variable's last write.
+    @raise Violation otherwise. *)
+
+val stable_state : ?initial:State.t -> t -> State.t
+(** The state determined by the installed prefix — the model of the
+    stable database state. *)
+
+val determined_state_of_prefix : t -> Digraph.Node_set.t -> State.t
+(** @raise Violation if the node set is not a write-graph prefix. *)
+
+val prefix_explainable : ?universe:Var.Set.t -> t -> Digraph.Node_set.t -> bool
+(** Corollary 5, checked: the prefix's operation set is an
+    installation-graph prefix explaining the prefix-determined state. *)
+
+val explainable : ?universe:Var.Set.t -> t -> bool
+(** {!prefix_explainable} on the installed prefix. *)
+
+val to_dot : ?name:string -> t -> string
+val pp : t Fmt.t

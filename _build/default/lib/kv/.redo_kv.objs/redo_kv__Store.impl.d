@@ -1,0 +1,1 @@
+lib/kv/store.ml: Fmt Method_intf Redo_methods Redo_wal Registry String Theory_check

@@ -1,0 +1,112 @@
+open Redo_methods
+
+type recovery_method =
+  | Logical
+  | Physical
+  | Physiological
+  | Generalized
+
+let method_name = function
+  | Logical -> "logical"
+  | Physical -> "physical"
+  | Physiological -> "physiological"
+  | Generalized -> "generalized"
+
+type stats = {
+  puts : int;
+  deletes : int;
+  checkpoints : int;
+  recoveries : int;
+  records_scanned : int;
+  records_redone : int;
+  records_skipped : int;
+}
+
+type t = {
+  instance : Method_intf.instance;
+  recovery_method : recovery_method;
+  mutable puts : int;
+  mutable deletes : int;
+  mutable checkpoints : int;
+  mutable recoveries : int;
+  mutable scanned : int;
+  mutable redone : int;
+  mutable skipped : int;
+}
+
+let create ?cache_capacity ?partitions recovery_method =
+  let make =
+    match recovery_method with
+    | Logical -> Registry.logical
+    | Physical -> Registry.physical
+    | Physiological -> Registry.physiological
+    | Generalized -> Registry.generalized
+  in
+  {
+    instance = make ?cache_capacity ?partitions ();
+    recovery_method;
+    puts = 0;
+    deletes = 0;
+    checkpoints = 0;
+    recoveries = 0;
+    scanned = 0;
+    redone = 0;
+    skipped = 0;
+  }
+
+let recovery_method t = t.recovery_method
+
+let put t key value =
+  if String.length key = 0 then invalid_arg "Store.put: empty key";
+  t.puts <- t.puts + 1;
+  Method_intf.instance_put t.instance key value
+
+let get t key = Method_intf.instance_get t.instance key
+
+let delete t key =
+  t.deletes <- t.deletes + 1;
+  Method_intf.instance_delete t.instance key
+
+let dump t = Method_intf.instance_dump t.instance
+
+let checkpoint t =
+  t.checkpoints <- t.checkpoints + 1;
+  Method_intf.instance_checkpoint t.instance
+
+let sync t = Method_intf.instance_sync t.instance
+
+let crash t = Method_intf.instance_crash t.instance
+
+let recover t =
+  let s = Method_intf.instance_recover t.instance in
+  t.recoveries <- t.recoveries + 1;
+  t.scanned <- t.scanned + s.Method_intf.scanned;
+  t.redone <- t.redone + s.Method_intf.redone;
+  t.skipped <- t.skipped + s.Method_intf.skipped
+
+let durable_ops t = Method_intf.instance_durable_ops t.instance
+
+let stats t =
+  {
+    puts = t.puts;
+    deletes = t.deletes;
+    checkpoints = t.checkpoints;
+    recoveries = t.recoveries;
+    records_scanned = t.scanned;
+    records_redone = t.redone;
+    records_skipped = t.skipped;
+  }
+
+let log_bytes t =
+  (Method_intf.instance_log_stats t.instance).Redo_wal.Log_manager.appended_bytes
+
+let verify_recovery_invariant t =
+  let report = Theory_check.check (Method_intf.instance_projection t.instance) in
+  match report.Theory_check.failure with
+  | None -> Ok report
+  | Some msg -> Error msg
+
+let pp_stats ppf (s : stats) =
+  Fmt.pf ppf "puts=%d deletes=%d checkpoints=%d recoveries=%d scanned=%d redone=%d skipped=%d"
+    s.puts s.deletes s.checkpoints s.recoveries s.records_scanned s.records_redone
+    s.records_skipped

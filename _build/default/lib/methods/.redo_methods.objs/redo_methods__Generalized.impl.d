@@ -1,0 +1,1 @@
+lib/methods/generalized.ml: Disk List Log_manager Lsn Method_intf Multi_op Page Projection Record Redo_btree Redo_storage Redo_wal

@@ -1,0 +1,1 @@
+lib/methods/generalized.mli: Method_intf Redo_btree

@@ -1,0 +1,1 @@
+lib/methods/kv_layout.mli:

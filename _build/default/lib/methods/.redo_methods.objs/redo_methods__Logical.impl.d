@@ -1,0 +1,1 @@
+lib/methods/logical.ml: Disk Fmt Hashtbl Kv_layout List Log_manager Lsn Method_intf Page Projection Record Redo_storage Redo_wal String

@@ -1,0 +1,1 @@
+lib/methods/logical.mli: Method_intf

@@ -1,0 +1,1 @@
+lib/methods/method_intf.ml: Log_manager Projection Random Redo_wal

@@ -1,0 +1,1 @@
+lib/methods/physical.ml: Cache Disk Fmt Kv_layout List Log_manager Lsn Method_intf Page Page_op Projection Random Record Redo_storage Redo_wal

@@ -1,0 +1,1 @@
+lib/methods/physical.mli: Method_intf

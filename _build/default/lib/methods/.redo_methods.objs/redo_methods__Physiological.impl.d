@@ -1,0 +1,1 @@
+lib/methods/physiological.ml: Cache Disk Fmt Hashtbl Kv_layout List Log_manager Lsn Method_intf Option Page Page_op Projection Random Record Redo_storage Redo_wal

@@ -1,0 +1,1 @@
+lib/methods/physiological.mli: Method_intf

@@ -1,0 +1,1 @@
+lib/methods/projection.ml: Disk List Lsn Multi_op Op Page Page_op Printf Record Redo_core Redo_storage Redo_wal State Var

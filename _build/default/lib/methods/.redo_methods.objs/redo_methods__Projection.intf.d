@@ -1,0 +1,1 @@
+lib/methods/projection.mli: Disk Lsn Multi_op Op Page Page_op Record Redo_core Redo_storage Redo_wal State Var

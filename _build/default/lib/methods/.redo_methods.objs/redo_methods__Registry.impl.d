@@ -1,0 +1,1 @@
+lib/methods/registry.ml: Generalized List Logical Method_intf Physical Physiological Printf String

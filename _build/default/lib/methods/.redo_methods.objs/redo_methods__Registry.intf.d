@@ -1,0 +1,1 @@
+lib/methods/registry.mli: Method_intf

@@ -1,0 +1,1 @@
+lib/methods/theory_check.ml: Conflict_graph Digraph Exec Explain Exposed Fmt List Log Op Option Page Printexc Projection Recovery Redo_core Redo_storage State Value Var

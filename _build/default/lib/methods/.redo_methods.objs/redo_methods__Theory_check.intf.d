@@ -1,0 +1,1 @@
+lib/methods/theory_check.mli: Fmt Projection

@@ -1,0 +1,70 @@
+open Redo_storage
+open Redo_wal
+
+let name = "generalized"
+
+(* The generalized LSN-based method (Section 6.4): a B-tree whose splits
+   are logged as multi-page operations, wrapped in the common METHOD
+   interface. [partitions] is reinterpreted as the node capacity. *)
+type t = Redo_btree.Btree.t
+
+let create ?(cache_capacity = 64) ?(partitions = 8) () =
+  Redo_btree.Btree.create ~cache_capacity ~max_keys:(max 2 partitions)
+    ~strategy:Redo_btree.Btree.Generalized_split ()
+
+(* Fault injection: drop the Figure 8 careful-write-order edges. *)
+let create_no_order ?(cache_capacity = 64) ?(partitions = 8) () =
+  Redo_btree.Btree.create ~cache_capacity ~max_keys:(max 2 partitions) ~careful_order:false
+    ~strategy:Redo_btree.Btree.Generalized_split ()
+
+let put = Redo_btree.Btree.insert
+let get = Redo_btree.Btree.lookup
+let delete = Redo_btree.Btree.delete
+let checkpoint = Redo_btree.Btree.checkpoint
+let sync = Redo_btree.Btree.sync
+let flush_some = Redo_btree.Btree.flush_some
+let crash = Redo_btree.Btree.crash
+let crash_torn = Redo_btree.Btree.crash_torn
+
+let recover t =
+  let scanned, redone, skipped = Redo_btree.Btree.recover t in
+  { Method_intf.scanned; redone; skipped; analysis_scanned = 0 }
+
+let dump = Redo_btree.Btree.dump
+let durable_ops = Redo_btree.Btree.durable_ops
+let log_stats = Redo_btree.Btree.log_stats
+
+let of_btree (t : Redo_btree.Btree.t) : t = t
+let to_btree (t : t) : Redo_btree.Btree.t = t
+
+let projection t =
+  let universe = Redo_btree.Btree.stable_universe t in
+  let disk = Redo_btree.Btree.disk t in
+  let start = Redo_btree.Btree.scan_start t in
+  let redo_candidate r pid =
+    Lsn.(start <= Record.lsn r) && Lsn.(Page.lsn (Disk.read disk pid) < Record.lsn r)
+  in
+  let ops, redo_ids =
+    List.fold_left
+      (fun (ops, redo) r ->
+        match Record.payload r with
+        | Record.Physiological { pid; op } ->
+          let core_op = Projection.physiological_op ~lsn:(Record.lsn r) ~pid op in
+          let redo =
+            if redo_candidate r pid then Projection.op_id (Record.lsn r) :: redo else redo
+          in
+          core_op :: ops, redo
+        | Record.Multi mop ->
+          let core_op = Projection.multi_op ~lsn:(Record.lsn r) mop in
+          let dst = match Multi_op.writes mop with [ d ] -> d | _ -> assert false in
+          let redo =
+            if redo_candidate r dst then Projection.op_id (Record.lsn r) :: redo else redo
+          in
+          core_op :: ops, redo
+        | _ -> ops, redo)
+      ([], [])
+      (Log_manager.stable_records (Redo_btree.Btree.log t))
+  in
+  Projection.make ~method_name:name ~lsn_values:true ~universe ~ops:(List.rev ops)
+    ~stable:(Projection.stable_state_of_disk ~lsn_values:true disk universe)
+    ~redo_ids:(List.rev redo_ids)

@@ -1,0 +1,20 @@
+(** Generalized LSN-based recovery (Section 6.4).
+
+    The {!Redo_btree.Btree} with {e generalized split logging} behind
+    the common METHOD interface: splits are logged as operations that
+    read the old page and write the new page (contents never logged),
+    with the cache enforcing the Figure 8 careful write order. The
+    [partitions] parameter is reinterpreted as the B-tree node
+    capacity. *)
+
+include Method_intf.S
+
+val of_btree : Redo_btree.Btree.t -> t
+(** View a raw B-tree as a generalized-method instance (e.g. to run
+    {!projection} / {!Theory_check} on a tree driven directly). *)
+
+val to_btree : t -> Redo_btree.Btree.t
+
+val create_no_order : ?cache_capacity:int -> ?partitions:int -> unit -> t
+(** Fault injection: splits skip the careful-write-order registration.
+    Broken on purpose, for checker experiments (E7). *)

@@ -1,0 +1,13 @@
+(* Deterministic string hash (djb2), stable across runs and OCaml
+   versions, so a key always lands on the same partition page. *)
+let hash key =
+  String.fold_left (fun h c -> ((h * 33) + Char.code c) land 0x3fffffff) 5381 key
+
+let locate ~partitions key =
+  if partitions <= 0 then invalid_arg "Kv_layout.locate: no partitions";
+  hash key mod partitions
+
+let universe ~partitions = List.init partitions Fun.id
+
+let merge_dumps entry_lists =
+  List.concat entry_lists |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -1,0 +1,10 @@
+(** Hash partitioning of keys onto pages, shared by the flat key-value
+    methods. The hash is deterministic across runs and OCaml versions so
+    logged operations replay onto the same pages. *)
+
+val hash : string -> int
+val locate : partitions:int -> string -> int
+(** @raise Invalid_argument when [partitions <= 0]. *)
+
+val universe : partitions:int -> int list
+val merge_dumps : (string * string) list list -> (string * string) list

@@ -1,0 +1,16 @@
+(** Logical recovery, System R style (Section 6.1).
+
+    A logical operation conceptually reads and writes the whole
+    database, so no state narrower than the entire database can be
+    installed consistently. Between checkpoints the stable snapshot is
+    immutable; a checkpoint quiesces, writes the staging area, forces
+    the log and "swings a pointer" — atomically installing every
+    operation logged so far (a write-graph collapse of the staging node
+    into the stable node). Recovery reloads the snapshot and replays
+    everything after the checkpoint record. *)
+
+include Method_intf.S
+
+val create_no_force : ?cache_capacity:int -> ?partitions:int -> unit -> t
+(** Fault injection: the checkpoint swings the pointer without forcing
+    the log. Broken on purpose, for checker experiments (E7). *)

@@ -1,0 +1,77 @@
+open Redo_wal
+
+type recovery_stats = {
+  scanned : int;  (** Log records examined by the redo scan. *)
+  redone : int;  (** Records whose redo test returned true. *)
+  skipped : int;  (** Records bypassed as already installed. *)
+  analysis_scanned : int;
+      (** Records examined by a separate analysis pass (0 for methods
+          with none; Section 4.3). *)
+}
+
+module type S = sig
+  type t
+
+  val name : string
+
+  val create : ?cache_capacity:int -> ?partitions:int -> unit -> t
+  (** [partitions] sizes the page universe for the key-value mapping
+      (or the B-tree fanout for tree-backed methods). *)
+
+  val put : t -> string -> string -> unit
+  val get : t -> string -> string option
+  val delete : t -> string -> unit
+
+  val checkpoint : t -> unit
+  (** Take a checkpoint in this method's style (Section 6): quiesce and
+      swing the pointer, flush-all, or fuzzy dirty-page-table. *)
+
+  val sync : t -> unit
+  (** Force the whole log to stable storage (advances the durability
+      horizon without installing anything). *)
+
+  val flush_some : t -> Random.State.t -> unit
+  (** Background cache activity: flush one random dirty page (respecting
+      WAL and write-order constraints). No-op for methods without a
+      page cache. *)
+
+  val crash : t -> unit
+  (** Lose all volatile state: the cache and the unforced log tail. *)
+
+  val crash_torn : t -> drop:int -> unit
+  (** Crash with a torn final log write: the last [drop] bytes of the
+      stable medium never made it; the damaged frame's record is lost
+      (detected by the pre-recovery scan's checksum). *)
+
+  val recover : t -> recovery_stats
+  (** Run this method's redo recovery against the stable state and log. *)
+
+  val dump : t -> (string * string) list
+  (** Full key-value contents, sorted by key — the simulator's ground
+      truth comparison. *)
+
+  val durable_ops : t -> int
+  (** How many of the key-value operations issued so far are durable
+      (their first log record is on the stable log) — the redo-only
+      durability horizon the simulator verifies against. *)
+
+  val log_stats : t -> Log_manager.stats
+  val projection : t -> Projection.t
+end
+
+type instance = Instance : (module S with type t = 'a) * 'a -> instance
+
+let instance_name (Instance ((module M), _)) = M.name
+let instance_put (Instance ((module M), t)) k v = M.put t k v
+let instance_get (Instance ((module M), t)) k = M.get t k
+let instance_delete (Instance ((module M), t)) k = M.delete t k
+let instance_checkpoint (Instance ((module M), t)) = M.checkpoint t
+let instance_sync (Instance ((module M), t)) = M.sync t
+let instance_flush_some (Instance ((module M), t)) rng = M.flush_some t rng
+let instance_crash (Instance ((module M), t)) = M.crash t
+let instance_crash_torn (Instance ((module M), t)) ~drop = M.crash_torn t ~drop
+let instance_recover (Instance ((module M), t)) = M.recover t
+let instance_dump (Instance ((module M), t)) = M.dump t
+let instance_durable_ops (Instance ((module M), t)) = M.durable_ops t
+let instance_log_stats (Instance ((module M), t)) = M.log_stats t
+let instance_projection (Instance ((module M), t)) = M.projection t

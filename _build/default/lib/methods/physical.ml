@@ -1,0 +1,136 @@
+open Redo_storage
+open Redo_wal
+
+let name = "physical"
+
+type t = {
+  disk : Disk.t;
+  cache : Cache.t;
+  log : Log_manager.t;
+  partitions : int;
+  checkpoint_flushes : bool;
+  mutable op_first_lsns : Lsn.t list;  (* newest first *)
+}
+
+let create ?(cache_capacity = 64) ?(partitions = 8) () =
+  let disk = Disk.create () in
+  let log = Log_manager.create () in
+  let cache =
+    (* Write-ahead: a page image may reach the disk only after the log
+       records explaining it are stable. *)
+    Cache.create ~capacity:cache_capacity
+      ~before_flush:(fun page -> Log_manager.force log ~upto:(Page.lsn page))
+      disk
+  in
+  { disk; cache; log; partitions; checkpoint_flushes = true; op_first_lsns = [] }
+
+(* Fault injection: cut the log at a checkpoint WITHOUT installing the
+   dirty pages first. Operations before the checkpoint are then neither
+   replayed nor (necessarily) in the stable state. *)
+let create_no_flush ?(cache_capacity = 64) ?(partitions = 8) () =
+  { (create ~cache_capacity ~partitions ()) with checkpoint_flushes = false }
+
+let locate t key = Kv_layout.locate ~partitions:t.partitions key
+
+let page_entries t pid =
+  match Page.data (Cache.read t.cache pid) with
+  | Page.Kv entries -> entries
+  | Page.Empty -> []
+  | data -> invalid_arg (Fmt.str "physical: unexpected payload %a" Page.pp_data data)
+
+(* Physical logging records the full after-image: compute the new page
+   contents, log them, then update the cache. *)
+let apply_kv t key op =
+  let pid = locate t key in
+  let image = Page_op.apply op (Page.Kv (page_entries t pid)) in
+  let lsn = Log_manager.append t.log (Record.Physical { pid; image }) in
+  t.op_first_lsns <- lsn :: t.op_first_lsns;
+  Cache.update t.cache pid ~lsn (fun _ -> image)
+
+let put t key value = apply_kv t key (Page_op.Put (key, value))
+let delete t key = apply_kv t key (Page_op.Del key)
+
+let get t key = Page.kv_get (page_entries t (locate t key)) key
+
+(* "All operations logged since a last checkpoint record on the log are
+   replayed during recovery" — so the checkpoint must first install
+   everything before it: flush all dirty pages, then cut the log. *)
+let checkpoint t =
+  if t.checkpoint_flushes then Cache.flush_all t.cache;
+  let lsn = Log_manager.append t.log (Record.Checkpoint { dirty_pages = []; note = name }) in
+  Log_manager.force t.log ~upto:lsn
+
+let flush_some t rng =
+  match Cache.dirty_pages t.cache with
+  | [] -> ()
+  | dirty -> Cache.flush_page t.cache (List.nth dirty (Random.State.int rng (List.length dirty)))
+
+let sync t = Log_manager.force_all t.log
+
+let after_crash t =
+  Cache.drop_volatile t.cache;
+  (* LSNs above the stable horizon will be reassigned to future records:
+     forget the lost operations' bookkeeping. *)
+  let flushed = Log_manager.flushed_lsn t.log in
+  t.op_first_lsns <- List.filter (fun l -> Lsn.(l <= flushed)) t.op_first_lsns
+
+let crash t =
+  Log_manager.crash t.log;
+  after_crash t
+
+let crash_torn t ~drop =
+  Log_manager.crash_torn t.log ~drop;
+  after_crash t
+
+let scan_start t =
+  match Log_manager.last_stable_checkpoint t.log with
+  | Some (lsn, _) -> Lsn.next lsn
+  | None -> Lsn.of_int 1
+
+let recover t =
+  let stats = ref { Method_intf.scanned = 0; redone = 0; skipped = 0; analysis_scanned = 0 } in
+  List.iter
+    (fun r ->
+      stats := { !stats with Method_intf.scanned = !stats.Method_intf.scanned + 1 };
+      match Record.payload r with
+      | Record.Physical { pid; image } ->
+        Cache.set_page t.cache pid (Page.make ~lsn:(Record.lsn r) image);
+        stats := { !stats with Method_intf.redone = !stats.Method_intf.redone + 1 }
+      | Record.Checkpoint _ -> ()
+      | payload ->
+        invalid_arg (Fmt.str "physical recovery: unexpected record %a" Record.pp_payload payload))
+    (Log_manager.records_from t.log ~from:(scan_start t));
+  !stats
+
+let dump t =
+  Kv_layout.universe ~partitions:t.partitions
+  |> List.map (page_entries t)
+  |> Kv_layout.merge_dumps
+
+let durable_ops t =
+  let flushed = Log_manager.flushed_lsn t.log in
+  List.length (List.filter (fun l -> Lsn.(l <= flushed)) t.op_first_lsns)
+
+let log_stats t = Log_manager.stats t.log
+
+let projection t =
+  let universe = Kv_layout.universe ~partitions:t.partitions in
+  let start = scan_start t in
+  let ops, redo_ids =
+    List.fold_left
+      (fun (ops, redo) r ->
+        match Record.payload r with
+        | Record.Physical { pid; image } ->
+          let op = Projection.physical_op ~lsn:(Record.lsn r) ~pid image in
+          let redo =
+            if Lsn.(start <= Record.lsn r) then Projection.op_id (Record.lsn r) :: redo
+            else redo
+          in
+          op :: ops, redo
+        | _ -> ops, redo)
+      ([], [])
+      (Log_manager.stable_records t.log)
+  in
+  Projection.make ~method_name:name ~lsn_values:true ~universe ~ops:(List.rev ops)
+    ~stable:(Projection.stable_state_of_disk ~lsn_values:true t.disk universe)
+    ~redo_ids:(List.rev redo_ids)

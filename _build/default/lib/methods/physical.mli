@@ -1,0 +1,19 @@
+(** Physical recovery (Section 6.2).
+
+    "Early recovery techniques frequently exploited physical recovery,
+    logging the exact bytes of data and the exact locations written":
+    every record carries a full after-image of its page, so logged
+    operations write without reading and the installation graph has only
+    write-write edges (per-page chains). Recovery replays every record
+    since the last checkpoint; the checkpoint installs by flushing all
+    dirty pages before cutting the log. While operations sit in the redo
+    set their pages are unexposed (nobody replayed will read them), which
+    is why arbitrary partial flushes between checkpoints are harmless —
+    the paper's Section 6.2 argument, checkable here via
+    {!Theory_check}. *)
+
+include Method_intf.S
+
+val create_no_flush : ?cache_capacity:int -> ?partitions:int -> unit -> t
+(** Fault injection: checkpoints cut the log without flushing dirty
+    pages first. Broken on purpose, for checker experiments (E7). *)

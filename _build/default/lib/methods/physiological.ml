@@ -1,0 +1,188 @@
+open Redo_storage
+open Redo_wal
+
+let name = "physiological"
+
+type t = {
+  disk : Disk.t;
+  cache : Cache.t;
+  log : Log_manager.t;
+  partitions : int;
+  mutable op_first_lsns : Lsn.t list;
+}
+
+let make ~wal ~cache_capacity ~partitions =
+  let disk = Disk.create () in
+  let log = Log_manager.create () in
+  let before_flush page = if wal then Log_manager.force log ~upto:(Page.lsn page) in
+  let cache = Cache.create ~capacity:cache_capacity ~before_flush disk in
+  { disk; cache; log; partitions; op_first_lsns = [] }
+
+let create ?(cache_capacity = 64) ?(partitions = 8) () =
+  make ~wal:true ~cache_capacity ~partitions
+
+(* Fault injection: skip the write-ahead-log force before page flushes.
+   Pages can then reach the disk carrying effects of operations whose
+   records are lost at a crash - the stable state is unexplainable by
+   the stable log, which the theory checker detects. *)
+let create_no_wal ?(cache_capacity = 64) ?(partitions = 8) () =
+  make ~wal:false ~cache_capacity ~partitions
+
+let locate t key = Kv_layout.locate ~partitions:t.partitions key
+
+let page_entries t pid =
+  match Page.data (Cache.read t.cache pid) with
+  | Page.Kv entries -> entries
+  | Page.Empty -> []
+  | data -> invalid_arg (Fmt.str "physiological: unexpected payload %a" Page.pp_data data)
+
+(* Physiological logging records the operation, not the image: log
+   first (assigning the LSN), then update the page and stamp it. *)
+let apply_kv t key op =
+  let pid = locate t key in
+  let lsn = Log_manager.append t.log (Record.Physiological { pid; op }) in
+  t.op_first_lsns <- lsn :: t.op_first_lsns;
+  Cache.update t.cache pid ~lsn (Page_op.apply op)
+
+let put t key value = apply_kv t key (Page_op.Put (key, value))
+let delete t key = apply_kv t key (Page_op.Del key)
+let get t key = Page.kv_get (page_entries t (locate t key)) key
+
+(* A fuzzy checkpoint: no page is flushed; the record carries the dirty
+   page table so the redo scan can start at the oldest recLSN. *)
+let checkpoint t =
+  let dirty_pages =
+    List.filter_map
+      (fun pid -> Option.map (fun l -> pid, l) (Cache.rec_lsn t.cache pid))
+      (Cache.dirty_pages t.cache)
+  in
+  let lsn = Log_manager.append t.log (Record.Checkpoint { dirty_pages; note = name }) in
+  Log_manager.force t.log ~upto:lsn
+
+let flush_some t rng =
+  match Cache.dirty_pages t.cache with
+  | [] -> ()
+  | dirty -> Cache.flush_page t.cache (List.nth dirty (Random.State.int rng (List.length dirty)))
+
+let sync t = Log_manager.force_all t.log
+
+let after_crash t =
+  Cache.drop_volatile t.cache;
+  (* LSNs above the stable horizon will be reassigned to future records:
+     forget the lost operations' bookkeeping. *)
+  let flushed = Log_manager.flushed_lsn t.log in
+  t.op_first_lsns <- List.filter (fun l -> Lsn.(l <= flushed)) t.op_first_lsns
+
+let crash t =
+  Log_manager.crash t.log;
+  after_crash t
+
+let crash_torn t ~drop =
+  Log_manager.crash_torn t.log ~drop;
+  after_crash t
+
+let scan_start t =
+  match Log_manager.last_stable_checkpoint t.log with
+  | None -> Lsn.of_int 1
+  | Some (ckpt_lsn, { Record.dirty_pages; _ }) ->
+    List.fold_left (fun acc (_, rec_lsn) -> min acc rec_lsn) (Lsn.next ckpt_lsn) dirty_pages
+
+(* The analysis phase (Section 4.3), ARIES style: rebuild the dirty page
+   table by starting from the checkpoint's table and adding every page a
+   later record touched (with that record's LSN as its conservative
+   recLSN). The redo pass then starts at the table's oldest recLSN and
+   skips records the table proves are on disk, before falling back to
+   the page-LSN test. *)
+let analysis t =
+  let ckpt_lsn, dpt0 =
+    match Log_manager.last_stable_checkpoint t.log with
+    | None -> Lsn.zero, []
+    | Some (lsn, { Record.dirty_pages; _ }) -> lsn, dirty_pages
+  in
+  let dpt = Hashtbl.create 16 in
+  List.iter (fun (pid, rec_lsn) -> Hashtbl.replace dpt pid rec_lsn) dpt0;
+  let scanned = ref 0 in
+  List.iter
+    (fun r ->
+      incr scanned;
+      match Record.payload r with
+      | Record.Physiological { pid; _ } ->
+        if not (Hashtbl.mem dpt pid) then Hashtbl.replace dpt pid (Record.lsn r)
+      | _ -> ())
+    (Log_manager.records_from t.log ~from:(Lsn.next ckpt_lsn));
+  let redo_start =
+    Hashtbl.fold (fun _ rec_lsn acc -> min acc rec_lsn) dpt (Lsn.next ckpt_lsn)
+  in
+  dpt, redo_start, !scanned
+
+(* The LSN redo test of Section 6.3: "If the page LSN is at least as
+   high as the operation's LSN, then the operation is already installed
+   and is bypassed during recovery." The dirty-page table lets the redo
+   pass skip records without even fetching the page. *)
+let recover t =
+  let dpt, redo_start, analysis_scanned = analysis t in
+  let scanned = ref 0 and redone = ref 0 and skipped = ref 0 in
+  List.iter
+    (fun r ->
+      incr scanned;
+      match Record.payload r with
+      | Record.Physiological { pid; op } ->
+        let surely_on_disk =
+          match Hashtbl.find_opt dpt pid with
+          | None -> true (* clean at the crash: all its updates were flushed *)
+          | Some rec_lsn -> Lsn.(Record.lsn r < rec_lsn)
+        in
+        if surely_on_disk then incr skipped
+        else begin
+          let page = Cache.read t.cache pid in
+          if Lsn.(Page.lsn page < Record.lsn r) then begin
+            Cache.update t.cache pid ~lsn:(Record.lsn r) (Page_op.apply op);
+            incr redone
+          end
+          else incr skipped
+        end
+      | Record.Checkpoint _ -> ()
+      | payload ->
+        invalid_arg
+          (Fmt.str "physiological recovery: unexpected record %a" Record.pp_payload payload))
+    (Log_manager.records_from t.log ~from:redo_start);
+  { Method_intf.scanned = !scanned; redone = !redone; skipped = !skipped; analysis_scanned }
+
+let dump t =
+  Kv_layout.universe ~partitions:t.partitions
+  |> List.map (page_entries t)
+  |> Kv_layout.merge_dumps
+
+let durable_ops t =
+  let flushed = Log_manager.flushed_lsn t.log in
+  List.length (List.filter (fun l -> Lsn.(l <= flushed)) t.op_first_lsns)
+
+let log_stats t = Log_manager.stats t.log
+
+let projection t =
+  let universe = Kv_layout.universe ~partitions:t.partitions in
+  let start = scan_start t in
+  let ops, redo_ids =
+    List.fold_left
+      (fun (ops, redo) r ->
+        match Record.payload r with
+        | Record.Physiological { pid; op } ->
+          let core_op = Projection.physiological_op ~lsn:(Record.lsn r) ~pid op in
+          (* The redo set is what the actual scan would replay: records
+             the checkpoint does not skip whose LSN test (against the
+             *stable* page at crash time) fails. *)
+          let redo =
+            if
+              Lsn.(start <= Record.lsn r)
+              && Lsn.(Page.lsn (Disk.read t.disk pid) < Record.lsn r)
+            then Projection.op_id (Record.lsn r) :: redo
+            else redo
+          in
+          core_op :: ops, redo
+        | _ -> ops, redo)
+      ([], [])
+      (Log_manager.stable_records t.log)
+  in
+  Projection.make ~method_name:name ~lsn_values:true ~universe ~ops:(List.rev ops)
+    ~stable:(Projection.stable_state_of_disk ~lsn_values:true t.disk universe)
+    ~redo_ids:(List.rev redo_ids)

@@ -1,0 +1,16 @@
+(** Physiological recovery (Section 6.3).
+
+    "A physiological operation reads and writes exactly one page";
+    every page carries the LSN of the last operation that updated it and
+    the redo test is the LSN comparison: "if the page LSN is at least as
+    high as the operation's LSN, then the operation is already installed
+    and is bypassed". Pages are installed one at a time by ordinary
+    cache flushes (single-page atomicity), checkpoints are fuzzy (a
+    dirty-page table bounds the redo scan), and the write-ahead-log hook
+    keeps every flushed page explainable by the stable log. *)
+
+include Method_intf.S
+
+val create_no_wal : ?cache_capacity:int -> ?partitions:int -> unit -> t
+(** Fault injection: omit the WAL force before page flushes. Broken on
+    purpose, for checker experiments (E7). *)

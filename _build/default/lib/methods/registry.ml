@@ -1,0 +1,55 @@
+let physical ?cache_capacity ?partitions () =
+  Method_intf.Instance ((module Physical), Physical.create ?cache_capacity ?partitions ())
+
+let physiological ?cache_capacity ?partitions () =
+  Method_intf.Instance
+    ((module Physiological), Physiological.create ?cache_capacity ?partitions ())
+
+let logical ?cache_capacity ?partitions () =
+  Method_intf.Instance ((module Logical), Logical.create ?cache_capacity ?partitions ())
+
+let generalized ?cache_capacity ?partitions () =
+  Method_intf.Instance ((module Generalized), Generalized.create ?cache_capacity ?partitions ())
+
+let all =
+  [
+    "logical", logical;
+    "physical", physical;
+    "physiological", physiological;
+    "generalized", generalized;
+  ]
+
+let find name =
+  match List.assoc_opt name all with
+  | Some make -> make
+  | None ->
+    invalid_arg
+      (Printf.sprintf "unknown recovery method %S (try: %s)" name
+         (String.concat ", " (List.map fst all)))
+
+(* Deliberately broken variants for fault-injection experiments: each
+   drops exactly one of the mechanisms Section 6 identifies as load-
+   bearing for the Recovery Invariant. *)
+let faults =
+  [
+    ( "physiological-no-wal",
+      "page flushes skip the write-ahead-log force",
+      fun ?cache_capacity ?partitions () ->
+        Method_intf.Instance
+          ((module Physiological), Physiological.create_no_wal ?cache_capacity ?partitions ()) );
+    ( "physical-no-flush",
+      "checkpoints cut the log without installing dirty pages",
+      fun ?cache_capacity ?partitions () ->
+        Method_intf.Instance
+          ((module Physical), Physical.create_no_flush ?cache_capacity ?partitions ()) );
+    ( "logical-no-force",
+      "the checkpoint pointer swing does not force the log",
+      fun ?cache_capacity ?partitions () ->
+        Method_intf.Instance
+          ((module Logical), Logical.create_no_force ?cache_capacity ?partitions ()) );
+    ( "generalized-no-order",
+      "splits skip the careful write order of Figure 8",
+      fun ?cache_capacity ?partitions () ->
+        Method_intf.Instance
+          ((module Generalized), Generalized.create_no_order ?cache_capacity ?partitions ()) );
+  ]

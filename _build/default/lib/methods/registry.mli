@@ -1,0 +1,22 @@
+(** Constructors for the four recovery methods of Section 6, packed as
+    first-class {!Method_intf.instance}s so simulators and benches can
+    treat them uniformly. *)
+
+val physical : ?cache_capacity:int -> ?partitions:int -> unit -> Method_intf.instance
+val physiological : ?cache_capacity:int -> ?partitions:int -> unit -> Method_intf.instance
+val logical : ?cache_capacity:int -> ?partitions:int -> unit -> Method_intf.instance
+val generalized : ?cache_capacity:int -> ?partitions:int -> unit -> Method_intf.instance
+
+val all : (string * (?cache_capacity:int -> ?partitions:int -> unit -> Method_intf.instance)) list
+(** In presentation order: logical, physical, physiological, generalized. *)
+
+val find : string -> ?cache_capacity:int -> ?partitions:int -> unit -> Method_intf.instance
+(** @raise Invalid_argument for an unknown name. *)
+
+val faults :
+  (string * string
+  * (?cache_capacity:int -> ?partitions:int -> unit -> Method_intf.instance))
+  list
+(** Deliberately broken variants [(name, what is broken, make)], each
+    omitting one invariant-maintaining mechanism; used to demonstrate
+    that {!Theory_check} detects the resulting unexplainable states. *)

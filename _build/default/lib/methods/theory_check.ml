@@ -1,0 +1,128 @@
+open Redo_core
+open Redo_storage
+
+type report = {
+  method_name : string;
+  op_count : int;
+  installed_count : int;
+  redo_count : int;
+  installed_is_prefix : bool;
+  state_explained : bool;
+  recovery_succeeds : bool;
+  invariant_held : bool;
+  failure : string option;
+  diagnosis : string list;
+}
+
+let ok r = r.installed_is_prefix && r.state_explained && r.recovery_succeeds && r.invariant_held
+
+let fail_report ~method_name ~op_count msg =
+  {
+    method_name;
+    op_count;
+    installed_count = 0;
+    redo_count = 0;
+    installed_is_prefix = false;
+    state_explained = false;
+    recovery_succeeds = false;
+    invariant_held = false;
+    failure = Some msg;
+    diagnosis = [];
+  }
+
+let pp_value ppf v =
+  (* Page values are opaque once projected; decode them back for humans. *)
+  match Page.of_value v with
+  | page -> Page.pp ppf page
+  | exception Page.Not_a_page _ ->
+    (match Page.data_of_value v with
+    | data -> Page.pp_data ppf data
+    | exception Page.Not_a_page _ -> Value.pp ppf v)
+
+(* Human-readable root causes: which exposed variables disagree between
+   the stable state and the state the installed prefix determines, and
+   which operations would notice. *)
+let diagnose cg ~installed ~stable ~universe =
+  let determined = Explain.state_determined_by_prefix cg ~prefix:installed in
+  Var.Set.fold
+    (fun x acc ->
+      if Exposed.is_unexposed cg ~installed x then acc
+      else
+        let actual = State.get stable x and expected = State.get determined x in
+        if Value.equal actual expected then acc
+        else
+          let witness =
+            match
+              Digraph.Node_set.min_elt_opt (Exposed.minimal_accessors cg ~installed x)
+            with
+            | Some op -> Fmt.str " (first uninstalled accessor: %s)" op
+            | None -> " (needed by the final state)"
+          in
+          Fmt.str "@[<h>%a is exposed but holds %a instead of %a%s@]" Var.pp x pp_value actual
+            pp_value expected witness
+          :: acc)
+    universe []
+  |> List.rev
+
+(* Verify the Recovery Invariant for a crashed system, as projected into
+   the theory by its method: (1) the operations the redo test will NOT
+   replay form a prefix of the installation graph; (2) that prefix
+   explains the stable state; (3) the abstract Figure 6 procedure, run
+   with exactly this redo set, rebuilds the final state while keeping
+   the invariant at every iteration. *)
+let check (p : Projection.t) =
+  let method_name = p.Projection.method_name in
+  let op_count = List.length p.Projection.ops in
+  match Exec.make ~initial:p.Projection.initial p.Projection.ops with
+  | exception e -> fail_report ~method_name ~op_count (Printexc.to_string e)
+  | exec ->
+    (match Conflict_graph.of_exec exec with
+    | exception e -> fail_report ~method_name ~op_count (Printexc.to_string e)
+    | cg ->
+      let redo_set = Digraph.Node_set.of_list p.Projection.redo_ids in
+      let installed = Digraph.Node_set.diff (Exec.op_id_set exec) redo_set in
+      let universe = p.Projection.universe in
+      let installed_is_prefix = Explain.is_installation_prefix cg installed in
+      let state_explained =
+        installed_is_prefix
+        && Explain.explains ~universe cg ~prefix:installed p.Projection.stable
+      in
+      let log = Log.of_conflict_graph cg in
+      let spec =
+        Recovery.redo_if (fun op _ -> Digraph.Node_set.mem (Op.id op) redo_set)
+      in
+      let result =
+        Recovery.recover spec ~state:p.Projection.stable ~log ~checkpoint:installed
+      in
+      let recovery_succeeds = Recovery.succeeded ~universe ~log result in
+      let violation = Recovery.check_invariant ~universe ~log result in
+      let failure =
+        if not installed_is_prefix then
+          Some "installed operations do not form an installation-graph prefix"
+        else if not state_explained then
+          Some "installed prefix does not explain the stable state"
+        else if not recovery_succeeds then Some "abstract recovery missed the final state"
+        else Option.map (Fmt.str "%a" Recovery.pp_violation) violation
+      in
+      let diagnosis =
+        if state_explained || not installed_is_prefix then []
+        else diagnose cg ~installed ~stable:p.Projection.stable ~universe
+      in
+      {
+        method_name;
+        op_count;
+        installed_count = Digraph.Node_set.cardinal installed;
+        redo_count = Digraph.Node_set.cardinal redo_set;
+        installed_is_prefix;
+        state_explained;
+        recovery_succeeds;
+        invariant_held = violation = None;
+        failure;
+        diagnosis;
+      })
+
+let pp_report ppf r =
+  Fmt.pf ppf "[%s] %d ops, %d installed, %d redo: %s" r.method_name r.op_count
+    r.installed_count r.redo_count
+    (match r.failure with None -> "invariant holds" | Some msg -> "FAIL: " ^ msg);
+  List.iter (fun line -> Fmt.pf ppf "@,  %s" line) r.diagnosis

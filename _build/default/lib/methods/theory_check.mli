@@ -1,0 +1,37 @@
+(** The recovery checker: verify a crashed system against the theory.
+
+    Given a method's {!Projection} of its stable log, stable state and
+    redo test, this module re-states Section 4.5's Recovery Invariant
+    and Corollary 4 as an executable check:
+
+    + the operations the redo test will {e not} replay must form a
+      prefix of the installation graph;
+    + that prefix must explain the stable state (exposed variables hold
+      exactly the prefix-determined values);
+    + the abstract [recover] procedure of Figure 6, driven by this redo
+      set, must terminate in the state determined by the conflict graph,
+      with the invariant intact at every iteration.
+
+    A method that maintains the invariant passes this check after {e
+    any} crash; a bug in its checkpoint, WAL hook, LSN handling or cache
+    write ordering surfaces as a structured failure report. *)
+
+type report = {
+  method_name : string;
+  op_count : int;  (** Operations on the stable log. *)
+  installed_count : int;
+  redo_count : int;
+  installed_is_prefix : bool;
+  state_explained : bool;
+  recovery_succeeds : bool;
+  invariant_held : bool;
+  failure : string option;  (** [None] iff everything holds. *)
+  diagnosis : string list;
+      (** When the state is unexplained: one line per exposed variable
+          that disagrees, with both values and the operation that would
+          read the damage. *)
+}
+
+val ok : report -> bool
+val check : Projection.t -> report
+val pp_report : report Fmt.t

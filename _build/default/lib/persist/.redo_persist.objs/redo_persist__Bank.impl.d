@@ -1,0 +1,1 @@
+lib/persist/bank.ml: Fmt List Option Persistent_app Printf String

@@ -1,0 +1,1 @@
+lib/persist/bank.mli: Fmt Persistent_app

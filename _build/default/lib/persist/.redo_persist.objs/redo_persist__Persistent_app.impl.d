@@ -1,0 +1,1 @@
+lib/persist/persistent_app.ml: Disk Fmt List Log_manager Lsn Page Record Redo_core Redo_methods Redo_storage Redo_wal

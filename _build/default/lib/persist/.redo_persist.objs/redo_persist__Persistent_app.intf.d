@@ -1,0 +1,1 @@
+lib/persist/persistent_app.mli: Log_manager Redo_core Redo_methods Redo_wal

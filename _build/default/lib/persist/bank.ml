@@ -1,0 +1,98 @@
+(* A small deterministic application used by tests and examples: a bank
+   with named accounts, deposits and transfers. Transfers read the state
+   they modify, so replay order genuinely matters. *)
+
+type state = (string * int) list (* sorted by account *)
+
+type op =
+  | Deposit of string * int
+  | Transfer of { src : string; dst : string; amount : int }
+
+let name = "bank"
+let initial = []
+
+let balance state account = Option.value ~default:0 (List.assoc_opt account state)
+
+let set_balance state account amount =
+  let rec go = function
+    | [] -> [ account, amount ]
+    | (a, b) :: rest ->
+      if String.compare account a < 0 then (account, amount) :: (a, b) :: rest
+      else if String.equal account a then (account, amount) :: rest
+      else (a, b) :: go rest
+  in
+  go state
+
+let apply op state =
+  match op with
+  | Deposit (account, amount) -> set_balance state account (balance state account + amount)
+  | Transfer { src; dst; amount } ->
+    (* Transfers move at most the available balance: deterministic and
+       total, whatever the state. *)
+    let moved = min amount (balance state src) in
+    let state = set_balance state src (balance state src - moved) in
+    set_balance state dst (balance state dst + moved)
+
+let encode_op = function
+  | Deposit (account, amount) -> Printf.sprintf "D%d:%s" amount account
+  | Transfer { src; dst; amount } -> Printf.sprintf "T%d:%s>%s" amount src dst
+
+let decode_op s =
+  let fail () = invalid_arg ("Bank.decode_op: " ^ s) in
+  if String.length s < 2 then fail ();
+  let body = String.sub s 1 (String.length s - 1) in
+  match s.[0], String.index_opt body ':' with
+  | 'D', Some i ->
+    Deposit
+      ( String.sub body (i + 1) (String.length body - i - 1),
+        int_of_string (String.sub body 0 i) )
+  | 'T', Some i ->
+    let amount = int_of_string (String.sub body 0 i) in
+    let rest = String.sub body (i + 1) (String.length body - i - 1) in
+    (match String.index_opt rest '>' with
+    | Some j ->
+      Transfer
+        {
+          amount;
+          src = String.sub rest 0 j;
+          dst = String.sub rest (j + 1) (String.length rest - j - 1);
+        }
+    | None -> fail ())
+  | _ -> fail ()
+
+let encode_state state =
+  String.concat ";" (List.map (fun (a, b) -> Printf.sprintf "%s=%d" a b) state)
+
+let decode_state s =
+  if String.equal s "" then []
+  else
+    String.split_on_char ';' s
+    |> List.map (fun entry ->
+           match String.index_opt entry '=' with
+           | Some i ->
+             ( String.sub entry 0 i,
+               int_of_string (String.sub entry (i + 1) (String.length entry - i - 1)) )
+           | None -> invalid_arg ("Bank.decode_state: " ^ entry))
+
+let equal_state (a : state) b = a = b
+
+let total state = List.fold_left (fun acc (_, b) -> acc + b) 0 state
+
+let pp ppf state =
+  Fmt.pf ppf "[%a]"
+    Fmt.(list ~sep:(any "; ") (pair ~sep:(any "=") string int))
+    state
+
+module Store = Persistent_app.Make (struct
+  type nonrec state = state
+  type nonrec op = op
+
+  let name = name
+  let initial = initial
+  let apply = apply
+  let encode_op = encode_op
+  let decode_op = decode_op
+  let encode_state = encode_state
+  let decode_state = decode_state
+  let equal_state = equal_state
+end)

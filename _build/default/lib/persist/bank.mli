@@ -1,0 +1,29 @@
+(** A deterministic bank application (accounts, deposits, transfers)
+    demonstrating {!Persistent_app}: transfers read the balances they
+    move, so conflict order genuinely constrains replay. *)
+
+type state = (string * int) list  (** Sorted by account name. *)
+
+type op =
+  | Deposit of string * int
+  | Transfer of { src : string; dst : string; amount : int }
+      (** Moves [min amount (balance src)] — total and deterministic. *)
+
+val name : string
+val initial : state
+val apply : op -> state -> state
+val balance : state -> string -> int
+
+val total : state -> int
+(** Sum of all balances. Deposits increase it; transfers preserve it —
+    the application-level invariant the crash tests check. *)
+
+val encode_op : op -> string
+val decode_op : string -> op
+val encode_state : state -> string
+val decode_state : string -> state
+val equal_state : state -> state -> bool
+val pp : state Fmt.t
+
+module Store : Persistent_app.S with type state = state and type op = op
+(** The bank, made crash-recoverable. *)

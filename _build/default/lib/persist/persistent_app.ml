@@ -1,0 +1,158 @@
+open Redo_storage
+open Redo_wal
+
+module type APP = sig
+  type state
+  type op
+
+  val name : string
+  val initial : state
+  val apply : op -> state -> state
+  val encode_op : op -> string
+  val decode_op : string -> op
+  val encode_state : state -> string
+  val decode_state : string -> state
+  val equal_state : state -> state -> bool
+end
+
+module type S = sig
+  type t
+  type state
+  type op
+
+  val create : unit -> t
+  val state : t -> state
+  val perform : t -> op -> unit
+  val checkpoint : t -> unit
+  val sync : t -> unit
+  val crash : t -> unit
+  val crash_torn : t -> drop:int -> unit
+  val recover : t -> int
+  val durable_ops : t -> int
+  val log_stats : t -> Log_manager.stats
+  val projection : t -> Redo_methods.Projection.t
+end
+
+(* The whole application state is one theory variable: every operation
+   reads it and writes it, so the installation graph is a chain and the
+   snapshot pointer-swing is the only way to install. *)
+let state_var = Redo_core.Var.of_string "app:state"
+
+let snapshot_pid = 0
+
+module Make (App : APP) : S with type state = App.state and type op = App.op = struct
+  type state = App.state
+  type op = App.op
+
+  type t = {
+    log : Log_manager.t;
+    disk : Disk.t;  (* holds the snapshot page *)
+    mutable current : App.state;
+    mutable op_lsns : Lsn.t list;  (* newest first *)
+  }
+
+  let create () =
+    { log = Log_manager.create (); disk = Disk.create (); current = App.initial; op_lsns = [] }
+
+  let state t = t.current
+
+  let perform t op =
+    let lsn =
+      Log_manager.append t.log (Record.App_op { tag = App.name; body = App.encode_op op })
+    in
+    t.op_lsns <- lsn :: t.op_lsns;
+    t.current <- App.apply op t.current
+
+  (* The checkpoint snapshots the state into the (single) stable page and
+     forces the log through the checkpoint record — a pointer swing in
+     miniature: the atomic page write installs every operation so far. *)
+  let checkpoint t =
+    let ckpt =
+      Log_manager.append t.log (Record.Checkpoint { dirty_pages = []; note = App.name })
+    in
+    Log_manager.force t.log ~upto:ckpt;
+    Disk.write t.disk snapshot_pid
+      (Page.make ~lsn:(Log_manager.last_lsn t.log) (Page.Bytes (App.encode_state t.current)))
+
+  let sync t = Log_manager.force_all t.log
+
+  let after_crash t =
+    t.current <- App.initial;
+    let flushed = Log_manager.flushed_lsn t.log in
+    t.op_lsns <- List.filter (fun l -> Lsn.(l <= flushed)) t.op_lsns
+
+  let crash t =
+    Log_manager.crash t.log;
+    after_crash t
+
+  let crash_torn t ~drop =
+    Log_manager.crash_torn t.log ~drop;
+    after_crash t
+
+  let snapshot t =
+    let page = Disk.read t.disk snapshot_pid in
+    match Page.data page with
+    | Page.Bytes s -> Page.lsn page, App.decode_state s
+    | Page.Empty -> Lsn.zero, App.initial
+    | data -> invalid_arg (Fmt.str "persistent app: unexpected snapshot payload %a" Page.pp_data data)
+
+  let recover t =
+    let snap_lsn, state = snapshot t in
+    t.current <- state;
+    let replayed = ref 0 in
+    List.iter
+      (fun r ->
+        match Record.payload r with
+        | Record.App_op { body; _ } ->
+          t.current <- App.apply (App.decode_op body) t.current;
+          incr replayed
+        | _ -> ())
+      (Log_manager.records_from t.log ~from:(Lsn.next snap_lsn));
+    !replayed
+
+  let durable_ops t =
+    let flushed = Log_manager.flushed_lsn t.log in
+    List.length (List.filter (fun l -> Lsn.(l <= flushed)) t.op_lsns)
+
+  let log_stats t = Log_manager.stats t.log
+
+  (* Theory projection: one variable, read-modify-written by every
+     operation. The snapshot installs a prefix; everything after its LSN
+     is the redo set. *)
+  let projection t =
+    let snap_lsn, _ = snapshot t in
+    let value_of_state state = Redo_core.Value.Str (App.encode_state state) in
+    let ops, redo_ids =
+      List.fold_left
+        (fun (ops, redo) r ->
+          match Record.payload r with
+          | Record.App_op { body; _ } ->
+            let id = Redo_methods.Projection.op_id (Record.lsn r) in
+            let var_set = Redo_core.Var.Set.singleton state_var in
+            let core_op =
+              Redo_core.Op.of_fn ~id ~reads:var_set ~writes:var_set (fun lookup ->
+                  let before =
+                    match lookup state_var with
+                    | Redo_core.Value.Str s -> App.decode_state s
+                    | _ -> App.initial
+                  in
+                  [ state_var, value_of_state (App.apply (App.decode_op body) before) ])
+            in
+            let redo =
+              if Lsn.(snap_lsn < Record.lsn r) then id :: redo else redo
+            in
+            core_op :: ops, redo
+          | _ -> ops, redo)
+        ([], [])
+        (Log_manager.stable_records t.log)
+    in
+    let _, snap_state = snapshot t in
+    {
+      Redo_methods.Projection.method_name = "persistent-app:" ^ App.name;
+      ops = List.rev ops;
+      initial = Redo_core.State.make [ state_var, value_of_state App.initial ];
+      stable = Redo_core.State.make [ state_var, value_of_state snap_state ];
+      redo_ids = List.rev redo_ids;
+      universe = Redo_core.Var.Set.singleton state_var;
+    }
+end

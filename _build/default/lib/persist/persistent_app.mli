@@ -1,0 +1,71 @@
+(** Persistent applications via redo recovery — the Section 7 direction
+    ("extending recovery to new areas", after Lomet's generalized-redo
+    persistent applications).
+
+    Any deterministic application — a functor argument with a state, an
+    operation type and codecs — becomes crash-recoverable: operations
+    are logged as {!Redo_wal.Record.App_op} records, checkpoints
+    snapshot the whole state into one stable page with an atomic write
+    (a miniature System R pointer swing), and recovery reloads the
+    snapshot and replays the logged tail.
+
+    In the theory, the application state is a single variable that every
+    operation reads and writes; the installation graph is a chain, the
+    snapshot installs a prefix, and {!S.projection} exposes all of it to
+    {!Redo_methods.Theory_check} like any other method. *)
+
+open Redo_wal
+
+module type APP = sig
+  type state
+  type op
+
+  val name : string
+  val initial : state
+
+  val apply : op -> state -> state
+  (** Must be deterministic: replaying the same operations from the same
+      state must rebuild the same state. *)
+
+  val encode_op : op -> string
+  val decode_op : string -> op
+  val encode_state : state -> string
+  val decode_state : string -> state
+  val equal_state : state -> state -> bool
+end
+
+module type S = sig
+  type t
+  type state
+  type op
+
+  val create : unit -> t
+  val state : t -> state
+
+  val perform : t -> op -> unit
+  (** Log the operation, then apply it to the in-memory state. *)
+
+  val checkpoint : t -> unit
+  (** Force the log and atomically snapshot the state to stable storage:
+      installs every operation logged so far. *)
+
+  val sync : t -> unit
+  val crash : t -> unit
+  val crash_torn : t -> drop:int -> unit
+
+  val recover : t -> int
+  (** Reload the snapshot, replay the stable log tail; returns the
+      number of operations replayed. *)
+
+  val durable_ops : t -> int
+  val log_stats : t -> Log_manager.stats
+
+  val projection : t -> Redo_methods.Projection.t
+  (** For {!Redo_methods.Theory_check}: verify the Recovery Invariant of
+      the application exactly as for the database methods. *)
+end
+
+val state_var : Redo_core.Var.t
+(** The single theory variable holding the application state. *)
+
+module Make (App : APP) : S with type state = App.state and type op = App.op

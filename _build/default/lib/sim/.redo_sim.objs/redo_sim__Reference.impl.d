@@ -1,0 +1,1 @@
+lib/sim/reference.ml: Hashtbl List String

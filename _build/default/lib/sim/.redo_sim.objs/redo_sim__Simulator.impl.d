@@ -1,0 +1,1 @@
+lib/sim/simulator.ml: Fmt List Method_intf Printexc Printf Random Redo_methods Reference Sys Theory_check

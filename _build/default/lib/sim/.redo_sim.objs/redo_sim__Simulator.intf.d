@@ -1,0 +1,1 @@
+lib/sim/simulator.mli: Fmt Method_intf Redo_methods Theory_check

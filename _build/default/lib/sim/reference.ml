@@ -1,0 +1,34 @@
+type op =
+  | Put of string * string
+  | Del of string
+
+type t = { mutable trace : op list (* newest first *) }
+
+let create () = { trace = [] }
+
+let put t k v = t.trace <- Put (k, v) :: t.trace
+let del t k = t.trace <- Del k :: t.trace
+
+let length t = List.length t.trace
+
+let truncate t n =
+  let len = length t in
+  if n > len then invalid_arg "Reference.truncate: prefix longer than trace";
+  t.trace <- List.filteri (fun i _ -> i >= len - n) t.trace
+
+let dump_prefix t n =
+  let len = length t in
+  if n > len then invalid_arg "Reference.dump_prefix: prefix longer than trace";
+  (* [trace] is newest-first; the first [n] operations issued are the
+     entries at indices >= len - n, replayed oldest-first. *)
+  let oldest_first = List.rev (List.filteri (fun i _ -> i >= len - n) t.trace) in
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (function
+      | Put (k, v) -> Hashtbl.replace tbl k v
+      | Del k -> Hashtbl.remove tbl k)
+    oldest_first;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let dump t = dump_prefix t (length t)

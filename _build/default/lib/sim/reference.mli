@@ -1,0 +1,27 @@
+(** The simulator's ground truth: a trace of key-value operations and
+    the map any prefix of it determines.
+
+    Redo-only durability means a crash truncates the effective history
+    to the stable-log horizon; the simulator compares a method's
+    recovered contents against {!dump_prefix} of exactly that many
+    operations, then {!truncate}s the trace to match. *)
+
+type op =
+  | Put of string * string
+  | Del of string
+
+type t
+
+val create : unit -> t
+val put : t -> string -> string -> unit
+val del : t -> string -> unit
+val length : t -> int
+
+val truncate : t -> int -> unit
+(** Keep only the first [n] operations (the durable prefix).
+    @raise Invalid_argument if [n] exceeds the trace length. *)
+
+val dump_prefix : t -> int -> (string * string) list
+(** Key-value contents after the first [n] operations, sorted. *)
+
+val dump : t -> (string * string) list

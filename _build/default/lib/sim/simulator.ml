@@ -1,0 +1,198 @@
+open Redo_methods
+
+type config = {
+  seed : int;
+  total_ops : int;
+  key_space : int;
+  delete_fraction : float;
+  checkpoint_every : int option;
+  flush_prob : float;
+  sync_prob : float;
+  crash_every : int option;
+  torn_write_prob : float;
+  partitions : int;
+  cache_capacity : int;
+  verify_theory : bool;
+}
+
+let default_config =
+  {
+    seed = 42;
+    total_ops = 300;
+    key_space = 40;
+    delete_fraction = 0.15;
+    checkpoint_every = Some 40;
+    flush_prob = 0.2;
+    sync_prob = 0.1;
+    crash_every = Some 75;
+    torn_write_prob = 0.25;
+    partitions = 8;
+    cache_capacity = 16;
+    verify_theory = true;
+  }
+
+type outcome = {
+  kv_ops : int;
+  crashes : int;
+  checkpoints : int;
+  scanned : int;
+  redone : int;
+  skipped : int;
+  analysis_scanned : int;
+  verify_failures : string list;
+  theory_reports : Theory_check.report list;
+  recovery_seconds : float;
+}
+
+let mismatch_message ~when_ expected actual =
+  let pp_kv ppf (k, v) = Fmt.pf ppf "%s=%s" k v in
+  Fmt.str "%s: expected %a, got %a" when_
+    Fmt.(brackets (list ~sep:(any "; ") pp_kv))
+    expected
+    Fmt.(brackets (list ~sep:(any "; ") pp_kv))
+    actual
+
+(* Crash, recover, verify. The durable horizon is the number of
+   key-value operations whose records made it to the stable log; the
+   recovered contents must equal the reference trace truncated there. *)
+let crash_recover_verify ?(rng : Random.State.t option) cfg instance reference outcome =
+  (* Some crashes tear the final log frame: the stable medium lost a few
+     bytes mid-append and the damaged record with them. *)
+  (match rng with
+  | Some rng when Random.State.float rng 1.0 < cfg.torn_write_prob ->
+    Method_intf.instance_crash_torn instance ~drop:(1 + Random.State.int rng 6)
+  | _ -> Method_intf.instance_crash instance);
+  let theory_reports =
+    if cfg.verify_theory then
+      Theory_check.check (Method_intf.instance_projection instance) :: !outcome.theory_reports
+    else !outcome.theory_reports
+  in
+  let t0 = Sys.time () in
+  (* A recovery or traversal that raises is itself a verification
+     failure (injected faults corrupt state badly enough for that). *)
+  let stats, recover_error =
+    match Method_intf.instance_recover instance with
+    | stats -> stats, None
+    | exception e -> { Method_intf.scanned = 0; redone = 0; skipped = 0; analysis_scanned = 0 }, Some e
+  in
+  let dt = Sys.time () -. t0 in
+  let durable = Method_intf.instance_durable_ops instance in
+  Reference.truncate reference durable;
+  let expected = Reference.dump reference in
+  let actual_or_error =
+    match recover_error with
+    | Some e -> Error e
+    | None -> (try Ok (Method_intf.instance_dump instance) with e -> Error e)
+  in
+  let verify_failures =
+    match actual_or_error with
+    | Ok actual when expected = actual -> !outcome.verify_failures
+    | Ok actual ->
+      mismatch_message
+        ~when_:(Printf.sprintf "after crash %d (%d durable ops)" (!outcome.crashes + 1) durable)
+        expected actual
+      :: !outcome.verify_failures
+    | Error e ->
+      Printf.sprintf "after crash %d: recovery/dump raised %s" (!outcome.crashes + 1)
+        (Printexc.to_string e)
+      :: !outcome.verify_failures
+  in
+  outcome :=
+    {
+      !outcome with
+      crashes = !outcome.crashes + 1;
+      scanned = !outcome.scanned + stats.Method_intf.scanned;
+      redone = !outcome.redone + stats.Method_intf.redone;
+      skipped = !outcome.skipped + stats.Method_intf.skipped;
+      analysis_scanned = !outcome.analysis_scanned + stats.Method_intf.analysis_scanned;
+      verify_failures;
+      theory_reports;
+      recovery_seconds = !outcome.recovery_seconds +. dt;
+    }
+
+let run cfg instance =
+  let rng = Random.State.make [| cfg.seed; 0xbeef |] in
+  let reference = Reference.create () in
+  let outcome =
+    ref
+      {
+        kv_ops = 0;
+        crashes = 0;
+        checkpoints = 0;
+        scanned = 0;
+        redone = 0;
+        skipped = 0;
+        analysis_scanned = 0;
+        verify_failures = [];
+        theory_reports = [];
+        recovery_seconds = 0.0;
+      }
+  in
+  (* A run whose store has become unusable (possible only with injected
+     faults) is aborted; the raised exception counts as a failure. *)
+  let abort step e =
+    outcome :=
+      {
+        !outcome with
+        verify_failures =
+          Printf.sprintf "aborted at %s: %s" step (Printexc.to_string e)
+          :: !outcome.verify_failures;
+      };
+    raise Exit
+  in
+  (try
+     for i = 1 to cfg.total_ops do
+       let key = Printf.sprintf "k%04d" (Random.State.int rng cfg.key_space) in
+       (try
+          if Random.State.float rng 1.0 < cfg.delete_fraction then begin
+            Method_intf.instance_delete instance key;
+            Reference.del reference key
+          end
+          else begin
+            let value = Printf.sprintf "v%d" i in
+            Method_intf.instance_put instance key value;
+            Reference.put reference key value
+          end;
+          outcome := { !outcome with kv_ops = !outcome.kv_ops + 1 };
+          if Random.State.float rng 1.0 < cfg.flush_prob then
+            Method_intf.instance_flush_some instance rng;
+          if Random.State.float rng 1.0 < cfg.sync_prob then Method_intf.instance_sync instance;
+          match cfg.checkpoint_every with
+          | Some n when i mod n = 0 ->
+            Method_intf.instance_checkpoint instance;
+            outcome := { !outcome with checkpoints = !outcome.checkpoints + 1 }
+          | _ -> ()
+        with
+       | Exit -> raise Exit
+       | e -> abort (Printf.sprintf "op %d" i) e);
+       match cfg.crash_every with
+       | Some n when i mod n = 0 ->
+         (* Pretend some more pages happened to be flushed before the
+            crash (always through the cache, so WAL and write orders
+            hold). *)
+         (try
+            let extra_flushes = Random.State.int rng 4 in
+            for _ = 1 to extra_flushes do
+              Method_intf.instance_flush_some instance rng
+            done;
+            if Random.State.bool rng then Method_intf.instance_sync instance
+          with
+         | Exit -> raise Exit
+         | e -> abort (Printf.sprintf "pre-crash flush %d" i) e);
+         crash_recover_verify ~rng cfg instance reference outcome
+       | _ -> ()
+     done;
+     (* Final: make everything durable, crash, recover, verify the full
+        contents survive. *)
+     Method_intf.instance_sync instance;
+     crash_recover_verify cfg instance reference outcome
+   with Exit -> ());
+  !outcome
+
+let pp_outcome ppf o =
+  Fmt.pf ppf
+    "@[<v>ops=%d crashes=%d checkpoints=%d scanned=%d redone=%d skipped=%d verify_failures=%d \
+     theory_failures=%d@]"
+    o.kv_ops o.crashes o.checkpoints o.scanned o.redone o.skipped
+    (List.length o.verify_failures)
+    (List.length (List.filter (fun r -> not (Theory_check.ok r)) o.theory_reports))

@@ -1,0 +1,52 @@
+(** The crash–recovery simulator.
+
+    Drives one recovery method through a randomized key-value workload
+    with background cache flushes, log forces and checkpoints; injects
+    crashes (volatile state lost, stable log truncated at the forced
+    horizon, pages on disk being whatever subset of flushes happened —
+    always through the cache, so WAL and write-order constraints hold);
+    recovers; and verifies two things at every crash:
+
+    - {e contents}: the recovered key-value contents equal the reference
+      trace truncated at the durability horizon;
+    - {e theory}: the method's {!Redo_methods.Projection} passes
+      {!Redo_methods.Theory_check} — the Recovery Invariant held. *)
+
+open Redo_methods
+
+type config = {
+  seed : int;
+  total_ops : int;
+  key_space : int;
+  delete_fraction : float;
+  checkpoint_every : int option;
+  flush_prob : float;  (** Background flush of one dirty page, per op. *)
+  sync_prob : float;  (** Background full log force, per op. *)
+  crash_every : int option;
+  torn_write_prob : float;
+      (** Probability a crash also tears the final stable-log frame. *)
+  partitions : int;
+  cache_capacity : int;
+  verify_theory : bool;
+}
+
+val default_config : config
+
+type outcome = {
+  kv_ops : int;
+  crashes : int;
+  checkpoints : int;
+  scanned : int;  (** Total log records examined across recoveries. *)
+  redone : int;
+  skipped : int;
+  analysis_scanned : int;  (** Records examined by analysis passes (Section 4.3). *)
+  verify_failures : string list;
+  theory_reports : Theory_check.report list;
+  recovery_seconds : float;
+}
+
+val run : config -> Method_intf.instance -> outcome
+(** Runs the workload, ending with a final sync–crash–recover–verify
+    cycle, and returns aggregate results. *)
+
+val pp_outcome : outcome Fmt.t

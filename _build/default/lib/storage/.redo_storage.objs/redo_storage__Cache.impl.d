@@ -1,0 +1,1 @@
+lib/storage/cache.ml: Disk Fmt Hashtbl List Lsn Page

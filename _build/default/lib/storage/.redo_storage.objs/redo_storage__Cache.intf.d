@@ -1,0 +1,1 @@
+lib/storage/cache.mli: Disk Fmt Lsn Page

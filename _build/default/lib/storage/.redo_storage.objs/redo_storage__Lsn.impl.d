@@ -1,0 +1,1 @@
+lib/storage/lsn.ml: Fmt Int Stdlib

@@ -1,0 +1,1 @@
+lib/storage/multi_op.ml: Fmt List Page Printf String

@@ -1,0 +1,1 @@
+lib/storage/multi_op.mli: Fmt Page

@@ -1,0 +1,1 @@
+lib/storage/page.ml: Fmt List Lsn Marshal Printf Redo_core String

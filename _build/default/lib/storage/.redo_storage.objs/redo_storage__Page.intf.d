@@ -1,0 +1,1 @@
+lib/storage/page.mli: Fmt Lsn Redo_core

@@ -1,0 +1,1 @@
+lib/storage/page_op.ml: Fmt List Page Printf String

@@ -1,0 +1,180 @@
+exception Flush_cycle of int list
+
+type entry = {
+  mutable page : Page.t;
+  mutable dirty : bool;
+  mutable rec_lsn : Lsn.t;  (* LSN of the first update since last flush *)
+  mutable last_use : int;
+}
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable flushes : int;
+  mutable forced_order_flushes : int;
+  mutable evictions : int;
+  mutable updates : int;
+}
+
+type t = {
+  disk : Disk.t;
+  capacity : int;
+  before_flush : Page.t -> unit;
+  entries : (int, entry) Hashtbl.t;
+  mutable order_deps : (int * int) list;  (* (first, then): flush first before then *)
+  mutable clock : int;
+  stats : stats;
+}
+
+let create ?(capacity = 64) ?(before_flush = fun _ -> ()) disk =
+  {
+    disk;
+    capacity;
+    before_flush;
+    entries = Hashtbl.create 64;
+    order_deps = [];
+    clock = 0;
+    stats =
+      { hits = 0; misses = 0; flushes = 0; forced_order_flushes = 0; evictions = 0; updates = 0 };
+  }
+
+let stats t = t.stats
+let disk t = t.disk
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let is_dirty t pid =
+  match Hashtbl.find_opt t.entries pid with Some e -> e.dirty | None -> false
+
+let dirty_pages t =
+  Hashtbl.fold (fun pid e acc -> if e.dirty then pid :: acc else acc) t.entries []
+  |> List.sort compare
+
+let cached_pages t =
+  Hashtbl.fold (fun pid _ acc -> pid :: acc) t.entries [] |> List.sort compare
+
+let rec_lsn t pid =
+  match Hashtbl.find_opt t.entries pid with
+  | Some e when e.dirty -> Some e.rec_lsn
+  | _ -> None
+
+let min_rec_lsn t =
+  Hashtbl.fold
+    (fun _ e acc ->
+      if not e.dirty then acc
+      else
+        match acc with
+        | None -> Some e.rec_lsn
+        | Some l -> Some (if Lsn.(e.rec_lsn < l) then e.rec_lsn else l))
+    t.entries None
+
+(* Flush [pid], first flushing any dirty page that a registered write
+   order requires to hit the disk earlier (Figure 8's careful write
+   order). [forced] distinguishes flushes the order deps caused. *)
+let rec flush_with t ~forced ~visiting pid =
+  if List.mem pid visiting then raise (Flush_cycle (pid :: visiting));
+  match Hashtbl.find_opt t.entries pid with
+  | None -> ()
+  | Some e when not e.dirty -> ()
+  | Some e ->
+    let prereqs =
+      List.filter_map
+        (fun (first, next) -> if next = pid && is_dirty t first then Some first else None)
+        t.order_deps
+    in
+    List.iter
+      (fun first ->
+        t.stats.forced_order_flushes <- t.stats.forced_order_flushes + 1;
+        flush_with t ~forced:true ~visiting:(pid :: visiting) first)
+      (List.sort_uniq compare prereqs);
+    ignore forced;
+    t.before_flush e.page;
+    Disk.write t.disk pid e.page;
+    e.dirty <- false;
+    t.stats.flushes <- t.stats.flushes + 1;
+    (* Order constraints mentioning this page as the prerequisite are now
+       satisfied and die with this version. *)
+    t.order_deps <- List.filter (fun (first, _) -> first <> pid) t.order_deps
+
+let flush_page t pid = flush_with t ~forced:false ~visiting:[] pid
+
+let flush_all t = List.iter (flush_page t) (dirty_pages t)
+
+let would_force t pid =
+  List.filter_map
+    (fun (first, next) -> if next = pid && is_dirty t first then Some first else None)
+    t.order_deps
+  |> List.sort_uniq compare
+
+let add_flush_order t ~first ~next =
+  if first <> next then t.order_deps <- (first, next) :: t.order_deps
+
+let flush_orders t = t.order_deps
+
+let evict_victim t ~protect =
+  (* Least recently used; prefer clean pages; never the page the caller
+     is in the middle of using. *)
+  let best =
+    Hashtbl.fold
+      (fun pid e acc ->
+        if pid = protect then acc
+        else
+          match acc with
+          | None -> Some (pid, e)
+          | Some (_, b) ->
+            if (e.dirty, e.last_use) < (b.dirty, b.last_use) then Some (pid, e) else acc)
+      t.entries None
+  in
+  match best with
+  | None -> false
+  | Some (pid, e) ->
+    if e.dirty then flush_page t pid;
+    Hashtbl.remove t.entries pid;
+    t.stats.evictions <- t.stats.evictions + 1;
+    true
+
+let ensure_capacity t ~protect =
+  let progressing = ref true in
+  while !progressing && Hashtbl.length t.entries > t.capacity do
+    progressing := evict_victim t ~protect
+  done
+
+let entry t pid =
+  match Hashtbl.find_opt t.entries pid with
+  | Some e ->
+    t.stats.hits <- t.stats.hits + 1;
+    e.last_use <- tick t;
+    e
+  | None ->
+    t.stats.misses <- t.stats.misses + 1;
+    let e = { page = Disk.read t.disk pid; dirty = false; rec_lsn = Lsn.zero; last_use = tick t } in
+    Hashtbl.replace t.entries pid e;
+    ensure_capacity t ~protect:pid;
+    e
+
+let read t pid = (entry t pid).page
+
+let update t pid ~lsn f =
+  let e = entry t pid in
+  let data = f (Page.data e.page) in
+  if not e.dirty then e.rec_lsn <- lsn;
+  e.page <- Page.make ~lsn data;
+  e.dirty <- true;
+  t.stats.updates <- t.stats.updates + 1
+
+let set_page t pid page =
+  let e = entry t pid in
+  if not e.dirty then e.rec_lsn <- Page.lsn page;
+  e.page <- page;
+  e.dirty <- true
+
+let drop_volatile t =
+  Hashtbl.reset t.entries;
+  t.order_deps <- []
+
+let pp ppf t =
+  Fmt.pf ppf "cache: %d pages, %d dirty, deps=%d" (Hashtbl.length t.entries)
+    (List.length (dirty_pages t))
+    (List.length t.order_deps)

@@ -1,0 +1,33 @@
+type t = {
+  pages : (int, Page.t) Hashtbl.t;
+  mutable writes : int;
+  mutable reads : int;
+}
+
+let create () = { pages = Hashtbl.create 64; writes = 0; reads = 0 }
+
+let read t pid =
+  t.reads <- t.reads + 1;
+  match Hashtbl.find_opt t.pages pid with
+  | Some page -> page
+  | None -> Page.empty
+
+let peek t pid = Hashtbl.find_opt t.pages pid
+
+let write t pid page =
+  t.writes <- t.writes + 1;
+  Hashtbl.replace t.pages pid page
+
+let page_ids t =
+  Hashtbl.fold (fun pid _ acc -> pid :: acc) t.pages [] |> List.sort compare
+
+let write_count t = t.writes
+let read_count t = t.reads
+
+let copy t = { pages = Hashtbl.copy t.pages; writes = t.writes; reads = t.reads }
+
+let iter f t = List.iter (fun pid -> f pid (read t pid)) (page_ids t)
+
+let pp ppf t =
+  let pp_page ppf pid = Fmt.pf ppf "%d:%a" pid Page.pp (read t pid) in
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut pp_page) (page_ids t)

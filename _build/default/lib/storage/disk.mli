@@ -1,0 +1,30 @@
+(** The stable store: survives crashes; one page write is atomic.
+
+    Single-page atomicity is the hardware contract every recovery method
+    in Section 6 builds on (multi-page atomicity has to be {e
+    constructed}, e.g. by a checkpoint pointer swing or by write-graph
+    collapse). Unwritten pages read as {!Page.empty}. *)
+
+type t
+
+val create : unit -> t
+
+val read : t -> int -> Page.t
+(** Missing pages read as {!Page.empty} (LSN zero). *)
+
+val peek : t -> int -> Page.t option
+(** Like {!read} but without materialising missing pages or counting. *)
+
+val write : t -> int -> Page.t -> unit
+(** Atomic page write. *)
+
+val page_ids : t -> int list
+val write_count : t -> int
+val read_count : t -> int
+
+val copy : t -> t
+(** Snapshot (used by the System R staging area and by the simulator's
+    verification). *)
+
+val iter : (int -> Page.t -> unit) -> t -> unit
+val pp : t Fmt.t

@@ -1,0 +1,13 @@
+type t = int
+
+let zero = 0
+let of_int n = if n < 0 then invalid_arg "Lsn.of_int: negative" else n
+let to_int t = t
+let next t = t + 1
+let compare = Int.compare
+let equal = Int.equal
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let ( >= ) a b = compare a b >= 0
+let max = Stdlib.max
+let pp ppf t = Fmt.pf ppf "lsn:%d" t

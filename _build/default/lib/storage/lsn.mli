@@ -1,0 +1,19 @@
+(** Log sequence numbers (Section 6.3).
+
+    "LSNs increase monotonically with each new operation. Each update
+    operation on the page sets the page LSN to its LSN." LSN [zero] tags
+    pages never updated by a logged operation. *)
+
+type t = private int
+
+val zero : t
+val of_int : int -> t
+val to_int : t -> int
+val next : t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val max : t -> t -> t
+val pp : t Fmt.t

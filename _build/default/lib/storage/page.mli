@@ -1,0 +1,63 @@
+(** Pages: the unit of atomic stable-state update.
+
+    Real systems update stable state one page write at a time; the
+    theory's "variables" become pages at this layer (one {!Redo_core.Var}
+    per page id, see {!Redo_core.Var.page}). Every page is tagged with
+    the LSN of the last operation that updated it, as in physiological
+    recovery (Section 6.3). *)
+
+type node =
+  | Leaf of (string * string) list  (** Sorted key/value entries. *)
+  | Internal of { seps : string list; children : int list }
+      (** [|children| = |seps| + 1]; subtree [i] holds keys < [seps.(i)]. *)
+
+type data =
+  | Empty
+  | Bytes of string  (** Raw payload (physical logging experiments). *)
+  | Kv of (string * string) list  (** Sorted key/value records (hash-partitioned store). *)
+  | Node of node  (** B-tree node. *)
+
+type t
+
+val empty : t
+val make : ?lsn:Lsn.t -> data -> t
+val lsn : t -> Lsn.t
+val data : t -> data
+val with_lsn : t -> Lsn.t -> t
+val with_data : t -> data -> t
+val equal : t -> t -> bool
+val data_equal : data -> data -> bool
+
+val encode : t -> string
+(** Deterministic wire encoding (LSN + payload). *)
+
+val encode_data : data -> string
+
+val byte_size : t -> int
+(** Size of the encoding — the cost of physically logging this page. *)
+
+exception Not_a_page of string
+
+val to_value : t -> Redo_core.Value.t
+(** Project the page into the theory's value domain (used by the
+    recovery-invariant checker). Round-trips through {!of_value}. *)
+
+val of_value : Redo_core.Value.t -> t
+(** @raise Not_a_page when the value is not a projected page. *)
+
+val data_to_value : data -> Redo_core.Value.t
+(** LSN-less projection, used by methods whose redo test ignores LSNs
+    (logical recovery). Round-trips through {!data_of_value}. *)
+
+val data_of_value : Redo_core.Value.t -> data
+(** @raise Not_a_page when the value is not projected page data. *)
+
+(** Sorted association-list helpers for [Kv] payloads. *)
+
+val kv_get : (string * string) list -> string -> string option
+val kv_put : (string * string) list -> string -> string -> (string * string) list
+val kv_del : (string * string) list -> string -> (string * string) list
+val sorted_kv : (string * string) list -> (string * string) list
+
+val pp : t Fmt.t
+val pp_data : data Fmt.t

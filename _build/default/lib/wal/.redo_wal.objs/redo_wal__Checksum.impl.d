@@ -1,0 +1,1 @@
+lib/wal/checksum.ml: Array Bytes Char Lazy Option

@@ -1,0 +1,1 @@
+lib/wal/codec.ml: Buffer Char Fmt Int32 Int64 List Lsn Multi_op Page Page_op Record Redo_storage String

@@ -1,0 +1,1 @@
+lib/wal/log_manager.ml: Buffer Checksum Codec Fmt Int32 List Lsn Record Redo_storage Stable_log String

@@ -1,0 +1,1 @@
+lib/wal/log_manager.mli: Fmt Lsn Record Redo_storage Stable_log

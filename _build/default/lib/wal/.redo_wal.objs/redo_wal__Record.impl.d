@@ -1,0 +1,1 @@
+lib/wal/record.ml: Fmt List Lsn Multi_op Page Page_op Redo_storage String

@@ -1,0 +1,1 @@
+lib/wal/record.mli: Fmt Lsn Multi_op Page Page_op Redo_storage

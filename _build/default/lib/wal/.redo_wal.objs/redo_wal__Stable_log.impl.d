@@ -1,0 +1,1 @@
+lib/wal/stable_log.ml: Buffer Bytes Char Checksum Codec Int32 List Record String

@@ -1,0 +1,1 @@
+lib/wal/stable_log.mli: Record

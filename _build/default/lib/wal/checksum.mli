@@ -1,0 +1,12 @@
+(** CRC-32 (IEEE), implemented from scratch, for stable-log frame
+    integrity: a torn or corrupted frame fails its checksum and ends the
+    pre-recovery log scan. *)
+
+val update : int -> Bytes.t -> pos:int -> len:int -> int
+(** Incremental update: feed a chunk into a running CRC (start from 0). *)
+
+val bytes : ?pos:int -> ?len:int -> Bytes.t -> int
+val string : string -> int
+
+val self_test : unit -> bool
+(** [string "123456789" = 0xCBF43926]. *)

@@ -1,0 +1,16 @@
+(** Binary wire format for log records.
+
+    Deterministic, self-delimiting, big-endian encoding used by the
+    framed {!Stable_log}. Every constructor of every payload kind
+    round-trips ([decode_record (encode_record r)] is structurally
+    [r]); the property tests in [test/t_codec.ml] fuzz this. *)
+
+exception Decode_error of string
+
+val encode_record : Record.t -> string
+
+val decode_record : string -> Record.t
+(** @raise Decode_error on truncation, unknown tags or trailing bytes. *)
+
+val encoded_size : Record.t -> int
+(** Exact wire size of the record (excluding framing). *)

@@ -1,0 +1,116 @@
+open Redo_storage
+
+type stats = {
+  mutable appended_bytes : int;
+  mutable stable_bytes : int;
+  mutable forces : int;
+  mutable appended_records : int;
+}
+
+type t = {
+  mutable records : Record.t list;  (* newest first; volatile view *)
+  mutable next : int;
+  mutable flushed : Lsn.t;  (* records with lsn <= flushed are stable *)
+  medium : Stable_log.t;  (* the crash-surviving frames *)
+  stats : stats;
+}
+
+let create () =
+  {
+    records = [];
+    next = 1;
+    flushed = Lsn.zero;
+    medium = Stable_log.create ();
+    stats = { appended_bytes = 0; stable_bytes = 0; forces = 0; appended_records = 0 };
+  }
+
+let stats t = t.stats
+let medium t = t.medium
+
+let append t payload =
+  let lsn = Lsn.of_int t.next in
+  t.next <- t.next + 1;
+  let r = Record.make ~lsn payload in
+  t.records <- r :: t.records;
+  t.stats.appended_bytes <- t.stats.appended_bytes + Codec.encoded_size r + 8;
+  t.stats.appended_records <- t.stats.appended_records + 1;
+  lsn
+
+let last_lsn t = Lsn.of_int (t.next - 1)
+let flushed_lsn t = t.flushed
+
+let force t ~upto =
+  if Lsn.(t.flushed < upto) then begin
+    t.stats.forces <- t.stats.forces + 1;
+    let newly =
+      List.filter
+        (fun r -> Lsn.(t.flushed < Record.lsn r) && Lsn.(Record.lsn r <= upto))
+        t.records
+      |> List.sort (fun a b -> Lsn.compare (Record.lsn a) (Record.lsn b))
+    in
+    List.iter (fun r -> ignore (Stable_log.append_record t.medium r)) newly;
+    t.stats.stable_bytes <- Stable_log.byte_size t.medium;
+    t.flushed <- upto
+  end
+
+let force_all t = force t ~upto:(last_lsn t)
+
+let restore_from_medium t =
+  (* The scan is the source of truth after a crash: whatever frames
+     survive (and checksum) are the log. *)
+  let survivors = Stable_log.truncate_torn t.medium in
+  t.records <- List.rev survivors;
+  t.flushed <-
+    (match t.records with r :: _ -> Record.lsn r | [] -> Lsn.zero);
+  t.next <- Lsn.to_int t.flushed + 1;
+  t.stats.stable_bytes <- Stable_log.byte_size t.medium
+
+let crash t = restore_from_medium t
+
+let crash_torn t ~drop =
+  (* A final force was racing the crash: it managed to write the whole
+     unforced tail except the last [drop] bytes, leaving a torn frame.
+     Already-forced bytes are never touched — anything WAL-gated (page
+     flushes) only ever waited on completed forces. *)
+  let unforced =
+    List.filter (fun r -> Lsn.(t.flushed < Record.lsn r)) t.records
+    |> List.sort (fun a b -> Lsn.compare (Record.lsn a) (Record.lsn b))
+  in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun r ->
+      let payload = Codec.encode_record r in
+      Buffer.add_int32_be buf (Int32.of_int (String.length payload));
+      Buffer.add_int32_be buf (Int32.of_int (Checksum.string payload));
+      Buffer.add_string buf payload)
+    unforced;
+  let written = max 0 (Buffer.length buf - drop) in
+  ignore (Stable_log.append_raw t.medium (Buffer.sub buf 0 written));
+  restore_from_medium t
+
+let stable_records t =
+  List.filter (fun r -> Lsn.(Record.lsn r <= t.flushed)) t.records |> List.rev
+
+let records_from t ~from =
+  List.filter (fun r -> Lsn.(from <= Record.lsn r) && Lsn.(Record.lsn r <= t.flushed)) t.records
+  |> List.rev
+
+let all_records t = List.rev t.records
+
+let last_stable_checkpoint t =
+  let rec go = function
+    | [] -> None
+    | r :: rest ->
+      if Lsn.(Record.lsn r <= t.flushed) then
+        match Record.payload r with
+        | Record.Checkpoint c -> Some (Record.lsn r, c)
+        | _ -> go rest
+      else go rest
+  in
+  go t.records
+
+let length t = List.length t.records
+
+let pp ppf t =
+  Fmt.pf ppf "log: %d records, flushed=%a, %d stable bytes" (List.length t.records) Lsn.pp
+    t.flushed (Stable_log.byte_size t.medium)

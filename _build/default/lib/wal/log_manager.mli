@@ -1,0 +1,64 @@
+(** The log manager: a volatile tail over a stable prefix.
+
+    [append] assigns monotonically increasing LSNs (from 1; {!Lsn.zero}
+    means "before all logged operations"). Records become
+    crash-survivable only once {!force}d — the half of the write-ahead
+    log protocol the {!Redo_storage.Cache} [before_flush] hook invokes:
+    an operation's record must be stable before the operation's effects
+    reach the disk. *)
+
+open Redo_storage
+
+type stats = {
+  mutable appended_bytes : int;
+  mutable stable_bytes : int;
+  mutable forces : int;
+  mutable appended_records : int;
+}
+
+type t
+
+val create : unit -> t
+val stats : t -> stats
+(** [appended_bytes]/[stable_bytes] use the exact {!Codec} wire sizes
+    plus 8 bytes of framing per record. *)
+
+val append : t -> Record.payload -> Lsn.t
+(** Append to the volatile tail; returns the record's LSN. *)
+
+val last_lsn : t -> Lsn.t
+val flushed_lsn : t -> Lsn.t
+
+val force : t -> upto:Lsn.t -> unit
+(** Make all records with LSN ≤ [upto] stable. Idempotent. *)
+
+val force_all : t -> unit
+
+val crash : t -> unit
+(** Lose the volatile tail; the stable prefix survives. The surviving
+    records are re-read from the framed medium ({!Stable_log.scan}), so
+    only frames that checksum cleanly count. *)
+
+val crash_torn : t -> drop:int -> unit
+(** Crash while a final force of the whole unforced tail was in flight:
+    all but its last [drop] bytes reached the medium, so the tail's
+    frames survive except a torn final one, which the scan discards.
+    Previously-forced bytes are never affected (page flushes only ever
+    waited on completed forces, so WAL consistency is preserved). *)
+
+val medium : t -> Stable_log.t
+(** The underlying framed byte log (for fault injection and forensics). *)
+
+val stable_records : t -> Record.t list
+(** Stable records in LSN order. *)
+
+val records_from : t -> from:Lsn.t -> Record.t list
+(** Stable records with LSN ≥ [from], in LSN order — the recovery scan. *)
+
+val all_records : t -> Record.t list
+
+val last_stable_checkpoint : t -> (Lsn.t * Record.checkpoint) option
+(** The newest stable checkpoint record, if any (the analysis pass). *)
+
+val length : t -> int
+val pp : t Fmt.t

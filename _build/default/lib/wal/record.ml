@@ -1,0 +1,59 @@
+open Redo_storage
+
+type db_op =
+  | Db_put of string * string
+  | Db_del of string
+
+type checkpoint = {
+  dirty_pages : (int * Lsn.t) list;
+  note : string;
+}
+
+type payload =
+  | Physical of { pid : int; image : Page.data }
+  | Physiological of { pid : int; op : Page_op.t }
+  | Multi of Multi_op.t
+  | Logical of db_op
+  | App_op of { tag : string; body : string }
+  | Checkpoint of checkpoint
+
+type t = {
+  lsn : Lsn.t;
+  payload : payload;
+}
+
+let make ~lsn payload = { lsn; payload }
+
+let lsn r = r.lsn
+let payload r = r.payload
+
+let is_checkpoint r = match r.payload with Checkpoint _ -> true | _ -> false
+
+let db_op_size = function
+  | Db_put (k, v) -> 8 + String.length k + String.length v
+  | Db_del k -> 8 + String.length k
+
+let payload_size = function
+  | Physical { image; _ } -> 12 + String.length (Page.encode_data image)
+  | App_op { tag; body } -> 8 + String.length tag + String.length body
+  | Physiological { op; _ } -> 12 + Page_op.logged_size op
+  | Multi op -> 8 + Multi_op.logged_size op
+  | Logical op -> 8 + db_op_size op
+  | Checkpoint { dirty_pages; note } -> 16 + (12 * List.length dirty_pages) + String.length note
+
+let byte_size r = 8 + payload_size r.payload
+
+let pp_db_op ppf = function
+  | Db_put (k, v) -> Fmt.pf ppf "put(%s=%s)" k v
+  | Db_del k -> Fmt.pf ppf "del(%s)" k
+
+let pp_payload ppf = function
+  | Physical { pid; image } -> Fmt.pf ppf "physical(pg %d, %a)" pid Page.pp_data image
+  | Physiological { pid; op } -> Fmt.pf ppf "physiological(pg %d, %a)" pid Page_op.pp op
+  | Multi op -> Fmt.pf ppf "multi(%a)" Multi_op.pp op
+  | Logical op -> Fmt.pf ppf "logical(%a)" pp_db_op op
+  | App_op { tag; body } -> Fmt.pf ppf "app(%s)[%d]" tag (String.length body)
+  | Checkpoint { dirty_pages; note } ->
+    Fmt.pf ppf "checkpoint(%s, %d dirty)" note (List.length dirty_pages)
+
+let pp ppf r = Fmt.pf ppf "%a %a" Lsn.pp r.lsn pp_payload r.payload

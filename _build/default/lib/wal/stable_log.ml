@@ -1,0 +1,99 @@
+(* The stable log medium: an append-only byte sequence of frames
+
+     [ u32 payload-length | u32 crc32(payload) | payload bytes ]
+
+   A crash can leave a torn final frame (a partial append); the
+   pre-recovery scan reads frames until the bytes run out or a checksum
+   fails, and everything from the first bad frame on is discarded —
+   exactly the "log scan prior to recovery" the paper's abstract model
+   glosses over. *)
+
+type t = {
+  mutable buf : Buffer.t;
+  mutable frames : int;
+}
+
+let header_size = 8
+
+let create () = { buf = Buffer.create 1024; frames = 0 }
+
+let byte_size t = Buffer.length t.buf
+let frame_count t = t.frames
+
+let append t payload =
+  let b = Buffer.create (String.length payload + header_size) in
+  Buffer.add_int32_be b (Int32.of_int (String.length payload));
+  Buffer.add_int32_be b (Int32.of_int (Checksum.string payload));
+  Buffer.add_string b payload;
+  Buffer.add_buffer t.buf b;
+  t.frames <- t.frames + 1;
+  String.length payload + header_size
+
+let append_record t record = append t (Codec.encode_record record)
+
+(* Append pre-framed bytes verbatim (possibly ending mid-frame): used to
+   model a force interrupted by a crash. *)
+let append_raw t bytes =
+  Buffer.add_string t.buf bytes;
+  String.length bytes
+
+(* Simulate a torn write: chop the final [drop] bytes (at most one
+   frame's worth matters; chopping into a frame makes it unreadable). *)
+let tear t ~drop =
+  if drop > 0 then begin
+    let keep = max 0 (Buffer.length t.buf - drop) in
+    let contents = Buffer.sub t.buf 0 keep in
+    let buf = Buffer.create (max 1024 keep) in
+    Buffer.add_string buf contents;
+    t.buf <- buf
+    (* frames is now an overestimate; scan is the source of truth. *)
+  end
+
+type scan_result = {
+  records : Record.t list;
+  valid_bytes : int;
+  torn : bool;  (* the tail was cut short or corrupt *)
+}
+
+let scan t =
+  let data = Buffer.contents t.buf in
+  let len = String.length data in
+  let rec go pos acc =
+    if pos = len then { records = List.rev acc; valid_bytes = pos; torn = false }
+    else if pos + header_size > len then
+      { records = List.rev acc; valid_bytes = pos; torn = true }
+    else
+      let payload_len = Int32.to_int (String.get_int32_be data pos) in
+      let crc = Int32.to_int (String.get_int32_be data (pos + 4)) land 0xFFFFFFFF in
+      if payload_len < 0 || pos + header_size + payload_len > len then
+        { records = List.rev acc; valid_bytes = pos; torn = true }
+      else
+        let payload = String.sub data (pos + header_size) payload_len in
+        if Checksum.string payload <> crc then
+          { records = List.rev acc; valid_bytes = pos; torn = true }
+        else
+          match Codec.decode_record payload with
+          | record -> go (pos + header_size + payload_len) (record :: acc)
+          | exception Codec.Decode_error _ ->
+            { records = List.rev acc; valid_bytes = pos; torn = true }
+  in
+  go 0 []
+
+let truncate_torn t =
+  let result = scan t in
+  if result.torn then begin
+    let contents = Buffer.sub t.buf 0 result.valid_bytes in
+    let buf = Buffer.create (max 1024 result.valid_bytes) in
+    Buffer.add_string buf contents;
+    t.buf <- buf;
+    t.frames <- List.length result.records
+  end;
+  result.records
+
+let corrupt_byte t ~pos =
+  if pos < 0 || pos >= Buffer.length t.buf then invalid_arg "Stable_log.corrupt_byte";
+  let data = Bytes.of_string (Buffer.contents t.buf) in
+  Bytes.set data pos (Char.chr (Char.code (Bytes.get data pos) lxor 0xff));
+  let buf = Buffer.create (Bytes.length data) in
+  Buffer.add_bytes buf data;
+  t.buf <- buf

@@ -1,0 +1,1 @@
+lib/workload/kv_trace.ml: Fmt Hashtbl List Printf Random String Zipf

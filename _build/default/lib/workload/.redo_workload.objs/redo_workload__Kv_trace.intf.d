@@ -1,0 +1,1 @@
+lib/workload/kv_trace.mli: Fmt

@@ -1,0 +1,1 @@
+lib/workload/op_gen.ml: Conflict_graph Digraph Exec Expr List Op Printf Random Redo_core Value Var

@@ -1,0 +1,1 @@
+lib/workload/op_gen.mli: Conflict_graph Digraph Exec Expr Op Random Redo_core Var

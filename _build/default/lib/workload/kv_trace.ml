@@ -1,0 +1,38 @@
+type op =
+  | Put of string * string
+  | Del of string
+
+type profile = {
+  ops : int;
+  key_space : int;
+  theta : float;  (* Zipf skew; 0 = uniform *)
+  delete_fraction : float;
+  value_size : int;
+}
+
+let uniform_profile =
+  { ops = 500; key_space = 200; theta = 0.0; delete_fraction = 0.1; value_size = 16 }
+
+let skewed_profile = { uniform_profile with theta = 0.99 }
+
+let generate ?(profile = uniform_profile) seed =
+  let rng = Random.State.make [| seed; 0x7ace |] in
+  let zipf = Zipf.create ~theta:profile.theta profile.key_space in
+  List.init profile.ops (fun i ->
+      let key = Zipf.sample_key zipf rng in
+      if Random.State.float rng 1.0 < profile.delete_fraction then Del key
+      else Put (key, Printf.sprintf "v%d-%s" i (String.make profile.value_size 'x')))
+
+let apply_to_assoc trace =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (function
+      | Put (k, v) -> Hashtbl.replace tbl k v
+      | Del k -> Hashtbl.remove tbl k)
+    trace;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp_op ppf = function
+  | Put (k, v) -> Fmt.pf ppf "put %s=%s" k v
+  | Del k -> Fmt.pf ppf "del %s" k

@@ -1,0 +1,24 @@
+(** Deterministic key-value traces for the simulator and benches. *)
+
+type op =
+  | Put of string * string
+  | Del of string
+
+type profile = {
+  ops : int;
+  key_space : int;
+  theta : float;  (** Zipf skew; 0 = uniform. *)
+  delete_fraction : float;
+  value_size : int;
+}
+
+val uniform_profile : profile
+val skewed_profile : profile
+
+val generate : ?profile:profile -> int -> op list
+(** Deterministic trace from a seed. *)
+
+val apply_to_assoc : op list -> (string * string) list
+(** The key-value contents the trace determines, sorted. *)
+
+val pp_op : op Fmt.t

@@ -1,0 +1,92 @@
+open Redo_core
+
+type params = {
+  n_vars : int;
+  n_ops : int;
+  blind_fraction : float;
+  rmw_fraction : float;
+  max_write_set : int;
+  max_extra_reads : int;
+  expr_depth : int;
+}
+
+let default =
+  {
+    n_vars = 4;
+    n_ops = 6;
+    blind_fraction = 0.3;
+    rmw_fraction = 0.4;
+    max_write_set = 2;
+    max_extra_reads = 2;
+    expr_depth = 2;
+  }
+
+let variables p = List.init p.n_vars (fun i -> Var.of_string (Printf.sprintf "v%d" i))
+
+let pick rng xs = List.nth xs (Random.State.int rng (List.length xs))
+
+let rec expr rng ~vars ~depth =
+  (* Leaves read a variable or are constants; inner nodes are the
+     arithmetic operators whose results depend on every argument, so a
+     wrong input value is always observable. *)
+  if depth <= 0 || Random.State.int rng 3 = 0 then
+    if vars <> [] && Random.State.bool rng then Expr.Read (pick rng vars)
+    else Expr.Const (Value.Int (Random.State.int rng 100))
+  else
+    let sub () = expr rng ~vars ~depth:(depth - 1) in
+    match Random.State.int rng 4 with
+    | 0 -> Expr.Add (sub (), sub ())
+    | 1 -> Expr.Sub (sub (), sub ())
+    | 2 -> Expr.Mul (sub (), Expr.Const (Value.Int (1 + Random.State.int rng 9)))
+    | _ -> Expr.Add (Expr.Hash (sub ()), sub ())
+
+let distinct_sample rng xs k =
+  let rec go acc k =
+    if k = 0 then acc
+    else
+      let x = pick rng xs in
+      if List.exists (Var.equal x) acc then go acc k else go (x :: acc) (k - 1)
+  in
+  go [] (min k (List.length xs))
+
+let op rng p ~vars ~id =
+  let n_writes = 1 + Random.State.int rng p.max_write_set in
+  let targets = distinct_sample rng vars n_writes in
+  let blind = Random.State.float rng 1.0 < p.blind_fraction in
+  let assign target =
+    if blind then
+      (* A blind write: the expression reads nothing. *)
+      target, expr rng ~vars:[] ~depth:p.expr_depth
+    else
+      let rmw = Random.State.float rng 1.0 < p.rmw_fraction in
+      let read_pool =
+        let extra = distinct_sample rng vars (Random.State.int rng (p.max_extra_reads + 1)) in
+        if rmw then target :: extra else extra
+      in
+      let base = expr rng ~vars:read_pool ~depth:p.expr_depth in
+      (* Force at least the intended reads to appear. *)
+      let forced =
+        List.fold_left (fun e v -> Expr.Add (e, Expr.Read v)) base read_pool
+      in
+      target, forced
+  in
+  Op.of_assigns ~id (List.map assign targets)
+
+let exec ?(params = default) seed =
+  let rng = Random.State.make [| seed; 0x5eed |] in
+  let vars = variables params in
+  let ops =
+    List.init params.n_ops (fun i -> op rng params ~vars ~id:(Printf.sprintf "op%d" i))
+  in
+  Exec.make ops
+
+let random_prefix rng graph =
+  (* Any prefix of a topological order is a downward-closed set. *)
+  let order = Digraph.random_topo rng graph in
+  let k = Random.State.int rng (List.length order + 1) in
+  Digraph.Node_set.of_list (List.filteri (fun i _ -> i < k) order)
+
+let random_installation_prefix rng cg =
+  random_prefix rng (Conflict_graph.installation cg)
+
+let random_conflict_prefix rng cg = random_prefix rng (Conflict_graph.graph cg)

@@ -1,0 +1,36 @@
+(** Random executions with controllable conflict structure.
+
+    The theory's interesting distinctions are structural — write-read vs
+    read-write edges, blind writes, read-modify-writes — so the
+    generator exposes each as a knob. Generation is deterministic from a
+    seed; property tests wrap these into qcheck generators. *)
+
+open Redo_core
+
+type params = {
+  n_vars : int;
+  n_ops : int;
+  blind_fraction : float;  (** Probability an operation writes blindly. *)
+  rmw_fraction : float;  (** Probability a non-blind target also reads itself. *)
+  max_write_set : int;
+  max_extra_reads : int;
+  expr_depth : int;
+}
+
+val default : params
+
+val variables : params -> Var.t list
+
+val expr : Random.State.t -> vars:Var.t list -> depth:int -> Expr.t
+(** Random expression reading only from [vars]. *)
+
+val op : Random.State.t -> params -> vars:Var.t list -> id:string -> Op.t
+
+val exec : ?params:params -> int -> Exec.t
+(** Deterministic random execution from a seed. *)
+
+val random_prefix : Random.State.t -> Digraph.t -> Digraph.Node_set.t
+(** Uniform-ish random downward-closed node set. *)
+
+val random_installation_prefix : Random.State.t -> Conflict_graph.t -> Digraph.Node_set.t
+val random_conflict_prefix : Random.State.t -> Conflict_graph.t -> Digraph.Node_set.t

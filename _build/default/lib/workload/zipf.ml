@@ -1,0 +1,37 @@
+(* Zipfian sampling over ranks 0..n-1 via the inverse-CDF of the
+   generalized harmonic numbers, precomputed at construction. *)
+
+type t = {
+  n : int;
+  cdf : float array;  (* cdf.(i) = P(rank <= i) *)
+}
+
+let create ?(theta = 0.99) n =
+  if n <= 0 then invalid_arg "Zipf.create: need a positive population";
+  if theta < 0. then invalid_arg "Zipf.create: negative skew";
+  let weights = Array.init n (fun i -> 1. /. Float.pow (float (i + 1)) theta) in
+  let total = Array.fold_left ( +. ) 0. weights in
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cdf.(i) <- !acc)
+    weights;
+  cdf.(n - 1) <- 1.0;
+  { n; cdf }
+
+let population t = t.n
+
+let sample t rng =
+  let u = Random.State.float rng 1.0 in
+  (* Binary search for the first index with cdf >= u. *)
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.cdf.(mid) >= u then go lo mid else go (mid + 1) hi
+  in
+  go 0 (t.n - 1)
+
+let sample_key ?(prefix = "k") t rng = Printf.sprintf "%s%05d" prefix (sample t rng)

@@ -1,0 +1,19 @@
+(** Zipfian key popularity, for skewed key-value workloads.
+
+    Rank [i] (0-based) is drawn with probability proportional to
+    [1/(i+1)^theta]; [theta = 0] is uniform, [theta ~ 1] is the classic
+    hot-key skew. The CDF is precomputed, sampling is a binary search. *)
+
+type t
+
+val create : ?theta:float -> int -> t
+(** [create ~theta n] over ranks [0..n-1] (default [theta] 0.99).
+    @raise Invalid_argument on [n <= 0] or negative [theta]. *)
+
+val population : t -> int
+
+val sample : t -> Random.State.t -> int
+(** A rank in [0..n-1]. *)
+
+val sample_key : ?prefix:string -> t -> Random.State.t -> string
+(** A formatted key such as ["k00042"]. *)

@@ -1,0 +1,1 @@
+test/t_beyond_theory.ml: Alcotest Conflict_graph Digraph Exec Explain Exposed Expr List Op Redo_core Replay State Util Value Var

@@ -1,0 +1,1 @@
+test/t_btree.ml: Alcotest Btree Hashtbl List Printf Random Redo_btree Redo_storage Redo_wal String Util

@@ -1,0 +1,1 @@
+test/t_codec.ml: Alcotest Bytes Char Checksum Codec List Log_manager Lsn Multi_op Page Page_op Printf Random Record Redo_storage Redo_wal Stable_log String Util

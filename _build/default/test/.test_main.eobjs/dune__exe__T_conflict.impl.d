@@ -1,0 +1,1 @@
+test/t_conflict.ml: Alcotest Conflict_graph Digraph Exec Expr List Random Redo_core Redo_workload Scenario String Util

@@ -1,0 +1,1 @@
+test/t_digraph.ml: Alcotest Digraph Fun List Printf Random Redo_core Redo_workload Util

@@ -1,0 +1,1 @@
+test/t_explain.ml: Alcotest Conflict_graph Digraph Explain Exposed List Random Redo_core Redo_workload Scenario State Util Value Var

@@ -1,0 +1,1 @@
+test/t_exposed.ml: Alcotest Bool Conflict_graph Digraph Exec Explain Exposed List Random Redo_core Redo_workload Scenario Util Var

@@ -1,0 +1,1 @@
+test/t_faults.ml: Alcotest List Method_intf Printf Redo_methods Redo_sim Registry Simulator Theory_check

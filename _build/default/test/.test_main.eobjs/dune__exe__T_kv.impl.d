@@ -1,0 +1,1 @@
+test/t_kv.ml: Alcotest List Redo_kv Redo_workload Store Util

@@ -1,0 +1,1 @@
+test/t_methods.ml: Alcotest List Method_intf Printf Random Redo_methods Redo_sim Registry Simulator Theory_check Util

@@ -1,0 +1,1 @@
+test/t_op_state.ml: Alcotest Exec Expr List Op Redo_core Scenario State Util Value Var

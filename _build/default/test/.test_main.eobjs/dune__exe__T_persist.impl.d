@@ -1,0 +1,1 @@
+test/t_persist.ml: Alcotest Bank List Random Redo_methods Redo_persist Util

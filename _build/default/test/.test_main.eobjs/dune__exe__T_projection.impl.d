@@ -1,0 +1,1 @@
+test/t_projection.ml: Alcotest Disk List Lsn Multi_op Op Page Page_op Printf Projection Random Redo_core Redo_kv Redo_methods Redo_storage Redo_wal State Util Var

@@ -1,0 +1,1 @@
+test/t_recovery.ml: Alcotest Conflict_graph Digraph Exec Explain Exposed List Log Op Option Random Recovery Redo_core Redo_workload Scenario State Util Value Var

@@ -1,0 +1,1 @@
+test/t_replay.ml: Alcotest Conflict_graph Digraph Exec Explain Exposed List Random Redo_core Redo_workload Replay Scenario State Util Value Var

@@ -1,0 +1,1 @@
+test/t_state_graph.ml: Alcotest Conflict_graph Digraph Exec Fun List Op Random Redo_core Redo_workload Scenario State State_graph Util Value Var

@@ -1,0 +1,1 @@
+test/t_storage.ml: Alcotest Cache Disk List Lsn Multi_op Option Page Page_op Redo_core Redo_storage

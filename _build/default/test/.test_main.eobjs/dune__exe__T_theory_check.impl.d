@@ -1,0 +1,1 @@
+test/t_theory_check.ml: Alcotest List Lsn Page Page_op Projection Redo_core Redo_methods Redo_storage State String Theory_check Value Var

@@ -1,0 +1,1 @@
+test/t_value_expr.ml: Alcotest Expr List Random Redo_core Redo_workload Util Value Var

@@ -1,0 +1,1 @@
+test/t_wal.ml: Alcotest List Log_manager Lsn Multi_op Page_op Printf Record Redo_storage Redo_wal String

@@ -1,0 +1,1 @@
+test/t_workload.ml: Alcotest Array Conflict_graph Digraph Exec Kv_trace List Op Op_gen Printf Random Redo_core Redo_workload State Util Var Zipf

@@ -1,0 +1,1 @@
+test/t_write_graph.ml: Alcotest Conflict_graph Digraph Exec Fun List Random Redo_core Redo_workload Replay Scenario State Util Value Var Write_graph

@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Conflict_graph Digraph QCheck QCheck_alcotest Redo_core Scenario State Value Var

@@ -1,0 +1,91 @@
+(* Section 7's closing observation: "There have been interesting
+   examples in which operations can be replayed even when they are not
+   applicable and write different values during recovery. The key is
+   that these writes are to the unexposed portion of the state."
+
+   The paper's theory deliberately does NOT cover this; these tests
+   demonstrate both halves: (a) such a recovery can succeed from a state
+   the theory calls unexplainable, and (b) the strict machinery
+   correctly refuses it. *)
+
+open Redo_core
+
+let x = Var.of_string "x"
+let y = Var.of_string "y"
+
+(* A reads y and writes x; B blindly rewrites y; C blindly rewrites x.
+   Replaying A with a garbage y writes garbage into x — but B and C
+   overwrite both, so replaying everything still reaches the final
+   state. *)
+let exec () =
+  Exec.make
+    [
+      Op.of_assigns ~id:"A" [ x, Expr.(var y + int 1) ];
+      Op.of_assigns ~id:"B" [ y, Expr.int 5 ];
+      Op.of_assigns ~id:"C" [ x, Expr.int 9 ];
+    ]
+
+let garbage_state = State.make [ x, Value.Int 77; y, Value.Int 88 ]
+let universe = Var.Set.of_list [ x; y ]
+
+let test_state_is_unexplainable () =
+  let cg = Conflict_graph.of_exec (exec ()) in
+  (* y is exposed by the empty prefix (A, a minimal uninstalled
+     operation, reads it), and 88 is not its initial value — so the
+     redo choice "replay everything" (installed = {}) violates the
+     invariant for this state. *)
+  Alcotest.(check bool) "y exposed by {}" true
+    (Exposed.is_exposed cg ~installed:Digraph.Node_set.empty y);
+  Alcotest.(check bool) "{} does not explain" false
+    (Explain.explains ~universe cg ~prefix:Digraph.Node_set.empty garbage_state);
+  (* A delicious subtlety: the state IS explainable — by {A}, under
+     which both variables are unexposed (B and C blindly overwrite
+     them). The theory would have recovery replay only B and C; the
+     "beyond the theory" part below is replaying A as well. *)
+  Alcotest.(check bool) "{A} explains (everything unexposed)" true
+    (Explain.explains ~universe cg ~prefix:(Digraph.Node_set.singleton "A") garbage_state)
+
+let test_strict_replay_refuses () =
+  let cg = Conflict_graph.of_exec (exec ()) in
+  match Replay.replay cg ~installed:Digraph.Node_set.empty garbage_state with
+  | exception Replay.Not_applicable _ -> ()
+  | _ -> Alcotest.fail "expected Not_applicable: A reads a wrong y"
+
+let test_relaxed_replay_succeeds_anyway () =
+  let e = exec () in
+  let cg = Conflict_graph.of_exec e in
+  let final, trace = Replay.replay ~check:false cg ~installed:Digraph.Node_set.empty garbage_state in
+  Alcotest.(check int) "all three replayed" 3 (List.length trace);
+  (* A wrote 89 into x mid-replay (wrong!), but B and C blindly paved
+     over both variables. *)
+  (match trace with
+  | a :: _ ->
+    Alcotest.(check bool) "A wrote a wrong value" true
+      (Value.equal (State.get a.Replay.after x) (Value.Int 89))
+  | [] -> Alcotest.fail "no trace");
+  Util.check_state ~universe "final state reached anyway" (Exec.final_state e) final
+
+let test_exposed_garbage_defeats_relaxed_replay () =
+  (* Without a blind rewrite of y, the wrongly-read value survives into
+     the final state: the unexposed-writes trick has real limits. *)
+  let e =
+    Exec.make
+      [
+        Op.of_assigns ~id:"A" [ x, Expr.(var y + int 1) ];
+        Op.of_assigns ~id:"C" [ x, Expr.int 9 ];
+      ]
+  in
+  let cg = Conflict_graph.of_exec e in
+  let final, _ = Replay.replay ~check:false cg ~installed:Digraph.Node_set.empty garbage_state in
+  Alcotest.(check bool) "y remains wrong" false
+    (State.equal_on universe final (Exec.final_state e))
+
+let suite =
+  [
+    Alcotest.test_case "explainability of the garbage state" `Quick test_state_is_unexplainable;
+    Alcotest.test_case "strict replay refuses" `Quick test_strict_replay_refuses;
+    Alcotest.test_case "relaxed replay succeeds via unexposed writes" `Quick
+      test_relaxed_replay_succeeds_anyway;
+    Alcotest.test_case "exposed garbage still defeats it" `Quick
+      test_exposed_garbage_defeats_relaxed_replay;
+  ]

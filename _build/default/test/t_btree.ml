@@ -1,0 +1,210 @@
+open Redo_btree
+
+let key i = Printf.sprintf "k%03d" i
+let value i = Printf.sprintf "v%d" i
+
+let build strategy n =
+  let t = Btree.create ~max_keys:4 ~strategy () in
+  for i = 1 to n do
+    Btree.insert t (key i) (value i)
+  done;
+  t
+
+let expected n = List.init n (fun i -> key (i + 1), value (i + 1))
+
+let both = [ Btree.Physiological_split; Btree.Generalized_split ]
+
+let test_insert_lookup () =
+  List.iter
+    (fun strategy ->
+      let t = build strategy 50 in
+      List.iter
+        (fun i ->
+          Alcotest.(check (option string))
+            (Btree.strategy_name strategy ^ " lookup " ^ key i)
+            (Some (value i)) (Btree.lookup t (key i)))
+        (List.init 50 (fun i -> i + 1));
+      Alcotest.(check (option string)) "absent" None (Btree.lookup t "nope");
+      Alcotest.(check bool) "splits happened" true (Btree.splits t > 0))
+    both
+
+let test_dump_sorted () =
+  List.iter
+    (fun strategy ->
+      let t = build strategy 30 in
+      Alcotest.(check (list (pair string string))) "dump" (expected 30) (Btree.dump t))
+    both
+
+let test_delete () =
+  List.iter
+    (fun strategy ->
+      let t = build strategy 20 in
+      Btree.delete t (key 7);
+      Alcotest.(check (option string)) "gone" None (Btree.lookup t (key 7));
+      Alcotest.(check int) "one fewer" 19 (List.length (Btree.dump t)))
+    both
+
+let test_overwrite () =
+  List.iter
+    (fun strategy ->
+      let t = build strategy 10 in
+      Btree.insert t (key 3) "fresh";
+      Alcotest.(check (option string)) "overwritten" (Some "fresh") (Btree.lookup t (key 3));
+      Alcotest.(check int) "no duplicate" 10 (List.length (Btree.dump t)))
+    both
+
+let test_crash_recover_full_sync () =
+  List.iter
+    (fun strategy ->
+      let t = build strategy 40 in
+      Btree.sync t;
+      Btree.crash t;
+      let _ = Btree.recover t in
+      Alcotest.(check (list (pair string string)))
+        (Btree.strategy_name strategy ^ " recovers")
+        (expected 40) (Btree.dump t))
+    both
+
+let test_crash_without_sync_loses_tail () =
+  List.iter
+    (fun strategy ->
+      let t = build strategy 10 in
+      Btree.sync t;
+      Btree.insert t "zz-lost" "gone";
+      Btree.crash t;
+      let _ = Btree.recover t in
+      Alcotest.(check (option string)) "unsynced insert lost" None (Btree.lookup t "zz-lost");
+      Alcotest.(check int) "durable ops" 10 (Btree.durable_ops t))
+    both
+
+let test_checkpoint_shortens_scan () =
+  let t = build Btree.Generalized_split 40 in
+  (* A fuzzy checkpoint only bounds the scan as far as pages have been
+     flushed: flush everything first, then the dirty-page table is empty
+     and the scan starts at the checkpoint record. *)
+  Redo_storage.Cache.flush_all (Btree.cache t);
+  Btree.checkpoint t;
+  for i = 41 to 45 do
+    Btree.insert t (key i) (value i)
+  done;
+  Btree.sync t;
+  Btree.crash t;
+  let scanned, _, _ = Btree.recover t in
+  Alcotest.(check bool) "scan bounded by checkpoint" true (scanned < 45 + 40);
+  Alcotest.(check (list (pair string string))) "contents" (expected 45) (Btree.dump t)
+
+let test_flush_order_registered () =
+  (* Generalized splits must register new-node-before-old-node edges. *)
+  let t = Btree.create ~max_keys:2 ~strategy:Btree.Generalized_split () in
+  for i = 1 to 3 do
+    Btree.insert t (key i) (value i)
+  done;
+  Alcotest.(check bool) "constraints registered" true
+    (List.length (Redo_storage.Cache.flush_orders (Btree.cache t)) > 0);
+  (* The physiological strategy needs none. *)
+  let t' = Btree.create ~max_keys:2 ~strategy:Btree.Physiological_split () in
+  for i = 1 to 3 do
+    Btree.insert t' (key i) (value i)
+  done;
+  Alcotest.(check (list (pair int int))) "no constraints" []
+    (Redo_storage.Cache.flush_orders (Btree.cache t'))
+
+let test_generalized_log_smaller () =
+  let bytes strategy =
+    let t = build strategy 200 in
+    Btree.sync t;
+    (Btree.log_stats t).Redo_wal.Log_manager.appended_bytes
+  in
+  let physiological = bytes Btree.Physiological_split in
+  let generalized = bytes Btree.Generalized_split in
+  Alcotest.(check bool)
+    (Printf.sprintf "generalized (%d) < physiological (%d)" generalized physiological)
+    true (generalized < physiological)
+
+(* Torture: random inserts/deletes with random partial flushes, periodic
+   crashes; after each recovery the reachable contents must equal the
+   reference truncated at the durability horizon. *)
+let prop_crash_torture strategy seed =
+  let rng = Random.State.make [| seed; 0x1ee7 |] in
+  let t = Btree.create ~cache_capacity:8 ~max_keys:4 ~strategy () in
+  (* (key, value option) trace, newest first *)
+  let trace = ref [] in
+  let apply_ref n =
+    let tbl = Hashtbl.create 32 in
+    List.iteri
+      (fun i op -> if i < n then
+        match op with
+        | k, Some v -> Hashtbl.replace tbl k v
+        | k, None -> Hashtbl.remove tbl k)
+      (List.rev !trace);
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let ops = 60 in
+  let result = ref true in
+  for i = 1 to ops do
+    let k = key (Random.State.int rng 25) in
+    if Random.State.int rng 10 < 2 then begin
+      Btree.delete t k;
+      trace := (k, None) :: !trace
+    end
+    else begin
+      Btree.insert t k (value i);
+      trace := (k, Some (value i)) :: !trace
+    end;
+    if Random.State.int rng 4 = 0 then Btree.flush_some t rng;
+    if Random.State.int rng 10 = 0 then Btree.checkpoint t;
+    if i mod 20 = 0 then begin
+      if Random.State.bool rng then Btree.sync t;
+      Btree.crash t;
+      let durable = Btree.durable_ops t in
+      let _ = Btree.recover t in
+      let expected = apply_ref durable in
+      trace := List.filteri (fun idx _ -> idx >= List.length !trace - durable) !trace;
+      if Btree.dump t <> expected then result := false
+    end
+  done;
+  !result
+
+(* The write-ahead-log invariant: at every moment, every page on disk
+   carries an LSN no greater than the stable log horizon — a flushed
+   page's explaining records are always stable. *)
+let prop_wal_invariant strategy seed =
+  let rng = Random.State.make [| seed; 0xa1 |] in
+  let t = Btree.create ~cache_capacity:6 ~max_keys:4 ~strategy () in
+  let holds () =
+    let flushed = Redo_storage.Lsn.to_int (Redo_wal.Log_manager.flushed_lsn (Btree.log t)) in
+    List.for_all
+      (fun pid ->
+        Redo_storage.Lsn.to_int (Redo_storage.Page.lsn (Redo_storage.Disk.read (Btree.disk t) pid))
+        <= flushed)
+      (Redo_storage.Disk.page_ids (Btree.disk t))
+  in
+  let ok = ref true in
+  for i = 1 to 80 do
+    Btree.insert t (key (Random.State.int rng 30)) (value i);
+    if Random.State.int rng 3 = 0 then Btree.flush_some t rng;
+    if not (holds ()) then ok := false
+  done;
+  !ok
+
+let suite =
+  [
+    Alcotest.test_case "insert/lookup both strategies" `Quick test_insert_lookup;
+    Alcotest.test_case "dump sorted" `Quick test_dump_sorted;
+    Alcotest.test_case "delete" `Quick test_delete;
+    Alcotest.test_case "overwrite" `Quick test_overwrite;
+    Alcotest.test_case "crash + recover (synced)" `Quick test_crash_recover_full_sync;
+    Alcotest.test_case "unsynced tail lost" `Quick test_crash_without_sync_loses_tail;
+    Alcotest.test_case "checkpoint shortens scan" `Quick test_checkpoint_shortens_scan;
+    Alcotest.test_case "flush order registered" `Quick test_flush_order_registered;
+    Alcotest.test_case "generalized logs fewer bytes" `Quick test_generalized_log_smaller;
+    Util.qtest ~count:60 "crash torture (generalized)"
+      (prop_crash_torture Btree.Generalized_split);
+    Util.qtest ~count:60 "crash torture (physiological)"
+      (prop_crash_torture Btree.Physiological_split);
+    Util.qtest ~count:30 "write-ahead-log invariant (generalized)"
+      (prop_wal_invariant Btree.Generalized_split);
+    Util.qtest ~count:30 "write-ahead-log invariant (physiological)"
+      (prop_wal_invariant Btree.Physiological_split);
+  ]

@@ -1,0 +1,133 @@
+open Redo_core
+
+let fig4_cg () = Conflict_graph.of_exec Scenario.figure_4
+
+let kinds_testable = Alcotest.(list string)
+
+let kinds cg a b =
+  List.sort compare (List.map Conflict_graph.kind_to_string (Conflict_graph.edge_kinds cg a b))
+
+let test_figure4_edges () =
+  let cg = fig4_cg () in
+  Alcotest.check kinds_testable "O->P is write-read only" [ "wr" ] (kinds cg "O" "P");
+  Alcotest.check kinds_testable "O->Q carries ww, wr and rw" [ "rw"; "wr"; "ww" ]
+    (kinds cg "O" "Q");
+  Alcotest.check kinds_testable "P->Q is read-write" [ "rw" ] (kinds cg "P" "Q");
+  Alcotest.check kinds_testable "no Q->O edge" [] (kinds cg "Q" "O")
+
+let test_figure5_installation () =
+  let cg = fig4_cg () in
+  let ig = Conflict_graph.installation cg in
+  Alcotest.(check bool) "O->P dropped" false (Digraph.mem_edge ig "O" "P");
+  Alcotest.(check bool) "O->Q kept" true (Digraph.mem_edge ig "O" "Q");
+  Alcotest.(check bool) "P->Q kept" true (Digraph.mem_edge ig "P" "Q");
+  (* {P} is an installation prefix but not a conflict prefix: the extra
+     recoverable state of Figure 5. *)
+  Alcotest.(check bool) "{P} installation prefix" true
+    (Digraph.is_prefix ig (Util.ids [ "P" ]));
+  Alcotest.(check bool) "{P} not conflict prefix" false
+    (Digraph.is_prefix (Conflict_graph.graph cg) (Util.ids [ "P" ]))
+
+let test_prefix_counts () =
+  let cg = fig4_cg () in
+  Alcotest.(check int) "conflict graph has 4 prefixes" 4
+    (Digraph.count_downsets (Conflict_graph.graph cg));
+  Alcotest.(check int) "installation graph has 5 prefixes" 5
+    (Digraph.count_downsets (Conflict_graph.installation cg))
+
+let test_scenario_edges () =
+  let cg1 = Conflict_graph.of_exec Scenario.scenario_1.Scenario.exec in
+  Alcotest.check kinds_testable "scenario 1: A->B read-write" [ "rw" ] (kinds cg1 "A" "B");
+  let cg2 = Conflict_graph.of_exec Scenario.scenario_2.Scenario.exec in
+  Alcotest.check kinds_testable "scenario 2: B->A write-read" [ "wr" ] (kinds cg2 "B" "A");
+  let cg3 = Conflict_graph.of_exec Scenario.scenario_3.Scenario.exec in
+  Alcotest.check kinds_testable "scenario 3: C->D has rw (x), ww (x) and wr (y)"
+    [ "rw"; "wr"; "ww" ] (kinds cg3 "C" "D")
+
+let test_installation_prefixes_superset () =
+  let cg = fig4_cg () in
+  let conflict = Digraph.downsets (Conflict_graph.graph cg) in
+  let installation = Digraph.downsets (Conflict_graph.installation cg) in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "conflict prefix is installation prefix" true
+        (List.exists (Digraph.Node_set.equal p) installation))
+    conflict
+
+let test_accessors () =
+  let cg = fig4_cg () in
+  Util.check_set "x accessed by all" [ "O"; "P"; "Q" ] (Conflict_graph.accessors cg Util.x);
+  Util.check_set "y accessed by P" [ "P" ] (Conflict_graph.accessors cg Util.y)
+
+let test_predecessors () =
+  let cg = fig4_cg () in
+  Util.check_set "Q's predecessors" [ "O"; "P" ] (Conflict_graph.predecessors_of cg "Q");
+  Util.check_set "O has none" [] (Conflict_graph.predecessors_of cg "O")
+
+(* Lemma 1 on the running example: every total order of the conflict
+   graph's operations regenerates the same conflict graph. *)
+let test_lemma1_figure4 () =
+  let cg = fig4_cg () in
+  let orders = Digraph.all_topo_sorts (Conflict_graph.graph cg) in
+  (* O -> P -> Q and O -> Q admit exactly one linearization. *)
+  Alcotest.(check int) "figure 4 is totally ordered" 1 (List.length orders);
+  List.iter
+    (fun order ->
+      let cg' = Conflict_graph.of_exec (Exec.reorder Scenario.figure_4 order) in
+      Alcotest.(check bool) "same conflict graph" true (Conflict_graph.equal cg cg'))
+    orders;
+  (* A genuinely parallel example: two independent writers feeding a
+     reader admit two orders, both regenerating the same graph. *)
+  let w1 = Redo_core.Op.of_assigns ~id:"W1" [ Util.x, Expr.int 1 ] in
+  let w2 = Redo_core.Op.of_assigns ~id:"W2" [ Util.y, Expr.int 2 ] in
+  let r = Redo_core.Op.of_assigns ~id:"R" [ Util.x, Expr.(var Util.x + var Util.y) ] in
+  let exec = Exec.make [ w1; w2; r ] in
+  let cg = Conflict_graph.of_exec exec in
+  let orders = Digraph.all_topo_sorts (Conflict_graph.graph cg) in
+  Alcotest.(check int) "two linearizations" 2 (List.length orders);
+  List.iter
+    (fun order ->
+      Alcotest.(check bool) "same conflict graph" true
+        (Conflict_graph.equal cg (Conflict_graph.of_exec (Exec.reorder exec order))))
+    orders
+
+let prop_lemma1 seed =
+  let exec = Redo_workload.Op_gen.exec seed in
+  let cg = Conflict_graph.of_exec exec in
+  let orders =
+    match Digraph.all_topo_sorts ~limit:200 (Conflict_graph.graph cg) with
+    | orders -> orders
+    | exception Invalid_argument _ ->
+      (* Too many linearizations: sample a few random ones instead. *)
+      let rng = Random.State.make [| seed; 1 |] in
+      List.init 5 (fun _ -> Digraph.random_topo rng (Conflict_graph.graph cg))
+  in
+  List.for_all
+    (fun order -> Conflict_graph.equal cg (Conflict_graph.of_exec (Exec.reorder exec order)))
+    orders
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_dot_output () =
+  let dot = Conflict_graph.to_dot (fig4_cg ()) in
+  List.iter
+    (fun s -> Alcotest.(check bool) ("dot mentions " ^ s) true (contains ~needle:s dot))
+    [ "\"O\""; "\"P\""; "\"Q\""; "style=dashed"; "ww" ]
+
+let suite =
+  [
+    Alcotest.test_case "figure 4 edge kinds" `Quick test_figure4_edges;
+    Alcotest.test_case "figure 5 installation graph" `Quick test_figure5_installation;
+    Alcotest.test_case "prefix counts (flexibility)" `Quick test_prefix_counts;
+    Alcotest.test_case "scenario edge kinds" `Quick test_scenario_edges;
+    Alcotest.test_case "conflict prefixes are installation prefixes" `Quick
+      test_installation_prefixes_superset;
+    Alcotest.test_case "accessors" `Quick test_accessors;
+    Alcotest.test_case "predecessors" `Quick test_predecessors;
+    Alcotest.test_case "lemma 1 on figure 4" `Quick test_lemma1_figure4;
+    Alcotest.test_case "dot output" `Quick test_dot_output;
+    Util.qtest ~count:150 "lemma 1 (random executions)" prop_lemma1;
+  ]

@@ -1,0 +1,144 @@
+open Redo_core
+
+let chain = Digraph.of_edges [ "a", "b"; "b", "c" ]
+let diamond = Digraph.of_edges [ "a", "b"; "a", "c"; "b", "d"; "c", "d" ]
+let antichain = Digraph.of_edges ~nodes:[ "a"; "b"; "c" ] []
+
+let test_topo_sort () =
+  Alcotest.(check (list string)) "chain order" [ "a"; "b"; "c" ] (Digraph.topo_sort chain);
+  Alcotest.(check (list string)) "diamond order" [ "a"; "b"; "c"; "d" ] (Digraph.topo_sort diamond)
+
+let test_cycle_detection () =
+  let cyclic = Digraph.of_edges [ "a", "b"; "b", "a" ] in
+  Alcotest.(check bool) "cyclic" false (Digraph.is_acyclic cyclic);
+  Alcotest.(check bool) "acyclic" true (Digraph.is_acyclic diamond);
+  (match Digraph.topo_sort cyclic with
+  | exception Digraph.Cycle nodes ->
+    Alcotest.(check (list string)) "cycle nodes" [ "a"; "b" ] (List.sort compare nodes)
+  | _ -> Alcotest.fail "expected Cycle")
+
+let test_ancestors () =
+  Util.check_set "d ancestors" [ "a"; "b"; "c" ] (Digraph.ancestors diamond "d");
+  Util.check_set "a ancestors" [] (Digraph.ancestors diamond "a");
+  Util.check_set "a descendants" [ "b"; "c"; "d" ] (Digraph.descendants diamond "a")
+
+let test_reaches () =
+  Alcotest.(check bool) "a reaches d" true (Digraph.reaches diamond "a" "d");
+  Alcotest.(check bool) "d does not reach a" false (Digraph.reaches diamond "d" "a");
+  Alcotest.(check bool) "b c incomparable" false (Digraph.comparable diamond "b" "c");
+  Alcotest.(check bool) "a d comparable" true (Digraph.comparable diamond "a" "d")
+
+let test_prefix () =
+  Alcotest.(check bool) "ab prefix" true (Digraph.is_prefix diamond (Util.ids [ "a"; "b" ]));
+  Alcotest.(check bool) "b not prefix" false (Digraph.is_prefix diamond (Util.ids [ "b" ]));
+  Alcotest.(check bool) "empty prefix" true (Digraph.is_prefix diamond Digraph.Node_set.empty);
+  Util.check_set "close d" [ "a"; "b"; "c"; "d" ]
+    (Digraph.prefix_close diamond (Util.ids [ "d" ]))
+
+let test_minimal_of () =
+  Util.check_set "minimal of bcd" [ "b"; "c" ]
+    (Digraph.minimal_of diamond (Util.ids [ "b"; "c"; "d" ]));
+  Util.check_set "minimal of d" [ "d" ] (Digraph.minimal_of diamond (Util.ids [ "d" ]));
+  Util.check_set "minimal nodes" [ "a" ] (Digraph.minimal_nodes diamond)
+
+let test_count_downsets () =
+  Alcotest.(check int) "chain 3" 4 (Digraph.count_downsets chain);
+  Alcotest.(check int) "antichain 3" 8 (Digraph.count_downsets antichain);
+  Alcotest.(check int) "diamond" 6 (Digraph.count_downsets diamond);
+  Alcotest.(check int) "empty" 1 (Digraph.count_downsets Digraph.empty)
+
+let test_downsets () =
+  let ds = Digraph.downsets diamond in
+  Alcotest.(check int) "enumeration matches count" (Digraph.count_downsets diamond)
+    (List.length ds);
+  Alcotest.(check int) "no duplicates" (List.length ds)
+    (List.length (List.sort_uniq Digraph.Node_set.compare ds));
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "each downset is a prefix" true (Digraph.is_prefix diamond d))
+    ds
+
+let test_all_topo_sorts () =
+  let sorts = Digraph.all_topo_sorts diamond in
+  Alcotest.(check int) "diamond has 2 linearizations" 2 (List.length sorts);
+  let sorts = Digraph.all_topo_sorts antichain in
+  Alcotest.(check int) "antichain has 6 linearizations" 6 (List.length sorts)
+
+let test_transitive_reduction () =
+  let g = Digraph.of_edges [ "a", "b"; "b", "c"; "a", "c" ] in
+  let r = Digraph.transitive_reduction g in
+  Alcotest.(check bool) "redundant edge dropped" false (Digraph.mem_edge r "a" "c");
+  Alcotest.(check bool) "chain edges kept" true
+    (Digraph.mem_edge r "a" "b" && Digraph.mem_edge r "b" "c")
+
+let test_restrict () =
+  let r = Digraph.restrict diamond (Util.ids [ "a"; "b"; "d" ]) in
+  Util.check_set "restricted nodes" [ "a"; "b"; "d" ] (Digraph.nodes r);
+  Alcotest.(check bool) "edge within kept" true (Digraph.mem_edge r "a" "b");
+  Alcotest.(check bool) "edge across dropped" false (Digraph.mem_edge r "c" "d")
+
+let prop_downsets_of_random_graph seed =
+  (* Random DAG: edges only from lower to higher indices. *)
+  let rng = Random.State.make [| seed |] in
+  let n = 2 + Random.State.int rng 6 in
+  let nodes = List.init n (fun i -> Printf.sprintf "n%02d" i) in
+  let g =
+    List.fold_left
+      (fun g i ->
+        List.fold_left
+          (fun g j ->
+            if i < j && Random.State.bool rng then
+              Digraph.add_edge g (List.nth nodes i) (List.nth nodes j)
+            else g)
+          g
+          (List.init n Fun.id))
+      (Digraph.of_edges ~nodes [])
+      (List.init n Fun.id)
+  in
+  let ds = Digraph.downsets g in
+  List.length ds = Digraph.count_downsets g
+  && List.for_all (Digraph.is_prefix g) ds
+  && List.length (List.sort_uniq Digraph.Node_set.compare ds) = List.length ds
+
+(* Downsets form a lattice: unions and intersections of prefixes are
+   prefixes (the algebra behind "the installed set only grows"). *)
+let prop_downsets_lattice seed =
+  let rng = Random.State.make [| seed; 21 |] in
+  let exec = Redo_workload.Op_gen.exec seed in
+  let cg = Redo_core.Conflict_graph.of_exec exec in
+  let g = Redo_core.Conflict_graph.installation cg in
+  let a = Redo_workload.Op_gen.random_prefix rng g in
+  let b = Redo_workload.Op_gen.random_prefix rng g in
+  Digraph.is_prefix g (Digraph.Node_set.union a b)
+  && Digraph.is_prefix g (Digraph.Node_set.inter a b)
+
+let prop_prefix_close_idempotent seed =
+  let rng = Random.State.make [| seed; 22 |] in
+  let exec = Redo_workload.Op_gen.exec seed in
+  let g = Redo_core.Conflict_graph.graph (Redo_core.Conflict_graph.of_exec exec) in
+  let some =
+    List.filter (fun _ -> Random.State.bool rng) (Digraph.Node_set.elements (Digraph.nodes g))
+    |> Digraph.Node_set.of_list
+  in
+  let closed = Digraph.prefix_close g some in
+  Digraph.is_prefix g closed
+  && Digraph.Node_set.equal closed (Digraph.prefix_close g closed)
+  && Digraph.Node_set.subset some closed
+
+let suite =
+  [
+    Alcotest.test_case "topo_sort" `Quick test_topo_sort;
+    Alcotest.test_case "cycle detection" `Quick test_cycle_detection;
+    Alcotest.test_case "ancestors/descendants" `Quick test_ancestors;
+    Alcotest.test_case "reaches/comparable" `Quick test_reaches;
+    Alcotest.test_case "prefixes" `Quick test_prefix;
+    Alcotest.test_case "minimal_of" `Quick test_minimal_of;
+    Alcotest.test_case "count_downsets" `Quick test_count_downsets;
+    Alcotest.test_case "downsets enumeration" `Quick test_downsets;
+    Alcotest.test_case "all_topo_sorts" `Quick test_all_topo_sorts;
+    Alcotest.test_case "transitive_reduction" `Quick test_transitive_reduction;
+    Alcotest.test_case "restrict" `Quick test_restrict;
+    Util.qtest "downsets = count_downsets on random DAGs" prop_downsets_of_random_graph;
+    Util.qtest "downsets form a lattice" prop_downsets_lattice;
+    Util.qtest "prefix closure is idempotent" prop_prefix_close_idempotent;
+  ]

@@ -1,0 +1,90 @@
+open Redo_core
+
+let universe = Var.Set.of_list [ Util.x; Util.y ]
+
+let test_scenario1_not_explainable () =
+  let s = Scenario.scenario_1 in
+  let cg = Conflict_graph.of_exec s.Scenario.exec in
+  (* {B} is not even an installation prefix: the read-write edge A -> B
+     survives into the installation graph. *)
+  Alcotest.(check bool) "{B} not an installation prefix" false
+    (Explain.is_installation_prefix cg s.Scenario.claimed_installed);
+  Alcotest.(check bool) "crash state unexplainable" false
+    (Explain.is_explainable ~universe cg s.Scenario.crash_state);
+  Alcotest.(check int) "no explaining prefix" 0
+    (List.length (Explain.explaining_prefixes ~universe cg s.Scenario.crash_state))
+
+let test_scenario2_explainable () =
+  let s = Scenario.scenario_2 in
+  let cg = Conflict_graph.of_exec s.Scenario.exec in
+  Alcotest.(check bool) "{A} is an installation prefix" true
+    (Explain.is_installation_prefix cg s.Scenario.claimed_installed);
+  Alcotest.(check bool) "{A} not a conflict prefix" false
+    (Explain.is_conflict_prefix cg s.Scenario.claimed_installed);
+  Alcotest.(check bool) "{A} explains the crash state" true
+    (Explain.explains ~universe cg ~prefix:s.Scenario.claimed_installed s.Scenario.crash_state)
+
+let test_scenario3_explainable_with_garbage () =
+  let s = Scenario.scenario_3 in
+  let cg = Conflict_graph.of_exec s.Scenario.exec in
+  Alcotest.(check bool) "{C} explains the crash state" true
+    (Explain.explains ~universe cg ~prefix:s.Scenario.claimed_installed s.Scenario.crash_state);
+  (* x is unexposed by {C}: any garbage in x is still explained. *)
+  let garbage = State.scramble s.Scenario.crash_state (Var.Set.singleton Util.x) in
+  Alcotest.(check bool) "garbage x still explained" true
+    (Explain.explains ~universe cg ~prefix:s.Scenario.claimed_installed garbage);
+  (* ... but garbage in the exposed y is not. *)
+  let bad = State.scramble s.Scenario.crash_state (Var.Set.singleton Util.y) in
+  Alcotest.(check bool) "garbage y not explained" false
+    (Explain.explains ~universe cg ~prefix:s.Scenario.claimed_installed bad)
+
+let test_determined_state () =
+  let s = Scenario.scenario_2 in
+  let cg = Conflict_graph.of_exec s.Scenario.exec in
+  let st = Explain.state_determined_by_prefix cg ~prefix:(Util.ids [ "A" ]) in
+  Util.check_value "x has A's write" (Value.Int 3) (State.get st Util.x);
+  Util.check_value "y still initial" (Value.Int 0) (State.get st Util.y)
+
+let test_figure5_explaining_prefixes () =
+  let cg = Conflict_graph.of_exec Scenario.figure_4 in
+  (* The state with only P's effect (x=0, y=2) is explained exactly by
+     the {P} prefix: x is exposed (O reads it) and must be 0. *)
+  let state = State.make [ Util.x, Value.Int 0; Util.y, Value.Int 2 ] in
+  let prefixes = Explain.explaining_prefixes ~universe cg state in
+  Alcotest.(check bool) "{P} explains" true
+    (List.exists (Digraph.Node_set.equal (Util.ids [ "P" ])) prefixes);
+  (* The empty prefix also explains it: y is unexposed by {} (P blindly
+     writes y), x = 0 matches the initial state. *)
+  Alcotest.(check bool) "{} also explains (y unexposed)" true
+    (List.exists Digraph.Node_set.is_empty prefixes)
+
+let prop_prefix_determined_states_explainable seed =
+  let exec = Redo_workload.Op_gen.exec seed in
+  let cg = Conflict_graph.of_exec exec in
+  let rng = Random.State.make [| seed; 4 |] in
+  let prefix = Redo_workload.Op_gen.random_installation_prefix rng cg in
+  let state = Explain.state_determined_by_prefix cg ~prefix in
+  Explain.explains cg ~prefix state
+
+let prop_scrambling_unexposed_preserves_explanation seed =
+  let exec = Redo_workload.Op_gen.exec seed in
+  let cg = Conflict_graph.of_exec exec in
+  let rng = Random.State.make [| seed; 5 |] in
+  let prefix = Redo_workload.Op_gen.random_installation_prefix rng cg in
+  let state = Explain.state_determined_by_prefix cg ~prefix in
+  let scrambled = State.scramble state (Exposed.unexposed_vars cg ~installed:prefix) in
+  Explain.explains cg ~prefix scrambled
+
+let suite =
+  [
+    Alcotest.test_case "scenario 1 unexplainable" `Quick test_scenario1_not_explainable;
+    Alcotest.test_case "scenario 2 explainable" `Quick test_scenario2_explainable;
+    Alcotest.test_case "scenario 3 explainable with garbage" `Quick
+      test_scenario3_explainable_with_garbage;
+    Alcotest.test_case "determined state of a prefix" `Quick test_determined_state;
+    Alcotest.test_case "figure 5 explaining prefixes" `Quick test_figure5_explaining_prefixes;
+    Util.qtest ~count:150 "prefix-determined states are explainable"
+      prop_prefix_determined_states_explainable;
+    Util.qtest ~count:150 "scrambling unexposed variables preserves explanation"
+      prop_scrambling_unexposed_preserves_explanation;
+  ]

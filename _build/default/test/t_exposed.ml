@@ -1,0 +1,103 @@
+open Redo_core
+
+let fig4 () = Conflict_graph.of_exec Scenario.figure_4
+
+let test_figure4_exposure () =
+  let cg = fig4 () in
+  (* Nothing installed: O, the minimal accessor of x, reads x -> exposed.
+     P, the minimal accessor of y, writes y blindly -> y unexposed. *)
+  let none = Digraph.Node_set.empty in
+  Alcotest.(check bool) "x exposed by {}" true (Exposed.is_exposed cg ~installed:none Util.x);
+  Alcotest.(check bool) "y unexposed by {}" true (Exposed.is_unexposed cg ~installed:none Util.y);
+  (* P installed: remaining accessors of x are O and Q; minimal is O,
+     which reads x -> exposed. y has no uninstalled accessor -> exposed. *)
+  let p = Util.ids [ "P" ] in
+  Alcotest.(check bool) "x exposed by {P}" true (Exposed.is_exposed cg ~installed:p Util.x);
+  Alcotest.(check bool) "y exposed by {P}" true (Exposed.is_exposed cg ~installed:p Util.y);
+  (* Everything installed: all variables exposed. *)
+  let all = Util.ids [ "O"; "P"; "Q" ] in
+  Util.check_var_set "all exposed" [ "x"; "y" ] (Exposed.exposed_vars cg ~installed:all)
+
+let test_scenario3_exposure () =
+  let cg = Conflict_graph.of_exec Scenario.scenario_3.Scenario.exec in
+  let c = Util.ids [ "C" ] in
+  (* D blindly overwrites x -> x unexposed; D reads y -> y exposed. *)
+  Alcotest.(check bool) "x unexposed by {C}" true (Exposed.is_unexposed cg ~installed:c Util.x);
+  Alcotest.(check bool) "y exposed by {C}" true (Exposed.is_exposed cg ~installed:c Util.y);
+  Util.check_var_set "unexposed vars" [ "x" ] (Exposed.unexposed_vars cg ~installed:c)
+
+let test_section5_hj_exposure () =
+  let cg = Conflict_graph.of_exec Scenario.section_5_hj in
+  let h = Util.ids [ "H" ] in
+  Alcotest.(check bool) "y unexposed after H (J blind-writes it)" true
+    (Exposed.is_unexposed cg ~installed:h Util.y);
+  Alcotest.(check bool) "x exposed after H" true (Exposed.is_exposed cg ~installed:h Util.x)
+
+let test_minimal_accessors () =
+  let cg = fig4 () in
+  Util.check_set "minimal accessor of x outside {}" [ "O" ]
+    (Exposed.minimal_accessors cg ~installed:Digraph.Node_set.empty Util.x);
+  Util.check_set "minimal accessor of x outside {O,P}" [ "Q" ]
+    (Exposed.minimal_accessors cg ~installed:(Util.ids [ "O"; "P" ]) Util.x)
+
+let test_partition () =
+  let cg = Conflict_graph.of_exec Scenario.scenario_3.Scenario.exec in
+  let exposed, unexposed =
+    Exposed.partition cg ~installed:(Util.ids [ "C" ]) (Var.Set.of_list [ Util.x; Util.y ])
+  in
+  Util.check_var_set "exposed" [ "y" ] exposed;
+  Util.check_var_set "unexposed" [ "x" ] unexposed
+
+(* "If the conflict graph grows and the installed set does not ... once
+   it becomes unexposed by I, it remains unexposed." *)
+let prop_unexposed_monotone_under_growth seed =
+  let exec = Redo_workload.Op_gen.exec ~params:{ Redo_workload.Op_gen.default with n_ops = 8 } seed in
+  let ops = Exec.ops exec in
+  let rng = Random.State.make [| seed; 3 |] in
+  let k = 1 + Random.State.int rng (List.length ops - 1) in
+  let short = Exec.make (List.filteri (fun i _ -> i < k) ops) in
+  let cg_short = Conflict_graph.of_exec short in
+  let cg_full = Conflict_graph.of_exec exec in
+  let installed = Redo_workload.Op_gen.random_installation_prefix rng cg_short in
+  Var.Set.for_all
+    (fun v ->
+      (not (Exposed.is_unexposed cg_short ~installed v))
+      || Exposed.is_unexposed cg_full ~installed v)
+    (Exec.vars short)
+
+(* The fast exposure test in Explain.ctx agrees with the spec-faithful
+   reachability-based one, for arbitrary (even non-prefix) installed
+   sets. *)
+let prop_fast_exposure_agrees seed =
+  let exec = Redo_workload.Op_gen.exec seed in
+  let cg = Conflict_graph.of_exec exec in
+  let ctx = Explain.ctx cg in
+  let rng = Random.State.make [| seed; 11 |] in
+  let installed =
+    List.filter (fun _ -> Random.State.bool rng) (Exec.op_ids exec)
+    |> Digraph.Node_set.of_list
+  in
+  Var.Set.for_all
+    (fun v ->
+      Bool.equal (Exposed.is_exposed cg ~installed v) (Explain.ctx_is_exposed ctx ~installed v))
+    (Exec.vars exec)
+
+(* Variables no uninstalled operation accesses are always exposed. *)
+let prop_untouched_vars_exposed seed =
+  let exec = Redo_workload.Op_gen.exec seed in
+  let cg = Conflict_graph.of_exec exec in
+  let all = Exec.op_id_set exec in
+  Var.Set.for_all (fun v -> Exposed.is_exposed cg ~installed:all v) (Exec.vars exec)
+
+let suite =
+  [
+    Alcotest.test_case "figure 4 exposure" `Quick test_figure4_exposure;
+    Alcotest.test_case "scenario 3 exposure" `Quick test_scenario3_exposure;
+    Alcotest.test_case "section 5 H/J exposure" `Quick test_section5_hj_exposure;
+    Alcotest.test_case "minimal accessors" `Quick test_minimal_accessors;
+    Alcotest.test_case "partition" `Quick test_partition;
+    Util.qtest ~count:150 "unexposed is sticky as the graph grows"
+      prop_unexposed_monotone_under_growth;
+    Util.qtest ~count:200 "fast exposure agrees with the definition" prop_fast_exposure_agrees;
+    Util.qtest "fully installed means fully exposed" prop_untouched_vars_exposed;
+  ]

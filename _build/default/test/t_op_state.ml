@@ -1,0 +1,106 @@
+open Redo_core
+
+let test_state_defaults () =
+  let s = State.empty in
+  Util.check_value "unset var is zero" Value.zero (State.get s Util.x);
+  let s = State.set s Util.x (Value.Int 5) in
+  Util.check_value "set" (Value.Int 5) (State.get s Util.x);
+  Util.check_value "other still zero" Value.zero (State.get s Util.y)
+
+let test_state_equal_on () =
+  let a = State.make [ Util.x, Value.Int 1; Util.y, Value.Int 2 ] in
+  let b = State.make [ Util.x, Value.Int 1; Util.y, Value.Int 99 ] in
+  Alcotest.(check bool) "equal on x" true (State.equal_on (Var.Set.singleton Util.x) a b);
+  Alcotest.(check bool) "not equal on xy" false
+    (State.equal_on (Var.Set.of_list [ Util.x; Util.y ]) a b);
+  Alcotest.(check int) "diff reports y" 1
+    (List.length (State.diff_on (Var.Set.of_list [ Util.x; Util.y ]) a b))
+
+let test_scramble () =
+  let s = State.make [ Util.x, Value.Int 1 ] in
+  let s = State.scramble s (Var.Set.singleton Util.x) in
+  Alcotest.(check bool) "scrambled differs" false
+    (Value.equal (State.get s Util.x) (Value.Int 1))
+
+let test_op_apply () =
+  let op = Op.of_assigns ~id:"inc" [ Util.x, Expr.(var Util.x + int 1) ] in
+  let s = Op.apply op (State.make [ Util.x, Value.Int 41 ]) in
+  Util.check_value "applied" (Value.Int 42) (State.get s Util.x);
+  Util.check_var_set "reads" [ "x" ] (Op.reads op);
+  Util.check_var_set "writes" [ "x" ] (Op.writes op)
+
+let test_op_simultaneous () =
+  (* Swap via simultaneous assignment: right-hand sides read the pre-state. *)
+  let swap = Op.of_assigns ~id:"swap" [ Util.x, Expr.var Util.y; Util.y, Expr.var Util.x ] in
+  let s = State.make [ Util.x, Value.Int 1; Util.y, Value.Int 2 ] in
+  let s = Op.apply swap s in
+  Util.check_value "x got y" (Value.Int 2) (State.get s Util.x);
+  Util.check_value "y got x" (Value.Int 1) (State.get s Util.y)
+
+let test_op_blind () =
+  let op = Op.of_assigns ~id:"blind" [ Util.y, Expr.int 2 ] in
+  Alcotest.(check bool) "blind write" true (Op.is_blind_write op Util.y);
+  let rmw = Op.of_assigns ~id:"rmw" [ Util.y, Expr.(var Util.y + int 1) ] in
+  Alcotest.(check bool) "rmw not blind" false (Op.is_blind_write rmw Util.y)
+
+let test_op_read_violation () =
+  (* An opaque body reading outside its declared read set is rejected. *)
+  let op =
+    Op.of_fn ~id:"cheat" ~reads:Var.Set.empty ~writes:(Var.Set.singleton Util.x)
+      (fun lookup -> [ Util.x, lookup Util.y ])
+  in
+  Alcotest.check_raises "read violation"
+    (Op.Access_violation "operation cheat read y, which is outside its read set {}")
+    (fun () -> ignore (Op.apply op State.empty))
+
+let test_op_write_violation () =
+  let op =
+    Op.of_fn ~id:"wrong" ~reads:Var.Set.empty ~writes:(Var.Set.of_list [ Util.x; Util.y ])
+      (fun _ -> [ Util.x, Value.Int 1 ])
+  in
+  (match Op.apply op State.empty with
+  | exception Op.Access_violation _ -> ()
+  | _ -> Alcotest.fail "expected write-set violation")
+
+let test_op_duplicate_targets () =
+  match Op.of_assigns ~id:"dup" [ Util.x, Expr.int 1; Util.x, Expr.int 2 ] with
+  | exception Op.Access_violation _ -> ()
+  | _ -> Alcotest.fail "expected duplicate-target violation"
+
+let test_exec_states () =
+  let s = Scenario.scenario_2.Scenario.exec in
+  let states = Exec.states s in
+  Alcotest.(check int) "k+1 states" 3 (List.length states);
+  let final = Exec.final_state s in
+  Util.check_value "final x" (Value.Int 3) (State.get final Util.x);
+  Util.check_value "final y" (Value.Int 2) (State.get final Util.y)
+
+let test_exec_duplicate_id () =
+  let a = Op.of_assigns ~id:"A" [ Util.x, Expr.int 1 ] in
+  match Exec.make [ a; a ] with
+  | exception Exec.Duplicate_id "A" -> ()
+  | _ -> Alcotest.fail "expected Duplicate_id"
+
+let test_exec_reorder () =
+  let e = Scenario.figure_4 in
+  let e' = Exec.reorder e [ "O"; "P"; "Q" ] in
+  Alcotest.(check (list string)) "order kept" [ "O"; "P"; "Q" ] (Exec.op_ids e');
+  (match Exec.reorder e [ "O"; "P" ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument")
+
+let suite =
+  [
+    Alcotest.test_case "state defaults" `Quick test_state_defaults;
+    Alcotest.test_case "state equal_on / diff_on" `Quick test_state_equal_on;
+    Alcotest.test_case "scramble" `Quick test_scramble;
+    Alcotest.test_case "op apply" `Quick test_op_apply;
+    Alcotest.test_case "simultaneous assignment" `Quick test_op_simultaneous;
+    Alcotest.test_case "blind writes" `Quick test_op_blind;
+    Alcotest.test_case "read violation detected" `Quick test_op_read_violation;
+    Alcotest.test_case "write violation detected" `Quick test_op_write_violation;
+    Alcotest.test_case "duplicate targets rejected" `Quick test_op_duplicate_targets;
+    Alcotest.test_case "exec states" `Quick test_exec_states;
+    Alcotest.test_case "duplicate ids rejected" `Quick test_exec_duplicate_id;
+    Alcotest.test_case "exec reorder" `Quick test_exec_reorder;
+  ]

@@ -1,0 +1,121 @@
+open Redo_core
+
+let universe = Var.Set.of_list [ Util.x; Util.y ]
+
+let test_applicability () =
+  let s = Scenario.scenario_2 in
+  let cg = Conflict_graph.of_exec s.Scenario.exec in
+  let b = Exec.find s.Scenario.exec "B" in
+  let a = Exec.find s.Scenario.exec "A" in
+  (* B reads nothing: applicable anywhere. *)
+  Alcotest.(check bool) "B applicable" true (Replay.applicable cg b s.Scenario.crash_state);
+  (* A originally read B's y=2; the crash state has y=0 — A is no longer
+     applicable, which is fine because A is already installed. *)
+  Alcotest.(check bool) "A not applicable" false (Replay.applicable cg a s.Scenario.crash_state);
+  (* Scenario 1: A read y=0 originally, but the crash state has y=2. *)
+  let s1 = Scenario.scenario_1 in
+  let cg1 = Conflict_graph.of_exec s1.Scenario.exec in
+  let a1 = Exec.find s1.Scenario.exec "A" in
+  Alcotest.(check bool) "scenario 1 A not applicable" false
+    (Replay.applicable cg1 a1 s1.Scenario.crash_state)
+
+let test_minimal_uninstalled () =
+  let cg = Conflict_graph.of_exec Scenario.figure_4 in
+  Util.check_set "after {} it is O" [ "O" ]
+    (Replay.minimal_uninstalled cg ~installed:Digraph.Node_set.empty);
+  (* "the minimal uninstalled operation after P ... is O" *)
+  Util.check_set "after {P} it is O" [ "O" ]
+    (Replay.minimal_uninstalled cg ~installed:(Util.ids [ "P" ]));
+  Util.check_set "after {O} it is P" [ "P" ]
+    (Replay.minimal_uninstalled cg ~installed:(Util.ids [ "O" ]));
+  Util.check_set "after all, none" [ ]
+    (Replay.minimal_uninstalled cg ~installed:(Util.ids [ "O"; "P"; "Q" ]))
+
+let test_scenario2_recovers () =
+  let s = Scenario.scenario_2 in
+  let cg = Conflict_graph.of_exec s.Scenario.exec in
+  let final, trace =
+    Replay.replay cg ~installed:s.Scenario.claimed_installed s.Scenario.crash_state
+  in
+  Alcotest.(check int) "one operation replayed" 1 (List.length trace);
+  Alcotest.(check string) "replayed B" "B" (List.hd trace).Replay.op_id;
+  Util.check_state ~universe "reached final" (Exec.final_state s.Scenario.exec) final
+
+let test_scenario3_recovers () =
+  let s = Scenario.scenario_3 in
+  let cg = Conflict_graph.of_exec s.Scenario.exec in
+  Alcotest.(check bool) "recovers" true
+    (Replay.recovers cg ~installed:s.Scenario.claimed_installed s.Scenario.crash_state)
+
+let test_scenario1_fails () =
+  let s = Scenario.scenario_1 in
+  let cg = Conflict_graph.of_exec s.Scenario.exec in
+  (* Replaying from {B} fails: A is no longer applicable. *)
+  Alcotest.(check bool) "does not recover" false
+    (Replay.recovers cg ~installed:s.Scenario.claimed_installed s.Scenario.crash_state);
+  (* Stronger: no subset of operations in any conflict-consistent order
+     recovers — the state is not potentially recoverable at all. *)
+  Alcotest.(check bool) "not potentially recoverable" false
+    (Replay.potentially_recoverable cg s.Scenario.crash_state)
+
+let test_scenario23_potentially_recoverable () =
+  List.iter
+    (fun (s : Scenario.t) ->
+      let cg = Conflict_graph.of_exec s.Scenario.exec in
+      Alcotest.(check bool) (s.Scenario.name ^ " potentially recoverable") true
+        (Replay.potentially_recoverable cg s.Scenario.crash_state))
+    [ Scenario.scenario_2; Scenario.scenario_3 ]
+
+let test_pre_state () =
+  let cg = Conflict_graph.of_exec Scenario.figure_4 in
+  let pre_q = Replay.pre_state_of cg "Q" in
+  (* Q's predecessors are O and P: x=1, y=2. *)
+  Util.check_value "Q saw x=1" (Value.Int 1) (State.get pre_q Util.x);
+  let pre_o = Replay.pre_state_of cg "O" in
+  Util.check_value "O saw x=0" (Value.Int 0) (State.get pre_o Util.x)
+
+(* Theorem 3, in full: a state explained by a random installation prefix
+   (with unexposed variables scrambled) is recovered by replaying the
+   uninstalled operations in any conflict-consistent order. *)
+let prop_theorem3 seed =
+  let exec = Redo_workload.Op_gen.exec seed in
+  let cg = Conflict_graph.of_exec exec in
+  let rng = Random.State.make [| seed; 6 |] in
+  let prefix = Redo_workload.Op_gen.random_installation_prefix rng cg in
+  let state =
+    State.scramble
+      (Explain.state_determined_by_prefix cg ~prefix)
+      (Exposed.unexposed_vars cg ~installed:prefix)
+  in
+  let choose candidates =
+    let xs = Digraph.Node_set.elements candidates in
+    List.nth xs (Random.State.int rng (List.length xs))
+  in
+  Replay.recovers ~choose cg ~installed:prefix state
+
+(* Each replay step preserves explanation: the inductive invariant inside
+   Theorem 3's proof. *)
+let prop_step_preserves_explanation seed =
+  let exec = Redo_workload.Op_gen.exec seed in
+  let cg = Conflict_graph.of_exec exec in
+  let rng = Random.State.make [| seed; 7 |] in
+  let prefix = Redo_workload.Op_gen.random_installation_prefix rng cg in
+  let state = Explain.state_determined_by_prefix cg ~prefix in
+  let choose candidates = Digraph.Node_set.min_elt candidates in
+  match Replay.step cg ~installed:prefix ~choose state with
+  | None -> true
+  | Some (_, state', installed') -> Explain.explains cg ~prefix:installed' state'
+
+let suite =
+  [
+    Alcotest.test_case "applicability" `Quick test_applicability;
+    Alcotest.test_case "minimal uninstalled" `Quick test_minimal_uninstalled;
+    Alcotest.test_case "scenario 2 recovers" `Quick test_scenario2_recovers;
+    Alcotest.test_case "scenario 3 recovers" `Quick test_scenario3_recovers;
+    Alcotest.test_case "scenario 1 cannot recover" `Quick test_scenario1_fails;
+    Alcotest.test_case "scenarios 2,3 potentially recoverable" `Quick
+      test_scenario23_potentially_recoverable;
+    Alcotest.test_case "pre-states" `Quick test_pre_state;
+    Util.qtest ~count:200 "theorem 3 (potential recoverability)" prop_theorem3;
+    Util.qtest ~count:150 "replay step preserves explanation" prop_step_preserves_explanation;
+  ]

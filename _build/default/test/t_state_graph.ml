@@ -1,0 +1,119 @@
+open Redo_core
+
+let universe = Var.Set.of_list [ Util.x; Util.y ]
+let cg () = Conflict_graph.of_exec Scenario.figure_4
+
+let st xv yv = State.make [ Util.x, Value.Int xv; Util.y, Value.Int yv ]
+
+(* Figure 4's rectangles: the states determined by each conflict-graph
+   prefix of the O, P, Q example. *)
+let test_figure4_prefix_states () =
+  let sg = State_graph.conflict_state_graph (cg ()) in
+  let check msg expected ids =
+    Util.check_state ~universe msg expected (State_graph.state_of_prefix sg (Util.ids ids))
+  in
+  check "empty prefix = initial" (st 0 0) [];
+  check "after O" (st 1 0) [ "O" ];
+  check "after O,P" (st 1 2) [ "O"; "P" ];
+  check "final" (st 3 2) [ "O"; "P"; "Q" ]
+
+let test_installation_prefix_state () =
+  let sg = State_graph.installation_state_graph (cg ()) in
+  (* The extra dashed-line state of Figure 5: P installed alone. *)
+  Util.check_state ~universe "P alone" (st 0 2)
+    (State_graph.state_of_prefix sg (Util.ids [ "P" ]))
+
+let test_node_labels () =
+  let sg = State_graph.conflict_state_graph (cg ()) in
+  Util.check_set "O's ops" [ "O" ] (State_graph.ops_of sg "O");
+  Util.check_var_set "O writes x" [ "x" ] (State_graph.vars_of sg "O");
+  Util.check_value "O wrote 1" (Value.Int 1)
+    (Var.Map.find Util.x (State_graph.writes_of sg "O"));
+  Util.check_value "Q wrote 3" (Value.Int 3)
+    (Var.Map.find Util.x (State_graph.writes_of sg "Q"));
+  Util.check_set "writers of x" [ "O"; "Q" ] (State_graph.writers sg Util.x)
+
+let test_non_prefix_rejected () =
+  let sg = State_graph.conflict_state_graph (cg ()) in
+  match State_graph.prefix sg (Util.ids [ "Q" ]) with
+  | exception State_graph.Invalid _ -> ()
+  | _ -> Alcotest.fail "expected Invalid: {Q} is not a prefix"
+
+let test_invalid_unordered_writers () =
+  (* Two unordered nodes writing the same variable violate the state
+     graph definition. *)
+  let g = Digraph.of_edges ~nodes:[ "m"; "n" ] [] in
+  match
+    State_graph.make ~initial:State.empty ~graph:g
+      [
+        "m", Util.ids [ "m" ], [ Util.x, Value.Int 1 ];
+        "n", Util.ids [ "n" ], [ Util.x, Value.Int 2 ];
+      ]
+  with
+  | exception State_graph.Invalid _ -> ()
+  | _ -> Alcotest.fail "expected Invalid: unordered writers"
+
+let test_versions () =
+  let sg = State_graph.conflict_state_graph (cg ()) in
+  (* x was written by O (value 1) then Q (value 3); y only by P. *)
+  Alcotest.(check (list (pair string int)))
+    "versions of x" [ "O", 1; "Q", 3 ]
+    (List.map (fun (id, v) -> id, Value.to_int v) (State_graph.versions sg Util.x));
+  Alcotest.(check (list (pair string int)))
+    "versions of y" [ "P", 2 ]
+    (List.map (fun (id, v) -> id, Value.to_int v) (State_graph.versions sg Util.y));
+  (* The last version is the determined value. *)
+  let last = List.rev (State_graph.versions sg Util.x) |> List.hd |> snd in
+  Util.check_value "last version = determined" last
+    (State.get (State_graph.determined_state sg) Util.x)
+
+(* Lemma 2: the state determined by the prefix induced by O1..Oi is Si. *)
+let lemma2_holds exec =
+  let sg = State_graph.of_exec exec in
+  let universe = Exec.vars exec in
+  let states = Exec.states exec in
+  let ids = Exec.op_ids exec in
+  List.for_all
+    (fun i ->
+      let prefix = Digraph.Node_set.of_list (List.filteri (fun j _ -> j < i) ids) in
+      let determined = State_graph.state_of_prefix sg prefix in
+      State.equal_on universe determined (List.nth states i))
+    (List.init (List.length states) Fun.id)
+
+let test_lemma2_figure4 () =
+  Alcotest.(check bool) "lemma 2 on figure 4" true (lemma2_holds Scenario.figure_4)
+
+let prop_lemma2 seed = lemma2_holds (Redo_workload.Op_gen.exec seed)
+
+(* Any prefix state is reachable by any total order of the prefix: the
+   "in fact" remark after Lemma 2. *)
+let prop_prefix_states_order_independent seed =
+  let exec = Redo_workload.Op_gen.exec seed in
+  let cg = Conflict_graph.of_exec exec in
+  let sg = State_graph.conflict_state_graph cg in
+  let rng = Random.State.make [| seed; 2 |] in
+  let prefix = Redo_workload.Op_gen.random_conflict_prefix rng cg in
+  let universe = Exec.vars exec in
+  let determined = State_graph.state_of_prefix sg prefix in
+  let sub = Digraph.restrict (Conflict_graph.graph cg) prefix in
+  let order = Digraph.random_topo rng sub in
+  let replayed =
+    List.fold_left
+      (fun s id -> Op.apply (Conflict_graph.find_op cg id) s)
+      (Exec.initial exec) order
+  in
+  State.equal_on universe determined replayed
+
+let suite =
+  [
+    Alcotest.test_case "figure 4 prefix states" `Quick test_figure4_prefix_states;
+    Alcotest.test_case "figure 5 extra state" `Quick test_installation_prefix_state;
+    Alcotest.test_case "node labels" `Quick test_node_labels;
+    Alcotest.test_case "non-prefix rejected" `Quick test_non_prefix_rejected;
+    Alcotest.test_case "unordered writers rejected" `Quick test_invalid_unordered_writers;
+    Alcotest.test_case "version histories" `Quick test_versions;
+    Alcotest.test_case "lemma 2 on figure 4" `Quick test_lemma2_figure4;
+    Util.qtest ~count:150 "lemma 2 (random executions)" prop_lemma2;
+    Util.qtest ~count:150 "prefix states are order independent"
+      prop_prefix_states_order_independent;
+  ]

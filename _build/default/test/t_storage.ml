@@ -1,0 +1,188 @@
+open Redo_storage
+
+let lsn n = Lsn.of_int n
+
+let test_page_kv_helpers () =
+  let entries = Page.kv_put (Page.kv_put [] "b" "2") "a" "1" in
+  Alcotest.(check (list (pair string string))) "sorted insert" [ "a", "1"; "b", "2" ] entries;
+  let entries = Page.kv_put entries "a" "9" in
+  Alcotest.(check (option string)) "overwrite" (Some "9") (Page.kv_get entries "a");
+  let entries = Page.kv_del entries "a" in
+  Alcotest.(check (option string)) "deleted" None (Page.kv_get entries "a")
+
+let test_page_value_roundtrip () =
+  let page = Page.make ~lsn:(lsn 7) (Page.Kv [ "k", "v" ]) in
+  let page' = Page.of_value (Page.to_value page) in
+  Alcotest.(check bool) "roundtrip" true (Page.equal page page');
+  (match Page.of_value (Redo_core.Value.Int 0) with
+  | exception Page.Not_a_page _ -> ()
+  | _ -> Alcotest.fail "expected Not_a_page")
+
+let test_page_op_apply () =
+  let data = Page_op.apply (Page_op.Put ("x", "1")) Page.Empty in
+  Alcotest.(check bool) "put on empty" true (Page.data_equal data (Page.Kv [ "x", "1" ]));
+  let data = Page_op.apply (Page_op.Del ("x")) data in
+  Alcotest.(check bool) "del" true (Page.data_equal data (Page.Kv []));
+  (match Page_op.apply (Page_op.Leaf_put ("k", "v")) (Page.Bytes "raw") with
+  | exception Page_op.Type_mismatch _ -> ()
+  | _ -> Alcotest.fail "expected Type_mismatch")
+
+let test_page_op_blind () =
+  Alcotest.(check bool) "init is blind" true (Page_op.is_blind (Page_op.Init_leaf []));
+  Alcotest.(check bool) "put reads" false (Page_op.is_blind (Page_op.Put ("a", "b")))
+
+let test_internal_add () =
+  let node = Page.Node (Page.Internal { seps = [ "m" ]; children = [ 1; 2 ] }) in
+  let node = Page_op.apply (Page_op.Internal_add { sep = "f"; right = 3 }) node in
+  (match node with
+  | Page.Node (Page.Internal { seps; children }) ->
+    Alcotest.(check (list string)) "seps" [ "f"; "m" ] seps;
+    Alcotest.(check (list int)) "children" [ 1; 3; 2 ] children
+  | _ -> Alcotest.fail "expected internal");
+  let node = Page_op.apply (Page_op.Internal_add { sep = "z"; right = 4 }) node in
+  (match node with
+  | Page.Node (Page.Internal { seps; children }) ->
+    Alcotest.(check (list string)) "seps appended" [ "f"; "m"; "z" ] seps;
+    Alcotest.(check (list int)) "children appended" [ 1; 3; 2; 4 ] children
+  | _ -> Alcotest.fail "expected internal")
+
+let test_multi_split () =
+  let entries = [ "a", "1"; "b", "2"; "c", "3"; "d", "4" ] in
+  let at = Multi_op.split_point entries in
+  Alcotest.(check string) "median" "c" at;
+  let read _ = Page.Node (Page.Leaf entries) in
+  let upper = Multi_op.apply (Multi_op.Split_to { src = 1; dst = 2; at }) ~read in
+  Alcotest.(check bool) "upper half" true
+    (Page.data_equal upper (Page.Node (Page.Leaf [ "c", "3"; "d", "4" ])));
+  let lower = Page_op.apply (Page_op.Drop_from { key = at }) (Page.Node (Page.Leaf entries)) in
+  Alcotest.(check bool) "lower half" true
+    (Page.data_equal lower (Page.Node (Page.Leaf [ "a", "1"; "b", "2" ])))
+
+let test_multi_split_internal () =
+  let node = Page.Internal { seps = [ "b"; "d"; "f" ]; children = [ 1; 2; 3; 4 ] } in
+  let read _ = Page.Node node in
+  let upper = Multi_op.apply (Multi_op.Split_to { src = 0; dst = 9; at = "d" }) ~read in
+  Alcotest.(check bool) "upper keeps > d" true
+    (Page.data_equal upper (Page.Node (Page.Internal { seps = [ "f" ]; children = [ 3; 4 ] })));
+  let lower = Page_op.apply (Page_op.Drop_from { key = "d" }) (Page.Node node) in
+  Alcotest.(check bool) "lower keeps < d" true
+    (Page.data_equal lower (Page.Node (Page.Internal { seps = [ "b" ]; children = [ 1; 2 ] })))
+
+let test_disk_atomic () =
+  let disk = Disk.create () in
+  Alcotest.(check bool) "missing page is empty" true (Page.equal Page.empty (Disk.read disk 5));
+  Disk.write disk 5 (Page.make ~lsn:(lsn 1) (Page.Bytes "hello"));
+  Alcotest.(check bool) "written" true
+    (Page.data_equal (Page.data (Disk.read disk 5)) (Page.Bytes "hello"));
+  Alcotest.(check (list int)) "page ids" [ 5 ] (Disk.page_ids disk);
+  let snapshot = Disk.copy disk in
+  Disk.write disk 5 (Page.make ~lsn:(lsn 2) (Page.Bytes "bye"));
+  Alcotest.(check bool) "snapshot unaffected" true
+    (Page.data_equal (Page.data (Disk.read snapshot 5)) (Page.Bytes "hello"))
+
+let test_cache_read_through () =
+  let disk = Disk.create () in
+  Disk.write disk 1 (Page.make ~lsn:(lsn 1) (Page.Bytes "on disk"));
+  let cache = Cache.create disk in
+  Alcotest.(check bool) "reads through" true
+    (Page.data_equal (Page.data (Cache.read cache 1)) (Page.Bytes "on disk"));
+  Alcotest.(check int) "one miss" 1 (Cache.stats cache).Cache.misses;
+  ignore (Cache.read cache 1);
+  Alcotest.(check int) "then a hit" 1 (Cache.stats cache).Cache.hits
+
+let test_cache_dirty_and_flush () =
+  let disk = Disk.create () in
+  let cache = Cache.create disk in
+  Cache.update cache 1 ~lsn:(lsn 3) (fun _ -> Page.Bytes "dirty");
+  Alcotest.(check bool) "dirty" true (Cache.is_dirty cache 1);
+  Alcotest.(check bool) "not yet on disk" true (Page.equal Page.empty (Disk.read disk 1));
+  Cache.flush_page cache 1;
+  Alcotest.(check bool) "clean" false (Cache.is_dirty cache 1);
+  Alcotest.(check bool) "on disk with lsn" true
+    (Lsn.equal (lsn 3) (Page.lsn (Disk.read disk 1)))
+
+let test_cache_wal_hook () =
+  let disk = Disk.create () in
+  let forced = ref [] in
+  let cache = Cache.create ~before_flush:(fun p -> forced := Page.lsn p :: !forced) disk in
+  Cache.update cache 1 ~lsn:(lsn 9) (fun _ -> Page.Bytes "x");
+  Cache.flush_page cache 1;
+  Alcotest.(check (list int)) "hook saw the page lsn" [ 9 ] (List.map Lsn.to_int !forced)
+
+let test_cache_flush_order () =
+  let disk = Disk.create () in
+  let cache = Cache.create disk in
+  Cache.update cache 1 ~lsn:(lsn 1) (fun _ -> Page.Bytes "new node");
+  Cache.update cache 2 ~lsn:(lsn 2) (fun _ -> Page.Bytes "old node");
+  Cache.add_flush_order cache ~first:1 ~next:2;
+  Alcotest.(check (list int)) "would force 1" [ 1 ] (Cache.would_force cache 2);
+  Cache.flush_page cache 2;
+  (* Page 1 must have been dragged to disk first. *)
+  Alcotest.(check bool) "prerequisite flushed" true
+    (Page.data_equal (Page.data (Disk.read disk 1)) (Page.Bytes "new node"));
+  Alcotest.(check int) "forced flush counted" 1 (Cache.stats cache).Cache.forced_order_flushes;
+  Alcotest.(check (list (pair int int))) "constraint consumed" [] (Cache.flush_orders cache)
+
+let test_cache_flush_order_cycle () =
+  let cache = Cache.create (Disk.create ()) in
+  Cache.update cache 1 ~lsn:(lsn 1) (fun _ -> Page.Bytes "a");
+  Cache.update cache 2 ~lsn:(lsn 2) (fun _ -> Page.Bytes "b");
+  Cache.add_flush_order cache ~first:1 ~next:2;
+  Cache.add_flush_order cache ~first:2 ~next:1;
+  match Cache.flush_page cache 1 with
+  | exception Cache.Flush_cycle _ -> ()
+  | _ -> Alcotest.fail "expected Flush_cycle"
+
+let test_cache_eviction () =
+  let disk = Disk.create () in
+  let cache = Cache.create ~capacity:2 disk in
+  Cache.update cache 1 ~lsn:(lsn 1) (fun _ -> Page.Bytes "1");
+  Cache.update cache 2 ~lsn:(lsn 2) (fun _ -> Page.Bytes "2");
+  Cache.update cache 3 ~lsn:(lsn 3) (fun _ -> Page.Bytes "3");
+  Alcotest.(check bool) "capacity respected" true (List.length (Cache.cached_pages cache) <= 2);
+  Alcotest.(check bool) "evicted dirty page was flushed" true
+    (Page.data_equal (Page.data (Disk.read disk 1)) (Page.Bytes "1"))
+
+let test_cache_crash () =
+  let disk = Disk.create () in
+  let cache = Cache.create disk in
+  Cache.update cache 1 ~lsn:(lsn 1) (fun _ -> Page.Bytes "volatile");
+  Cache.drop_volatile cache;
+  Alcotest.(check bool) "lost" true (Page.equal Page.empty (Cache.read cache 1))
+
+let test_rec_lsn_lifecycle () =
+  let cache = Cache.create (Disk.create ()) in
+  Alcotest.(check (option int)) "clean page has no recLSN" None
+    (Option.map Lsn.to_int (Cache.rec_lsn cache 1));
+  Cache.update cache 1 ~lsn:(lsn 5) (fun _ -> Page.Bytes "a");
+  Cache.update cache 1 ~lsn:(lsn 9) (fun _ -> Page.Bytes "b");
+  Alcotest.(check (option int)) "recLSN is the first dirtier" (Some 5)
+    (Option.map Lsn.to_int (Cache.rec_lsn cache 1));
+  Cache.flush_page cache 1;
+  Alcotest.(check (option int)) "cleared by the flush" None
+    (Option.map Lsn.to_int (Cache.rec_lsn cache 1));
+  Cache.update cache 1 ~lsn:(lsn 12) (fun _ -> Page.Bytes "c");
+  Alcotest.(check (option int)) "fresh epoch" (Some 12)
+    (Option.map Lsn.to_int (Cache.rec_lsn cache 1));
+  Alcotest.(check (option int)) "min over dirty pages" (Some 12)
+    (Option.map Lsn.to_int (Cache.min_rec_lsn cache))
+
+let suite =
+  [
+    Alcotest.test_case "page kv helpers" `Quick test_page_kv_helpers;
+    Alcotest.test_case "page value roundtrip" `Quick test_page_value_roundtrip;
+    Alcotest.test_case "page op apply" `Quick test_page_op_apply;
+    Alcotest.test_case "blind page ops" `Quick test_page_op_blind;
+    Alcotest.test_case "internal add" `Quick test_internal_add;
+    Alcotest.test_case "multi split (leaf)" `Quick test_multi_split;
+    Alcotest.test_case "multi split (internal)" `Quick test_multi_split_internal;
+    Alcotest.test_case "disk" `Quick test_disk_atomic;
+    Alcotest.test_case "cache read-through" `Quick test_cache_read_through;
+    Alcotest.test_case "cache dirty/flush" `Quick test_cache_dirty_and_flush;
+    Alcotest.test_case "cache WAL hook" `Quick test_cache_wal_hook;
+    Alcotest.test_case "careful write order" `Quick test_cache_flush_order;
+    Alcotest.test_case "write order cycle detected" `Quick test_cache_flush_order_cycle;
+    Alcotest.test_case "eviction" `Quick test_cache_eviction;
+    Alcotest.test_case "crash drops volatile" `Quick test_cache_crash;
+    Alcotest.test_case "recLSN lifecycle" `Quick test_rec_lsn_lifecycle;
+  ]

@@ -1,0 +1,93 @@
+open Redo_core
+
+let test_value_equal () =
+  Alcotest.(check bool) "ints" true (Value.equal (Value.Int 3) (Value.Int 3));
+  Alcotest.(check bool) "int/bool differ" false (Value.equal (Value.Int 1) (Value.Bool true));
+  Alcotest.(check bool) "pairs" true
+    (Value.equal (Value.Pair (Value.Int 1, Value.Nil)) (Value.Pair (Value.Int 1, Value.Nil)));
+  Alcotest.(check bool) "nested differ" false
+    (Value.equal (Value.Pair (Value.Int 1, Value.Nil)) (Value.Pair (Value.Int 2, Value.Nil)))
+
+let test_value_compare_total () =
+  let vs =
+    [ Value.Int 0; Value.Int 1; Value.Bool false; Value.Str "a"; Value.Nil;
+      Value.Pair (Value.Int 1, Value.Int 2) ]
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let c1 = Value.compare a b and c2 = Value.compare b a in
+          Alcotest.(check bool) "antisymmetric" true ((c1 = 0) = (c2 = 0));
+          if c1 <> 0 then Alcotest.(check bool) "opposite" true (c1 * c2 < 0))
+        vs)
+    vs
+
+let test_coercions () =
+  Alcotest.(check int) "bool to int" 1 (Value.to_int (Value.Bool true));
+  Alcotest.(check int) "str to int" 3 (Value.to_int (Value.Str "abc"));
+  Alcotest.(check bool) "zero is false" false (Value.to_bool (Value.Int 0));
+  Alcotest.(check bool) "nil is false" false (Value.to_bool Value.Nil);
+  Alcotest.(check string) "int to str" "42" (Value.to_str (Value.Int 42))
+
+let test_hash_deterministic () =
+  Alcotest.(check int) "same value same hash"
+    (Value.hash (Value.Pair (Value.Int 3, Value.Str "q")))
+    (Value.hash (Value.Pair (Value.Int 3, Value.Str "q")));
+  Alcotest.(check bool) "different values differ (usually)" true
+    (Value.hash (Value.Int 1) <> Value.hash (Value.Int 2))
+
+let lookup_zero _ = Value.Int 0
+
+let test_eval_arith () =
+  let e = Expr.(int 2 + (int 3 * int 4)) in
+  Util.check_value "2+3*4" (Value.Int 14) (Expr.eval lookup_zero e);
+  Util.check_value "div by zero is 0" (Value.Int 0)
+    (Expr.eval lookup_zero (Expr.Div (Expr.int 5, Expr.int 0)));
+  Util.check_value "mod by zero is 0" (Value.Int 0)
+    (Expr.eval lookup_zero (Expr.Mod (Expr.int 5, Expr.int 0)))
+
+let test_eval_reads () =
+  let env v = if Var.equal v Util.x then Value.Int 10 else Value.Int 0 in
+  Util.check_value "x+1" (Value.Int 11) (Expr.eval env Expr.(var Util.x + int 1));
+  Util.check_value "if" (Value.Int 7)
+    (Expr.eval env Expr.(If (Expr.Lt (int 5, var Util.x), int 7, int 8)))
+
+let test_free_vars () =
+  let e = Expr.(If (var Util.x < int 3, var Util.y + int 1, Expr.Hash (var Util.x))) in
+  Util.check_var_set "free vars" [ "x"; "y" ] (Expr.free_vars e);
+  Util.check_var_set "const has none" [] (Expr.free_vars (Expr.int 4))
+
+let test_pairs () =
+  Util.check_value "fst" (Value.Int 1)
+    (Expr.eval lookup_zero Expr.(Fst (Pair (int 1, int 2))));
+  Util.check_value "snd" (Value.Int 2)
+    (Expr.eval lookup_zero Expr.(Snd (Pair (int 1, int 2))));
+  Util.check_value "fst of non-pair is identity" (Value.Int 9)
+    (Expr.eval lookup_zero Expr.(Fst (int 9)))
+
+let test_size () =
+  Alcotest.(check int) "size" 3 (Expr.size Expr.(int 1 + int 2));
+  Alcotest.(check int) "leaf" 1 (Expr.size (Expr.var Util.x))
+
+let prop_generated_exprs_total seed =
+  let rng = Random.State.make [| seed |] in
+  let vars = [ Util.x; Util.y ] in
+  let e = Redo_workload.Op_gen.expr rng ~vars ~depth:4 in
+  (* Totality: evaluation never raises, and free variables are within the pool. *)
+  let (_ : Value.t) = Expr.eval lookup_zero e in
+  Var.Set.subset (Expr.free_vars e) (Var.Set.of_list vars)
+
+let suite =
+  [
+    Alcotest.test_case "value equality" `Quick test_value_equal;
+    Alcotest.test_case "value compare total order" `Quick test_value_compare_total;
+    Alcotest.test_case "coercions" `Quick test_coercions;
+    Alcotest.test_case "hash deterministic" `Quick test_hash_deterministic;
+    Alcotest.test_case "eval arithmetic" `Quick test_eval_arith;
+    Alcotest.test_case "eval reads" `Quick test_eval_reads;
+    Alcotest.test_case "free_vars" `Quick test_free_vars;
+    Alcotest.test_case "pairs" `Quick test_pairs;
+    Alcotest.test_case "size" `Quick test_size;
+    Util.qtest "generated expressions are total" prop_generated_exprs_total;
+  ]

@@ -1,0 +1,86 @@
+open Redo_storage
+open Redo_wal
+
+let payload_put k v = Record.Physiological { pid = 0; op = Redo_storage.Page_op.Put (k, v) }
+
+let test_lsn_assignment () =
+  let log = Log_manager.create () in
+  let l1 = Log_manager.append log (payload_put "a" "1") in
+  let l2 = Log_manager.append log (payload_put "b" "2") in
+  Alcotest.(check int) "first lsn" 1 (Lsn.to_int l1);
+  Alcotest.(check int) "monotone" 2 (Lsn.to_int l2);
+  Alcotest.(check int) "last" 2 (Lsn.to_int (Log_manager.last_lsn log))
+
+let test_force_and_crash () =
+  let log = Log_manager.create () in
+  let l1 = Log_manager.append log (payload_put "a" "1") in
+  let _l2 = Log_manager.append log (payload_put "b" "2") in
+  Log_manager.force log ~upto:l1;
+  Alcotest.(check int) "flushed" 1 (Lsn.to_int (Log_manager.flushed_lsn log));
+  Alcotest.(check int) "one stable record" 1 (List.length (Log_manager.stable_records log));
+  Log_manager.crash log;
+  Alcotest.(check int) "tail lost" 1 (List.length (Log_manager.all_records log));
+  (* LSNs resume after the stable horizon. *)
+  let l3 = Log_manager.append log (payload_put "c" "3") in
+  Alcotest.(check int) "lsn reuse after crash" 2 (Lsn.to_int l3)
+
+let test_records_from () =
+  let log = Log_manager.create () in
+  let _ = Log_manager.append log (payload_put "a" "1") in
+  let l2 = Log_manager.append log (payload_put "b" "2") in
+  let _ = Log_manager.append log (payload_put "c" "3") in
+  Log_manager.force_all log;
+  let records = Log_manager.records_from log ~from:l2 in
+  Alcotest.(check int) "two records" 2 (List.length records);
+  Alcotest.(check int) "starts at 2" 2 (Lsn.to_int (Record.lsn (List.hd records)))
+
+let test_checkpoint_lookup () =
+  let log = Log_manager.create () in
+  let _ = Log_manager.append log (payload_put "a" "1") in
+  let c1 = Log_manager.append log (Record.Checkpoint { dirty_pages = [ 3, Lsn.of_int 1 ]; note = "one" }) in
+  let _ = Log_manager.append log (payload_put "b" "2") in
+  let c2 = Log_manager.append log (Record.Checkpoint { dirty_pages = []; note = "two" }) in
+  (* Only forced checkpoints count. *)
+  Log_manager.force log ~upto:c1;
+  (match Log_manager.last_stable_checkpoint log with
+  | Some (lsn, { Record.note; _ }) ->
+    Alcotest.(check int) "first checkpoint" (Lsn.to_int c1) (Lsn.to_int lsn);
+    Alcotest.(check string) "note" "one" note
+  | None -> Alcotest.fail "expected checkpoint");
+  Log_manager.force log ~upto:c2;
+  (match Log_manager.last_stable_checkpoint log with
+  | Some (_, { Record.note; _ }) -> Alcotest.(check string) "newest" "two" note
+  | None -> Alcotest.fail "expected checkpoint")
+
+let test_stable_bytes () =
+  let log = Log_manager.create () in
+  let l1 = Log_manager.append log (payload_put "key" "value") in
+  Alcotest.(check bool) "appended counted" true
+    ((Log_manager.stats log).Log_manager.appended_bytes > 0);
+  Alcotest.(check int) "nothing stable yet" 0 (Log_manager.stats log).Log_manager.stable_bytes;
+  Log_manager.force log ~upto:l1;
+  Alcotest.(check bool) "stable counted" true
+    ((Log_manager.stats log).Log_manager.stable_bytes > 0)
+
+let test_record_sizes () =
+  (* The generalized split record is (much) smaller than the
+     physiological Init record carrying the moved contents. *)
+  let moved = List.init 50 (fun i -> Printf.sprintf "key%02d" i, String.make 20 'v') in
+  let physiological =
+    Record.make ~lsn:(Lsn.of_int 1) (Record.Physiological { pid = 2; op = Page_op.Init_leaf moved })
+  in
+  let generalized =
+    Record.make ~lsn:(Lsn.of_int 1) (Record.Multi (Multi_op.Split_to { src = 1; dst = 2; at = "key25" }))
+  in
+  Alcotest.(check bool) "generalized much smaller" true
+    (Record.byte_size generalized * 10 < Record.byte_size physiological)
+
+let suite =
+  [
+    Alcotest.test_case "lsn assignment" `Quick test_lsn_assignment;
+    Alcotest.test_case "force and crash" `Quick test_force_and_crash;
+    Alcotest.test_case "records_from" `Quick test_records_from;
+    Alcotest.test_case "checkpoint lookup" `Quick test_checkpoint_lookup;
+    Alcotest.test_case "byte accounting" `Quick test_stable_bytes;
+    Alcotest.test_case "split record sizes" `Quick test_record_sizes;
+  ]

@@ -1,0 +1,95 @@
+open Redo_workload
+
+let test_zipf_bounds () =
+  let z = Zipf.create ~theta:0.99 100 in
+  let rng = Random.State.make [| 1 |] in
+  for _ = 1 to 1000 do
+    let r = Zipf.sample z rng in
+    Alcotest.(check bool) "in range" true (r >= 0 && r < 100)
+  done
+
+let test_zipf_skew () =
+  (* With strong skew, rank 0 dominates; with theta = 0, it does not. *)
+  let count theta =
+    let z = Zipf.create ~theta 50 in
+    let rng = Random.State.make [| 2 |] in
+    let hits = ref 0 in
+    for _ = 1 to 5000 do
+      if Zipf.sample z rng = 0 then incr hits
+    done;
+    !hits
+  in
+  let skewed = count 1.2 and uniform = count 0.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "skewed head (%d) much hotter than uniform (%d)" skewed uniform)
+    true
+    (skewed > 4 * uniform)
+
+let test_zipf_uniform_spread () =
+  let z = Zipf.create ~theta:0.0 10 in
+  let rng = Random.State.make [| 3 |] in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let r = Zipf.sample z rng in
+    counts.(r) <- counts.(r) + 1
+  done;
+  Array.iter
+    (fun c -> Alcotest.(check bool) "roughly uniform" true (c > 700 && c < 1300))
+    counts
+
+let test_trace_deterministic () =
+  let t1 = Kv_trace.generate 7 and t2 = Kv_trace.generate 7 in
+  Alcotest.(check bool) "same seed, same trace" true (t1 = t2);
+  let t3 = Kv_trace.generate 8 in
+  Alcotest.(check bool) "different seed, different trace" false (t1 = t3)
+
+let test_trace_apply () =
+  let trace = [ Kv_trace.Put ("b", "2"); Kv_trace.Put ("a", "1"); Kv_trace.Del "b" ] in
+  Alcotest.(check (list (pair string string))) "applied" [ "a", "1" ]
+    (Kv_trace.apply_to_assoc trace)
+
+let test_op_gen_deterministic () =
+  let e1 = Op_gen.exec 13 and e2 = Op_gen.exec 13 in
+  let open Redo_core in
+  Alcotest.(check bool) "same conflict graph" true
+    (Conflict_graph.equal (Conflict_graph.of_exec e1) (Conflict_graph.of_exec e2));
+  Alcotest.(check bool) "same final state" true
+    (State.equal_on (Exec.vars e1) (Exec.final_state e1) (Exec.final_state e2))
+
+let prop_blind_fraction_respected seed =
+  (* With blind_fraction = 1.0 every generated operation writes blindly. *)
+  let open Redo_core in
+  let params = { Op_gen.default with Op_gen.blind_fraction = 1.0; n_ops = 8 } in
+  let exec = Op_gen.exec ~params seed in
+  List.for_all
+    (fun op -> Var.Set.for_all (fun x -> Op.is_blind_write op x) (Op.writes op))
+    (Exec.ops exec)
+
+let prop_random_prefix_is_prefix seed =
+  let open Redo_core in
+  let exec = Op_gen.exec seed in
+  let cg = Conflict_graph.of_exec exec in
+  let rng = Random.State.make [| seed; 10 |] in
+  let p = Op_gen.random_installation_prefix rng cg in
+  Digraph.is_prefix (Conflict_graph.installation cg) p
+
+let test_zipf_invalid () =
+  (match Zipf.create 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument");
+  match Zipf.create ~theta:(-1.0) 5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let suite =
+  [
+    Alcotest.test_case "zipf bounds" `Quick test_zipf_bounds;
+    Alcotest.test_case "zipf invalid args" `Quick test_zipf_invalid;
+    Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+    Alcotest.test_case "zipf uniform spread" `Quick test_zipf_uniform_spread;
+    Alcotest.test_case "trace deterministic" `Quick test_trace_deterministic;
+    Alcotest.test_case "trace apply" `Quick test_trace_apply;
+    Alcotest.test_case "op_gen deterministic" `Quick test_op_gen_deterministic;
+    Util.qtest "blind fraction respected" prop_blind_fraction_respected;
+    Util.qtest "random prefixes are prefixes" prop_random_prefix_is_prefix;
+  ]

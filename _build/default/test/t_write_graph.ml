@@ -1,0 +1,195 @@
+open Redo_core
+
+let universe = Var.Set.of_list [ Util.x; Util.y ]
+
+let fig4_wg () = Write_graph.of_conflict_graph (Conflict_graph.of_exec Scenario.figure_4)
+
+let test_initial_write_graph () =
+  let wg = fig4_wg () in
+  Util.check_set "one node per op" [ "O"; "P"; "Q" ] (Write_graph.node_ids wg);
+  Util.check_set "nothing installed" [] (Write_graph.installed_nodes wg);
+  Alcotest.(check bool) "edges follow the installation graph" true
+    (Digraph.mem_edge (Write_graph.graph wg) "P" "Q"
+    && Digraph.mem_edge (Write_graph.graph wg) "O" "Q"
+    && not (Digraph.mem_edge (Write_graph.graph wg) "O" "P"));
+  Alcotest.(check bool) "explainable at start" true (Write_graph.explainable ~universe wg)
+
+let test_install_order () =
+  let wg = fig4_wg () in
+  (* Q's predecessors are uninstalled: installing Q first is rejected. *)
+  (match Write_graph.install wg "Q" with
+  | exception Write_graph.Violation _ -> ()
+  | _ -> Alcotest.fail "expected Violation: Q installed before O and P");
+  (* P alone is fine — the Figure 5 extra state. *)
+  let wg = Write_graph.install wg "P" in
+  Util.check_set "P installed" [ "P" ] (Write_graph.installed_nodes wg);
+  Alcotest.(check bool) "still explainable" true (Write_graph.explainable ~universe wg);
+  Util.check_value "stable y = 2" (Value.Int 2) (State.get (Write_graph.stable_state wg) Util.y);
+  let wg = Write_graph.install wg "O" in
+  let wg = Write_graph.install wg "Q" in
+  Util.check_value "stable x = 3" (Value.Int 3) (State.get (Write_graph.stable_state wg) Util.x)
+
+(* Figure 7: collapsing O and Q (both write x) forces y before x. *)
+let test_figure7_collapse () =
+  let wg = fig4_wg () in
+  let merged, wg = Write_graph.collapse ~new_id:"OQ" wg [ "O"; "Q" ] in
+  Alcotest.(check string) "merged id" "OQ" merged;
+  Util.check_set "merged ops" [ "O"; "Q" ] (Write_graph.ops_of wg "OQ");
+  (* The merged node's x comes from Q, the later writer. *)
+  Util.check_value "merged writes x=3" (Value.Int 3)
+    (Var.Map.find Util.x (Write_graph.writes_of wg "OQ"));
+  Alcotest.(check bool) "edge P -> OQ" true (Digraph.mem_edge (Write_graph.graph wg) "P" "OQ");
+  (* Installing OQ before P violates the write order Figure 7 calls out. *)
+  (match Write_graph.install wg "OQ" with
+  | exception Write_graph.Violation _ -> ()
+  | _ -> Alcotest.fail "expected Violation: OQ before P");
+  let wg = Write_graph.install wg "P" in
+  let wg = Write_graph.install wg "OQ" in
+  Alcotest.(check bool) "explainable after both installs" true
+    (Write_graph.explainable ~universe wg);
+  Util.check_state ~universe "stable state is final"
+    (Exec.final_state Scenario.figure_4) (Write_graph.stable_state wg)
+
+(* Section 5, E/F/G: collapsing E and G around F would create a cycle —
+   x and y must be installed atomically (collapse all three). *)
+let test_efg_atomicity () =
+  let cg = Conflict_graph.of_exec Scenario.section_5_efg in
+  let wg = Write_graph.of_conflict_graph cg in
+  (match Write_graph.collapse ~new_id:"EG" wg [ "E"; "G" ] with
+  | exception Write_graph.Violation _ -> ()
+  | _ -> Alcotest.fail "expected Violation: E,G collapse is cyclic through F");
+  let all, wg = Write_graph.collapse ~new_id:"EFG" wg [ "E"; "F"; "G" ] in
+  let wg = Write_graph.install wg all in
+  Alcotest.(check bool) "atomic install explainable" true
+    (Write_graph.explainable ~universe wg);
+  Util.check_state ~universe "final state"
+    (Exec.final_state Scenario.section_5_efg) (Write_graph.stable_state wg)
+
+(* Section 5, H/J: J's blind write makes H's y unexposed, so H can be
+   installed by writing x alone. *)
+let test_hj_remove_write () =
+  let cg = Conflict_graph.of_exec Scenario.section_5_hj in
+  let wg = Write_graph.of_conflict_graph cg in
+  let wg = Write_graph.remove_write wg "H" Util.y in
+  Util.check_var_set "H now writes only x" [ "x" ]
+    (Var.Map.key_set (Write_graph.writes_of wg "H"));
+  let wg = Write_graph.install wg "H" in
+  Alcotest.(check bool) "explainable with y unwritten" true
+    (Write_graph.explainable ~universe wg);
+  Util.check_value "stable x = 1" (Value.Int 1) (State.get (Write_graph.stable_state wg) Util.x);
+  Util.check_value "stable y untouched" (Value.Int 0)
+    (State.get (Write_graph.stable_state wg) Util.y);
+  (* Replaying the uninstalled J from the stable state reaches the final
+     state: the removed write was genuinely unnecessary. *)
+  Alcotest.(check bool) "recovery completes" true
+    (Replay.recovers cg ~installed:(Write_graph.installed_ops wg) (Write_graph.stable_state wg))
+
+let test_remove_write_guard () =
+  (* Scenario 3's C writes x and y; D reads y, so C's y write cannot be
+     removed (D, uninstalled, still reads it)... *)
+  let cg = Conflict_graph.of_exec Scenario.scenario_3.Scenario.exec in
+  let wg = Write_graph.of_conflict_graph cg in
+  (match Write_graph.remove_write wg "C" Util.y with
+  | exception Write_graph.Violation _ -> ()
+  | _ -> Alcotest.fail "expected Violation: D reads y");
+  (* ... but C's x write can: D blindly overwrites x. *)
+  let wg = Write_graph.remove_write wg "C" Util.x in
+  let wg = Write_graph.install wg "C" in
+  Alcotest.(check bool) "explainable" true (Write_graph.explainable ~universe wg)
+
+let test_add_edge () =
+  let wg = fig4_wg () in
+  let wg = Write_graph.add_edge wg "P" "O" in
+  (* Now O is constrained after P. *)
+  (match Write_graph.install wg "O" with
+  | exception Write_graph.Violation _ -> ()
+  | _ -> Alcotest.fail "expected Violation: O now follows P");
+  (* Adding an edge toward an installed node is rejected. *)
+  let wg2 = Write_graph.install (fig4_wg ()) "P" in
+  (match Write_graph.add_edge wg2 "O" "P" with
+  | exception Write_graph.Violation _ -> ()
+  | _ -> Alcotest.fail "expected Violation: target installed");
+  (* Adding a cycle-forming edge is rejected. *)
+  (match Write_graph.add_edge wg "O" "P" with
+  | exception Write_graph.Violation _ -> ()
+  | _ -> Alcotest.fail "expected Violation: cycle")
+
+(* Figure 8: the generalized B-tree split. P (split) must be installed
+   before the collapsed old-page node {O, Q}. *)
+let test_figure8_write_order () =
+  let cg = Conflict_graph.of_exec Scenario.figure_8 in
+  let wg = Write_graph.of_conflict_graph cg in
+  let old_page, wg = Write_graph.collapse ~new_id:"x-page" wg [ "O"; "Q" ] in
+  Alcotest.(check bool) "edge split -> old page" true
+    (Digraph.mem_edge (Write_graph.graph wg) "P" old_page);
+  (match Write_graph.install wg old_page with
+  | exception Write_graph.Violation _ -> ()
+  | _ -> Alcotest.fail "expected Violation: old page flushed before new page");
+  let wg = Write_graph.install wg "P" in
+  let wg = Write_graph.install wg old_page in
+  Alcotest.(check bool) "explainable" true (Write_graph.explainable ~universe wg)
+
+let test_collapse_edge_cases () =
+  let wg = fig4_wg () in
+  (match Write_graph.collapse wg [ "O" ] with
+  | exception Write_graph.Violation _ -> ()
+  | _ -> Alcotest.fail "single-node collapse rejected");
+  (match Write_graph.collapse wg [ "O"; "O" ] with
+  | exception Write_graph.Violation _ -> ()
+  | _ -> Alcotest.fail "duplicate ids rejected");
+  (match Write_graph.collapse ~new_id:"P" wg [ "O"; "Q" ] with
+  | exception Write_graph.Violation _ -> ()
+  | _ -> Alcotest.fail "id collision rejected");
+  let merged, wg = Write_graph.collapse wg [ "O"; "Q" ] in
+  Alcotest.(check string) "op lookup follows the collapse" merged
+    (Write_graph.node_of_op wg "O");
+  Alcotest.(check string) "other member too" merged (Write_graph.node_of_op wg "Q")
+
+let test_install_idempotent () =
+  let wg = Write_graph.install (fig4_wg ()) "P" in
+  let wg' = Write_graph.install wg "P" in
+  Util.check_set "still just P" [ "P" ] (Write_graph.installed_nodes wg')
+
+(* Corollary 5 as a property: after a random sequence of valid write
+   graph operations, the stable state is always explainable, and replay
+   always recovers the final state. *)
+let prop_corollary5 seed =
+  let exec = Redo_workload.Op_gen.exec seed in
+  let cg = Conflict_graph.of_exec exec in
+  let rng = Random.State.make [| seed; 9 |] in
+  let rand_node wg =
+    let ids = Digraph.Node_set.elements (Write_graph.node_ids wg) in
+    List.nth ids (Random.State.int rng (List.length ids))
+  in
+  let try_step wg =
+    match Random.State.int rng 4 with
+    | 0 -> Write_graph.install wg (rand_node wg)
+    | 1 -> snd (Write_graph.collapse wg [ rand_node wg; rand_node wg ])
+    | 2 -> Write_graph.add_edge wg (rand_node wg) (rand_node wg)
+    | _ ->
+      let id = rand_node wg in
+      let vars = Var.Map.keys (Write_graph.writes_of wg id) in
+      (match vars with
+      | [] -> wg
+      | _ -> Write_graph.remove_write wg id (List.nth vars (Random.State.int rng (List.length vars))))
+  in
+  let step wg = match try_step wg with wg' -> wg' | exception Write_graph.Violation _ -> wg in
+  let wg = List.fold_left (fun wg _ -> step wg) (Write_graph.of_conflict_graph cg) (List.init 20 Fun.id) in
+  Write_graph.validate wg;
+  Write_graph.explainable wg
+  && Replay.recovers cg ~installed:(Write_graph.installed_ops wg) (Write_graph.stable_state wg)
+
+let suite =
+  [
+    Alcotest.test_case "initial write graph" `Quick test_initial_write_graph;
+    Alcotest.test_case "install order enforced" `Quick test_install_order;
+    Alcotest.test_case "figure 7 collapse" `Quick test_figure7_collapse;
+    Alcotest.test_case "E/F/G atomic install" `Quick test_efg_atomicity;
+    Alcotest.test_case "H/J remove write" `Quick test_hj_remove_write;
+    Alcotest.test_case "remove write guarded" `Quick test_remove_write_guard;
+    Alcotest.test_case "add edge" `Quick test_add_edge;
+    Alcotest.test_case "figure 8 write order" `Quick test_figure8_write_order;
+    Alcotest.test_case "collapse edge cases" `Quick test_collapse_edge_cases;
+    Alcotest.test_case "install idempotent" `Quick test_install_idempotent;
+    Util.qtest ~count:200 "corollary 5 (write graph soundness)" prop_corollary5;
+  ]

@@ -1,0 +1,26 @@
+let () =
+  Alcotest.run "redo"
+    [
+      "digraph", T_digraph.suite;
+      "value/expr", T_value_expr.suite;
+      "op/state/exec", T_op_state.suite;
+      "conflict graph", T_conflict.suite;
+      "state graph", T_state_graph.suite;
+      "exposed", T_exposed.suite;
+      "explain", T_explain.suite;
+      "replay", T_replay.suite;
+      "recovery", T_recovery.suite;
+      "write graph", T_write_graph.suite;
+      "storage", T_storage.suite;
+      "wal", T_wal.suite;
+      "codec/stable log", T_codec.suite;
+      "btree", T_btree.suite;
+      "methods", T_methods.suite;
+      "workload", T_workload.suite;
+      "kv store", T_kv.suite;
+      "theory check", T_theory_check.suite;
+      "fault injection", T_faults.suite;
+      "projection", T_projection.suite;
+      "beyond the theory", T_beyond_theory.suite;
+      "persistent app", T_persist.suite;
+    ]
