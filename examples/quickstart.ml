@@ -100,7 +100,7 @@ let show_recovery_procedure () =
   let cg = Conflict_graph.of_exec s.Scenario.exec in
   let log = Log.of_conflict_graph cg in
   let result =
-    Recovery.recover Recovery.always_redo ~state:s.Scenario.crash_state ~log
+    Recovery.recover ~trace:true Recovery.always_redo ~state:s.Scenario.crash_state ~log
       ~checkpoint:s.Scenario.claimed_installed
   in
   Fmt.pr "checkpoint {A}, redo everything else; redo set = %a@." Digraph.Node_set.pp

@@ -32,41 +32,47 @@ let redo_if test =
     redo = (fun op ~state ~log:_ ~analysis:_ -> test op state);
   }
 
-(* The procedure of Figure 6, instrumented: every iteration is recorded so
-   that the Recovery Invariant can be audited after the fact. *)
-let recover spec ~state ~log ~checkpoint =
-  let in_log_order unrecovered =
-    List.find_opt
-      (fun r -> Digraph.Node_set.mem r.Log.op_id unrecovered)
-      (Log.records log)
-  in
-  let rec loop state unrecovered analysis iterations =
-    match in_log_order unrecovered with
-    | None ->
-      let redo_set =
-        List.fold_left
-          (fun acc it -> if it.redone then Digraph.Node_set.add it.op_id acc else acc)
-          Digraph.Node_set.empty iterations
-      in
-      { final = state; redo_set; iterations = List.rev iterations }
-    | Some r ->
+(* The procedure of Figure 6. Figure 6 re-scans the log for the first
+   unrecovered record at the top of every iteration; since records are
+   unique and [unrecovered] only ever shrinks by the record just
+   processed, that first-match order is exactly one LSN-ordered cursor
+   over the log — a single pass, O(total records), not O(n^2).
+
+   With [~trace:true] every iteration additionally snapshots
+   state/unrecovered so the Recovery Invariant can be audited after the
+   fact; the default keeps only the redo set and final state, so large
+   recoveries do not retain O(n^2) memory. *)
+let recover ?(trace = false) spec ~state ~log ~checkpoint =
+  let rec loop records state unrecovered analysis redo_set iterations =
+    match records with
+    | [] -> { final = state; redo_set; iterations = List.rev iterations }
+    | r :: rest when not (Digraph.Node_set.mem r.Log.op_id unrecovered) ->
+      loop rest state unrecovered analysis redo_set iterations
+    | r :: rest ->
       let op = Log.find_op log r.Log.op_id in
       let analysis = spec.analyze ~state ~log ~unrecovered analysis in
       let redone = spec.redo op ~state ~log ~analysis in
       let state' = if redone then Op.apply op state else state in
-      let it =
-        {
-          op_id = r.Log.op_id;
-          redone;
-          state_before = state;
-          state_after = state';
-          unrecovered_before = unrecovered;
-        }
+      let redo_set =
+        if redone then Digraph.Node_set.add r.Log.op_id redo_set else redo_set
       in
-      loop state' (Digraph.Node_set.remove r.Log.op_id unrecovered) analysis (it :: iterations)
+      let iterations =
+        if not trace then iterations
+        else
+          {
+            op_id = r.Log.op_id;
+            redone;
+            state_before = state;
+            state_after = state';
+            unrecovered_before = unrecovered;
+          }
+          :: iterations
+      in
+      loop rest state' (Digraph.Node_set.remove r.Log.op_id unrecovered) analysis redo_set
+        iterations
   in
   let unrecovered = Digraph.Node_set.diff (Log.operations log) checkpoint in
-  loop state unrecovered None []
+  loop (Log.records log) state unrecovered None Digraph.Node_set.empty []
 
 let succeeded ?universe ~log result =
   let cg = Log.conflict_graph log in

@@ -33,6 +33,8 @@ type result = {
   redo_set : Digraph.Node_set.t;
       (** Operations for which the redo test returned true. *)
   iterations : iteration list;
+      (** Per-iteration snapshots; empty unless {!recover} was called
+          with [~trace:true]. *)
 }
 
 val no_analysis : unit spec -> unit spec
@@ -47,10 +49,15 @@ val redo_if : (Op.t -> State.t -> bool) -> unit spec
 (** Analysis-free spec from a state-dependent test (e.g. an LSN
     comparison, Section 6.3). *)
 
-val recover : 'a spec -> state:State.t -> log:Log.t -> checkpoint:Digraph.Node_set.t -> result
+val recover :
+  ?trace:bool -> 'a spec -> state:State.t -> log:Log.t -> checkpoint:Digraph.Node_set.t -> result
 (** Run Figure 6's [recover(state, log, checkpoint)]. [checkpoint] is
     the set of operations the checkpoint allows recovery to ignore
-    (Section 4.2). *)
+    (Section 4.2). The loop is a single LSN-ordered pass over the log —
+    O(records) total. With [~trace:true] (default [false]) each
+    iteration snapshots its pre-state and unrecovered set so
+    {!check_invariant} can audit every step; untraced runs keep O(n)
+    memory and audit only the final state. *)
 
 val succeeded : ?universe:Var.Set.t -> log:Log.t -> result -> bool
 (** Did recovery terminate in the state determined by the conflict
@@ -74,6 +81,8 @@ val check_invariant :
   ?universe:Var.Set.t -> log:Log.t -> result -> invariant_violation option
 (** Audit the Recovery Invariant at every iteration of a completed run;
     [None] means the invariant held throughout (and hence, by
-    Corollary 4, recovery succeeded). *)
+    Corollary 4, recovery succeeded). A full audit needs the run to have
+    been produced by {!recover} [~trace:true]; on an untraced result
+    only the final state is checked. *)
 
 val pp_violation : invariant_violation Fmt.t

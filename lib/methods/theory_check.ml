@@ -92,7 +92,8 @@ let check (p : Projection.t) =
         Recovery.redo_if (fun op _ -> Digraph.Node_set.mem (Op.id op) redo_set)
       in
       let result =
-        Recovery.recover spec ~state:p.Projection.stable ~log ~checkpoint:installed
+        Recovery.recover ~trace:true spec ~state:p.Projection.stable ~log
+          ~checkpoint:installed
       in
       let recovery_succeeds = Recovery.succeeded ~universe ~log result in
       let violation = Recovery.check_invariant ~universe ~log result in

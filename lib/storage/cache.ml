@@ -1,10 +1,23 @@
 exception Flush_cycle of int list
 
+module Int_set = Set.Make (Int)
+
 type entry = {
+  pid : int;
   mutable page : Page.t;
   mutable dirty : bool;
   mutable rec_lsn : Lsn.t;  (* LSN of the first update since last flush *)
   mutable last_use : int;
+  (* Intrusive links for the LRU queue the entry currently lives on
+     (the clean queue when clean, the dirty queue when dirty). *)
+  mutable prev : entry option;  (* toward MRU *)
+  mutable next : entry option;  (* toward LRU *)
+}
+
+(* One recency queue: head = most recently used, tail = eviction end. *)
+type queue = {
+  mutable head : entry option;
+  mutable tail : entry option;
 }
 
 type stats = {
@@ -21,7 +34,15 @@ type t = {
   capacity : int;
   before_flush : Page.t -> unit;
   entries : (int, entry) Hashtbl.t;
-  mutable order_deps : (int * int) list;  (* (first, then): flush first before then *)
+  (* Careful-write-order edges, indexed both ways so a flush touches
+     only the constraints that mention its page: [prereqs] maps a page
+     to the pages that must reach disk before it; [dependents] is the
+     reverse map, used to retire a page's outgoing constraints when it
+     is flushed. *)
+  prereqs : (int, Int_set.t) Hashtbl.t;
+  dependents : (int, Int_set.t) Hashtbl.t;
+  clean : queue;
+  dirty_q : queue;
   mutable clock : int;
   stats : stats;
 }
@@ -32,7 +53,10 @@ let create ?(capacity = 64) ?(before_flush = fun _ -> ()) disk =
     capacity;
     before_flush;
     entries = Hashtbl.create 64;
-    order_deps = [];
+    prereqs = Hashtbl.create 16;
+    dependents = Hashtbl.create 16;
+    clean = { head = None; tail = None };
+    dirty_q = { head = None; tail = None };
     clock = 0;
     stats =
       { hits = 0; misses = 0; flushes = 0; forced_order_flushes = 0; evictions = 0; updates = 0 };
@@ -45,12 +69,41 @@ let tick t =
   t.clock <- t.clock + 1;
   t.clock
 
+(* ---- intrusive queue plumbing ------------------------------------- *)
+
+let q_unlink q e =
+  (match e.prev with Some p -> p.next <- e.next | None -> q.head <- e.next);
+  (match e.next with Some n -> n.prev <- e.prev | None -> q.tail <- e.prev);
+  e.prev <- None;
+  e.next <- None
+
+let q_push_front q e =
+  e.prev <- None;
+  e.next <- q.head;
+  (match q.head with Some h -> h.prev <- Some e | None -> q.tail <- Some e);
+  q.head <- Some e
+
+let queue_of t e = if e.dirty then t.dirty_q else t.clean
+
+(* Move to the MRU end of the entry's current queue. *)
+let q_touch t e =
+  let q = queue_of t e in
+  q_unlink q e;
+  q_push_front q e
+
+let q_fold q f acc =
+  let rec go acc = function
+    | None -> acc
+    | Some e -> go (f acc e) e.next
+  in
+  go acc q.head
+
+(* ---- read-side accessors ------------------------------------------ *)
+
 let is_dirty t pid =
   match Hashtbl.find_opt t.entries pid with Some e -> e.dirty | None -> false
 
-let dirty_pages t =
-  Hashtbl.fold (fun pid e acc -> if e.dirty then pid :: acc else acc) t.entries []
-  |> List.sort compare
+let dirty_pages t = q_fold t.dirty_q (fun acc e -> e.pid :: acc) [] |> List.sort compare
 
 let cached_pages t =
   Hashtbl.fold (fun pid _ acc -> pid :: acc) t.entries [] |> List.sort compare
@@ -61,14 +114,36 @@ let rec_lsn t pid =
   | _ -> None
 
 let min_rec_lsn t =
-  Hashtbl.fold
-    (fun _ e acc ->
-      if not e.dirty then acc
-      else
-        match acc with
-        | None -> Some e.rec_lsn
-        | Some l -> Some (if Lsn.(e.rec_lsn < l) then e.rec_lsn else l))
-    t.entries None
+  q_fold t.dirty_q
+    (fun acc e ->
+      match acc with
+      | None -> Some e.rec_lsn
+      | Some l -> Some (if Lsn.(e.rec_lsn < l) then e.rec_lsn else l))
+    None
+
+(* ---- careful write order ------------------------------------------ *)
+
+let dirty_prereqs t pid =
+  match Hashtbl.find_opt t.prereqs pid with
+  | None -> []
+  | Some firsts -> Int_set.elements (Int_set.filter (is_dirty t) firsts)
+
+(* Constraints naming [pid] as the prerequisite are satisfied by its
+   flush and die with this version. *)
+let retire_constraints t pid =
+  match Hashtbl.find_opt t.dependents pid with
+  | None -> ()
+  | Some nexts ->
+    Hashtbl.remove t.dependents pid;
+    Int_set.iter
+      (fun nxt ->
+        match Hashtbl.find_opt t.prereqs nxt with
+        | None -> ()
+        | Some firsts ->
+          let firsts = Int_set.remove pid firsts in
+          if Int_set.is_empty firsts then Hashtbl.remove t.prereqs nxt
+          else Hashtbl.replace t.prereqs nxt firsts)
+      nexts
 
 (* Flush [pid], first flushing any dirty page that a registered write
    order requires to hit the disk earlier (Figure 8's careful write
@@ -79,59 +154,72 @@ let rec flush_with t ~forced ~visiting pid =
   | None -> ()
   | Some e when not e.dirty -> ()
   | Some e ->
-    let prereqs =
-      List.filter_map
-        (fun (first, next) -> if next = pid && is_dirty t first then Some first else None)
-        t.order_deps
-    in
     List.iter
       (fun first ->
         t.stats.forced_order_flushes <- t.stats.forced_order_flushes + 1;
         flush_with t ~forced:true ~visiting:(pid :: visiting) first)
-      (List.sort_uniq compare prereqs);
+      (dirty_prereqs t pid);
     ignore forced;
     t.before_flush e.page;
     Disk.write t.disk pid e.page;
+    q_unlink t.dirty_q e;
     e.dirty <- false;
+    q_push_front t.clean e;
     t.stats.flushes <- t.stats.flushes + 1;
-    (* Order constraints mentioning this page as the prerequisite are now
-       satisfied and die with this version. *)
-    t.order_deps <- List.filter (fun (first, _) -> first <> pid) t.order_deps
+    retire_constraints t pid
 
 let flush_page t pid = flush_with t ~forced:false ~visiting:[] pid
 
 let flush_all t = List.iter (flush_page t) (dirty_pages t)
 
-let would_force t pid =
-  List.filter_map
-    (fun (first, next) -> if next = pid && is_dirty t first then Some first else None)
-    t.order_deps
-  |> List.sort_uniq compare
+let would_force t pid = dirty_prereqs t pid
 
 let add_flush_order t ~first ~next =
-  if first <> next then t.order_deps <- (first, next) :: t.order_deps
+  if first <> next then begin
+    let add tbl key v =
+      Hashtbl.replace tbl key
+        (Int_set.add v
+           (Option.value ~default:Int_set.empty (Hashtbl.find_opt tbl key)))
+    in
+    add t.prereqs next first;
+    add t.dependents first next
+  end
 
-let flush_orders t = t.order_deps
+let flush_orders t =
+  Hashtbl.fold
+    (fun next firsts acc ->
+      Int_set.fold (fun first acc -> (first, next) :: acc) firsts acc)
+    t.prereqs []
+  |> List.sort compare
+
+let dep_count t =
+  Hashtbl.fold (fun _ firsts acc -> acc + Int_set.cardinal firsts) t.prereqs 0
+
+(* ---- eviction ------------------------------------------------------ *)
+
+(* Least recently used, preferring clean pages over dirty ones and never
+   touching the page the caller is in the middle of using: take the tail
+   of the clean queue, else the tail of the dirty queue — O(1) modulo
+   stepping over the (single) protected page. *)
+let victim_of_queue q ~protect =
+  match q.tail with
+  | None -> None
+  | Some e when e.pid <> protect -> Some e
+  | Some e -> e.prev
 
 let evict_victim t ~protect =
-  (* Least recently used; prefer clean pages; never the page the caller
-     is in the middle of using. *)
-  let best =
-    Hashtbl.fold
-      (fun pid e acc ->
-        if pid = protect then acc
-        else
-          match acc with
-          | None -> Some (pid, e)
-          | Some (_, b) ->
-            if (e.dirty, e.last_use) < (b.dirty, b.last_use) then Some (pid, e) else acc)
-      t.entries None
+  let victim =
+    match victim_of_queue t.clean ~protect with
+    | Some e -> Some e
+    | None -> victim_of_queue t.dirty_q ~protect
   in
-  match best with
+  match victim with
   | None -> false
-  | Some (pid, e) ->
-    if e.dirty then flush_page t pid;
-    Hashtbl.remove t.entries pid;
+  | Some e ->
+    if e.dirty then flush_page t e.pid;
+    (* The flush moved the entry to the clean queue if it was dirty. *)
+    q_unlink t.clean e;
+    Hashtbl.remove t.entries e.pid;
     t.stats.evictions <- t.stats.evictions + 1;
     true
 
@@ -141,40 +229,66 @@ let ensure_capacity t ~protect =
     progressing := evict_victim t ~protect
   done
 
+(* ---- the cache proper ---------------------------------------------- *)
+
 let entry t pid =
   match Hashtbl.find_opt t.entries pid with
   | Some e ->
     t.stats.hits <- t.stats.hits + 1;
     e.last_use <- tick t;
+    q_touch t e;
     e
   | None ->
     t.stats.misses <- t.stats.misses + 1;
-    let e = { page = Disk.read t.disk pid; dirty = false; rec_lsn = Lsn.zero; last_use = tick t } in
+    let e =
+      {
+        pid;
+        page = Disk.read t.disk pid;
+        dirty = false;
+        rec_lsn = Lsn.zero;
+        last_use = tick t;
+        prev = None;
+        next = None;
+      }
+    in
     Hashtbl.replace t.entries pid e;
+    q_push_front t.clean e;
     ensure_capacity t ~protect:pid;
     e
 
 let read t pid = (entry t pid).page
+
+let mark_dirty t e =
+  if not e.dirty then begin
+    q_unlink t.clean e;
+    e.dirty <- true;
+    q_push_front t.dirty_q e
+  end
 
 let update t pid ~lsn f =
   let e = entry t pid in
   let data = f (Page.data e.page) in
   if not e.dirty then e.rec_lsn <- lsn;
   e.page <- Page.make ~lsn data;
-  e.dirty <- true;
+  mark_dirty t e;
   t.stats.updates <- t.stats.updates + 1
 
 let set_page t pid page =
   let e = entry t pid in
   if not e.dirty then e.rec_lsn <- Page.lsn page;
   e.page <- page;
-  e.dirty <- true
+  mark_dirty t e
 
 let drop_volatile t =
   Hashtbl.reset t.entries;
-  t.order_deps <- []
+  Hashtbl.reset t.prereqs;
+  Hashtbl.reset t.dependents;
+  t.clean.head <- None;
+  t.clean.tail <- None;
+  t.dirty_q.head <- None;
+  t.dirty_q.tail <- None
 
 let pp ppf t =
   Fmt.pf ppf "cache: %d pages, %d dirty, deps=%d" (Hashtbl.length t.entries)
     (List.length (dirty_pages t))
-    (List.length t.order_deps)
+    (dep_count t)

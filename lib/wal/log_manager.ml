@@ -7,19 +7,26 @@ type stats = {
   mutable appended_records : int;
 }
 
+(* LSNs are dense (1, 2, 3, ...) and survivors of a crash are always a
+   prefix, so the volatile view is a growable array where slot [i] holds
+   the record with LSN [i+1]. Append pushes, force walks only the newly
+   stable slice, and the read paths are slices — nothing filters or
+   sorts the whole log. *)
 type t = {
-  mutable records : Record.t list;  (* newest first; volatile view *)
-  mutable next : int;
+  mutable arr : Record.t array;  (* slots 0..len-1 are live *)
+  mutable len : int;
   mutable flushed : Lsn.t;  (* records with lsn <= flushed are stable *)
+  mutable ckpts : int list;  (* slot indices of checkpoint records, newest first *)
   medium : Stable_log.t;  (* the crash-surviving frames *)
   stats : stats;
 }
 
 let create () =
   {
-    records = [];
-    next = 1;
+    arr = [||];
+    len = 0;
     flushed = Lsn.zero;
+    ckpts = [];
     medium = Stable_log.create ();
     stats = { appended_bytes = 0; stable_bytes = 0; forces = 0; appended_records = 0 };
   }
@@ -27,42 +34,57 @@ let create () =
 let stats t = t.stats
 let medium t = t.medium
 
+let push t r =
+  if t.len = Array.length t.arr then begin
+    let arr = Array.make (max 16 (2 * t.len)) r in
+    Array.blit t.arr 0 arr 0 t.len;
+    t.arr <- arr
+  end;
+  t.arr.(t.len) <- r;
+  t.len <- t.len + 1
+
 let append t payload =
-  let lsn = Lsn.of_int t.next in
-  t.next <- t.next + 1;
+  let lsn = Lsn.of_int (t.len + 1) in
   let r = Record.make ~lsn payload in
-  t.records <- r :: t.records;
+  (match payload with Record.Checkpoint _ -> t.ckpts <- t.len :: t.ckpts | _ -> ());
+  push t r;
   t.stats.appended_bytes <- t.stats.appended_bytes + Codec.encoded_size r + 8;
   t.stats.appended_records <- t.stats.appended_records + 1;
   lsn
 
-let last_lsn t = Lsn.of_int (t.next - 1)
+let last_lsn t = Lsn.of_int t.len
 let flushed_lsn t = t.flushed
 
+(* Number of live slots covered by the stable horizon. *)
+let stable_len t = min (Lsn.to_int t.flushed) t.len
+
 let force t ~upto =
+  let upto = if Lsn.to_int upto > t.len then last_lsn t else upto in
   if Lsn.(t.flushed < upto) then begin
     t.stats.forces <- t.stats.forces + 1;
-    let newly =
-      List.filter
-        (fun r -> Lsn.(t.flushed < Record.lsn r) && Lsn.(Record.lsn r <= upto))
-        t.records
-      |> List.sort (fun a b -> Lsn.compare (Record.lsn a) (Record.lsn b))
-    in
-    List.iter (fun r -> ignore (Stable_log.append_record t.medium r)) newly;
+    for i = Lsn.to_int t.flushed to Lsn.to_int upto - 1 do
+      ignore (Stable_log.append_record t.medium t.arr.(i))
+    done;
     t.stats.stable_bytes <- Stable_log.byte_size t.medium;
     t.flushed <- upto
   end
 
 let force_all t = force t ~upto:(last_lsn t)
 
+let rebuild_from_records t records =
+  t.arr <- Array.of_list records;
+  t.len <- Array.length t.arr;
+  t.ckpts <- [];
+  Array.iteri
+    (fun i r -> if Record.is_checkpoint r then t.ckpts <- i :: t.ckpts)
+    t.arr;
+  t.flushed <- (if t.len = 0 then Lsn.zero else Record.lsn t.arr.(t.len - 1))
+
 let restore_from_medium t =
   (* The scan is the source of truth after a crash: whatever frames
      survive (and checksum) are the log. *)
   let survivors = Stable_log.truncate_torn t.medium in
-  t.records <- List.rev survivors;
-  t.flushed <-
-    (match t.records with r :: _ -> Record.lsn r | [] -> Lsn.zero);
-  t.next <- Lsn.to_int t.flushed + 1;
+  rebuild_from_records t survivors;
   t.stats.stable_bytes <- Stable_log.byte_size t.medium
 
 let crash t = restore_from_medium t
@@ -72,45 +94,41 @@ let crash_torn t ~drop =
      unforced tail except the last [drop] bytes, leaving a torn frame.
      Already-forced bytes are never touched — anything WAL-gated (page
      flushes) only ever waited on completed forces. *)
-  let unforced =
-    List.filter (fun r -> Lsn.(t.flushed < Record.lsn r)) t.records
-    |> List.sort (fun a b -> Lsn.compare (Record.lsn a) (Record.lsn b))
-  in
   let buf = Buffer.create 256 in
-  List.iter
-    (fun r ->
-      let payload = Codec.encode_record r in
-      Buffer.add_int32_be buf (Int32.of_int (String.length payload));
-      Buffer.add_int32_be buf (Int32.of_int (Checksum.string payload));
-      Buffer.add_string buf payload)
-    unforced;
+  for i = Lsn.to_int t.flushed to t.len - 1 do
+    Stable_log.encode_frame buf (Codec.encode_record t.arr.(i))
+  done;
   let written = max 0 (Buffer.length buf - drop) in
   ignore (Stable_log.append_raw t.medium (Buffer.sub buf 0 written));
   restore_from_medium t
 
-let stable_records t =
-  List.filter (fun r -> Lsn.(Record.lsn r <= t.flushed)) t.records |> List.rev
+let slice t ~lo ~hi =
+  (* Records in slots lo..hi-1, in LSN order. *)
+  let rec go i acc = if i < lo then acc else go (i - 1) (t.arr.(i) :: acc) in
+  if hi <= lo then [] else go (hi - 1) []
+
+let stable_records t = slice t ~lo:0 ~hi:(stable_len t)
 
 let records_from t ~from =
-  List.filter (fun r -> Lsn.(from <= Record.lsn r) && Lsn.(Record.lsn r <= t.flushed)) t.records
-  |> List.rev
+  slice t ~lo:(max 0 (Lsn.to_int from - 1)) ~hi:(stable_len t)
 
-let all_records t = List.rev t.records
+let all_records t = slice t ~lo:0 ~hi:t.len
 
 let last_stable_checkpoint t =
+  let stable = stable_len t in
   let rec go = function
     | [] -> None
-    | r :: rest ->
-      if Lsn.(Record.lsn r <= t.flushed) then
-        match Record.payload r with
-        | Record.Checkpoint c -> Some (Record.lsn r, c)
-        | _ -> go rest
-      else go rest
+    | i :: rest ->
+      if i >= stable then go rest
+      else
+        (match Record.payload t.arr.(i) with
+        | Record.Checkpoint c -> Some (Record.lsn t.arr.(i), c)
+        | _ -> go rest)
   in
-  go t.records
+  go t.ckpts
 
-let length t = List.length t.records
+let length t = t.len
 
 let pp ppf t =
-  Fmt.pf ppf "log: %d records, flushed=%a, %d stable bytes" (List.length t.records) Lsn.pp
-    t.flushed (Stable_log.byte_size t.medium)
+  Fmt.pf ppf "log: %d records, flushed=%a, %d stable bytes" t.len Lsn.pp t.flushed
+    (Stable_log.byte_size t.medium)

@@ -24,13 +24,16 @@ val stats : t -> stats
     plus 8 bytes of framing per record. *)
 
 val append : t -> Record.payload -> Lsn.t
-(** Append to the volatile tail; returns the record's LSN. *)
+(** Append to the volatile tail; returns the record's LSN. Amortized
+    O(1): the volatile view is an array indexed by LSN, not a list. *)
 
 val last_lsn : t -> Lsn.t
 val flushed_lsn : t -> Lsn.t
 
 val force : t -> upto:Lsn.t -> unit
-(** Make all records with LSN ≤ [upto] stable. Idempotent. *)
+(** Make all records with LSN ≤ [upto] stable. Idempotent, and
+    O(newly-flushed records): only the slice above the previous stable
+    horizon is framed out to the medium. *)
 
 val force_all : t -> unit
 
@@ -53,7 +56,8 @@ val stable_records : t -> Record.t list
 (** Stable records in LSN order. *)
 
 val records_from : t -> from:Lsn.t -> Record.t list
-(** Stable records with LSN ≥ [from], in LSN order — the recovery scan. *)
+(** Stable records with LSN ≥ [from], in LSN order — the recovery scan.
+    O(records returned): a direct slice, not a filter of the whole log. *)
 
 val all_records : t -> Record.t list
 

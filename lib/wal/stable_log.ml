@@ -6,48 +6,71 @@
    pre-recovery scan reads frames until the bytes run out or a checksum
    fails, and everything from the first bad frame on is discarded —
    exactly the "log scan prior to recovery" the paper's abstract model
-   glosses over. *)
+   glosses over.
+
+   The medium is a growable byte array with an explicit length, so an
+   append is one frame encoding into a reused scratch buffer plus a
+   blit, and tearing/truncation just move the length — no wholesale
+   copies of the log on the hot path. *)
 
 type t = {
-  mutable buf : Buffer.t;
+  mutable data : Bytes.t;
+  mutable len : int;  (* bytes 0..len-1 are the log; the rest is slack *)
   mutable frames : int;
+  scratch : Buffer.t;  (* reused per-append frame staging *)
 }
 
 let header_size = 8
 
-let create () = { buf = Buffer.create 1024; frames = 0 }
+let create () =
+  { data = Bytes.create 1024; len = 0; frames = 0; scratch = Buffer.create 256 }
 
-let byte_size t = Buffer.length t.buf
+let byte_size t = t.len
 let frame_count t = t.frames
 
+let ensure t extra =
+  let needed = t.len + extra in
+  if needed > Bytes.length t.data then begin
+    let cap = ref (max 1024 (Bytes.length t.data)) in
+    while !cap < needed do
+      cap := !cap * 2
+    done;
+    let data = Bytes.create !cap in
+    Bytes.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end
+
+let encode_frame buf payload =
+  Buffer.add_int32_be buf (Int32.of_int (String.length payload));
+  Buffer.add_int32_be buf (Int32.of_int (Checksum.string payload));
+  Buffer.add_string buf payload
+
 let append t payload =
-  let b = Buffer.create (String.length payload + header_size) in
-  Buffer.add_int32_be b (Int32.of_int (String.length payload));
-  Buffer.add_int32_be b (Int32.of_int (Checksum.string payload));
-  Buffer.add_string b payload;
-  Buffer.add_buffer t.buf b;
+  Buffer.clear t.scratch;
+  encode_frame t.scratch payload;
+  let n = Buffer.length t.scratch in
+  ensure t n;
+  Buffer.blit t.scratch 0 t.data t.len n;
+  t.len <- t.len + n;
   t.frames <- t.frames + 1;
-  String.length payload + header_size
+  n
 
 let append_record t record = append t (Codec.encode_record record)
 
 (* Append pre-framed bytes verbatim (possibly ending mid-frame): used to
    model a force interrupted by a crash. *)
 let append_raw t bytes =
-  Buffer.add_string t.buf bytes;
-  String.length bytes
+  let n = String.length bytes in
+  ensure t n;
+  Bytes.blit_string bytes 0 t.data t.len n;
+  t.len <- t.len + n;
+  n
 
 (* Simulate a torn write: chop the final [drop] bytes (at most one
    frame's worth matters; chopping into a frame makes it unreadable). *)
 let tear t ~drop =
-  if drop > 0 then begin
-    let keep = max 0 (Buffer.length t.buf - drop) in
-    let contents = Buffer.sub t.buf 0 keep in
-    let buf = Buffer.create (max 1024 keep) in
-    Buffer.add_string buf contents;
-    t.buf <- buf
-    (* frames is now an overestimate; scan is the source of truth. *)
-  end
+  if drop > 0 then t.len <- max 0 (t.len - drop)
+  (* frames is now an overestimate; scan is the source of truth. *)
 
 type scan_result = {
   records : Record.t list;
@@ -56,19 +79,18 @@ type scan_result = {
 }
 
 let scan t =
-  let data = Buffer.contents t.buf in
-  let len = String.length data in
+  let data = t.data and len = t.len in
   let rec go pos acc =
     if pos = len then { records = List.rev acc; valid_bytes = pos; torn = false }
     else if pos + header_size > len then
       { records = List.rev acc; valid_bytes = pos; torn = true }
     else
-      let payload_len = Int32.to_int (String.get_int32_be data pos) in
-      let crc = Int32.to_int (String.get_int32_be data (pos + 4)) land 0xFFFFFFFF in
+      let payload_len = Int32.to_int (Bytes.get_int32_be data pos) in
+      let crc = Int32.to_int (Bytes.get_int32_be data (pos + 4)) land 0xFFFFFFFF in
       if payload_len < 0 || pos + header_size + payload_len > len then
         { records = List.rev acc; valid_bytes = pos; torn = true }
       else
-        let payload = String.sub data (pos + header_size) payload_len in
+        let payload = Bytes.sub_string data (pos + header_size) payload_len in
         if Checksum.string payload <> crc then
           { records = List.rev acc; valid_bytes = pos; torn = true }
         else
@@ -82,18 +104,11 @@ let scan t =
 let truncate_torn t =
   let result = scan t in
   if result.torn then begin
-    let contents = Buffer.sub t.buf 0 result.valid_bytes in
-    let buf = Buffer.create (max 1024 result.valid_bytes) in
-    Buffer.add_string buf contents;
-    t.buf <- buf;
+    t.len <- result.valid_bytes;
     t.frames <- List.length result.records
   end;
   result.records
 
 let corrupt_byte t ~pos =
-  if pos < 0 || pos >= Buffer.length t.buf then invalid_arg "Stable_log.corrupt_byte";
-  let data = Bytes.of_string (Buffer.contents t.buf) in
-  Bytes.set data pos (Char.chr (Char.code (Bytes.get data pos) lxor 0xff));
-  let buf = Buffer.create (Bytes.length data) in
-  Buffer.add_bytes buf data;
-  t.buf <- buf
+  if pos < 0 || pos >= t.len then invalid_arg "Stable_log.corrupt_byte";
+  Bytes.set t.data pos (Char.chr (Char.code (Bytes.get t.data pos) lxor 0xff))

@@ -12,6 +12,11 @@ val create : unit -> t
 val byte_size : t -> int
 val frame_count : t -> int
 
+val encode_frame : Buffer.t -> string -> unit
+(** Append one [[u32 length | u32 crc32 | payload]] frame for [payload]
+    to the buffer — the one frame layout, shared by {!append} and any
+    caller staging frames itself (e.g. a torn-force simulation). *)
+
 val append : t -> string -> int
 (** Append one frame; returns the bytes written (payload + 8). *)
 

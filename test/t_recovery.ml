@@ -28,7 +28,7 @@ let test_recover_from_scratch () =
   let exec = Scenario.figure_4 in
   let log = log_of exec in
   let result =
-    Recovery.recover Recovery.always_redo ~state:(Exec.initial exec) ~log
+    Recovery.recover ~trace:true Recovery.always_redo ~state:(Exec.initial exec) ~log
       ~checkpoint:Digraph.Node_set.empty
   in
   Alcotest.(check bool) "succeeded" true (Recovery.succeeded ~universe ~log result);
@@ -41,7 +41,7 @@ let test_recover_scenario2_with_checkpoint () =
   let s = Scenario.scenario_2 in
   let log = log_of s.Scenario.exec in
   let result =
-    Recovery.recover Recovery.always_redo ~state:s.Scenario.crash_state ~log
+    Recovery.recover ~trace:true Recovery.always_redo ~state:s.Scenario.crash_state ~log
       ~checkpoint:s.Scenario.claimed_installed
   in
   Alcotest.(check bool) "succeeded" true (Recovery.succeeded ~universe ~log result);
@@ -56,7 +56,7 @@ let test_recover_scenario1_detected () =
   let s = Scenario.scenario_1 in
   let log = log_of s.Scenario.exec in
   let result =
-    Recovery.recover Recovery.always_redo ~state:s.Scenario.crash_state ~log
+    Recovery.recover ~trace:true Recovery.always_redo ~state:s.Scenario.crash_state ~log
       ~checkpoint:s.Scenario.claimed_installed
   in
   Alcotest.(check bool) "recovery failed" false (Recovery.succeeded ~universe ~log result);
@@ -81,11 +81,31 @@ let test_redo_if () =
       (Op.effects op state)
   in
   let spec = Recovery.redo_if (fun op state -> not (effects_present op state)) in
-  let result = Recovery.recover spec ~state:s.Scenario.crash_state ~log ~checkpoint:Digraph.Node_set.empty in
+  let result = Recovery.recover ~trace:true spec ~state:s.Scenario.crash_state ~log ~checkpoint:Digraph.Node_set.empty in
   Alcotest.(check bool) "bogus redo test fails to recover" false
     (Recovery.succeeded ~universe ~log result);
   Alcotest.(check bool) "checker catches it" true
     (Recovery.check_invariant ~universe ~log result <> None)
+
+let test_untraced_matches_traced () =
+  (* The default (untraced) single-pass loop computes the same recovery
+     as the instrumented one; it just skips the per-iteration
+     snapshots. *)
+  let s = Scenario.scenario_2 in
+  let log = log_of s.Scenario.exec in
+  let run ?trace () =
+    Recovery.recover ?trace Recovery.always_redo ~state:s.Scenario.crash_state ~log
+      ~checkpoint:s.Scenario.claimed_installed
+  in
+  let traced = run ~trace:true () and untraced = run () in
+  Alcotest.(check bool) "same redo set" true
+    (Digraph.Node_set.equal traced.Recovery.redo_set untraced.Recovery.redo_set);
+  Alcotest.(check bool) "same final state" true
+    (State.equal_on universe traced.Recovery.final untraced.Recovery.final);
+  Alcotest.(check int) "no snapshots retained" 0
+    (List.length untraced.Recovery.iterations);
+  Alcotest.(check bool) "untraced run succeeded" true
+    (Recovery.succeeded ~universe ~log untraced)
 
 let test_installed_at () =
   let log = log_of Scenario.figure_4 in
@@ -112,7 +132,7 @@ let prop_corollary4 seed =
       (Explain.state_determined_by_prefix cg ~prefix)
       (Exposed.unexposed_vars cg ~installed:prefix)
   in
-  let result = Recovery.recover Recovery.always_redo ~state ~log ~checkpoint:prefix in
+  let result = Recovery.recover ~trace:true Recovery.always_redo ~state ~log ~checkpoint:prefix in
   Recovery.succeeded ~log result && Recovery.check_invariant ~log result = None
 
 (* The converse direction: when recovery succeeds from a state for the
@@ -124,7 +144,7 @@ let prop_final_state_needs_no_redo seed =
   let log = Log.of_conflict_graph cg in
   let state = Exec.final_state exec in
   let result =
-    Recovery.recover (Recovery.redo_if (fun _ _ -> false)) ~state ~log
+    Recovery.recover ~trace:true (Recovery.redo_if (fun _ _ -> false)) ~state ~log
       ~checkpoint:(Exec.op_id_set exec)
   in
   Recovery.succeeded ~log result && Recovery.check_invariant ~log result = None
@@ -139,6 +159,8 @@ let suite =
     Alcotest.test_case "bogus checkpoint detected (scenario 1)" `Quick
       test_recover_scenario1_detected;
     Alcotest.test_case "bogus redo test detected" `Quick test_redo_if;
+    Alcotest.test_case "untraced recovery matches traced" `Quick
+      test_untraced_matches_traced;
     Alcotest.test_case "installed_at" `Quick test_installed_at;
     Util.qtest ~count:200 "corollary 4 (recovery correctness)" prop_corollary4;
     Util.qtest "final state needs no redo" prop_final_state_needs_no_redo;

@@ -143,6 +143,63 @@ let test_cache_eviction () =
   Alcotest.(check bool) "evicted dirty page was flushed" true
     (Page.data_equal (Page.data (Disk.read disk 1)) (Page.Bytes "1"))
 
+let test_eviction_prefers_clean () =
+  (* Page 1 is dirty and older, page 2 is clean and newer: the clean
+     page is evicted anyway, without any flush. *)
+  let disk = Disk.create () in
+  let cache = Cache.create ~capacity:2 disk in
+  Cache.update cache 1 ~lsn:(lsn 1) (fun _ -> Page.Bytes "dirty");
+  ignore (Cache.read cache 2);
+  ignore (Cache.read cache 3);
+  Alcotest.(check (list int)) "clean page evicted, dirty kept" [ 1; 3 ]
+    (Cache.cached_pages cache);
+  Alcotest.(check int) "no flush needed" 0 (Cache.stats cache).Cache.flushes;
+  Alcotest.(check bool) "dirty page survived" true (Cache.is_dirty cache 1)
+
+let test_eviction_lru_order () =
+  (* All clean: the least recently used page goes first; touching a page
+     refreshes it. *)
+  let cache = Cache.create ~capacity:2 (Disk.create ()) in
+  ignore (Cache.read cache 1);
+  ignore (Cache.read cache 2);
+  ignore (Cache.read cache 1);
+  (* 2 is now LRU. *)
+  ignore (Cache.read cache 3);
+  Alcotest.(check (list int)) "lru clean page evicted" [ 1; 3 ] (Cache.cached_pages cache);
+  (* All dirty: the least recently dirtied page is flushed out first. *)
+  let disk = Disk.create () in
+  let cache = Cache.create ~capacity:2 disk in
+  Cache.update cache 1 ~lsn:(lsn 1) (fun _ -> Page.Bytes "1");
+  Cache.update cache 2 ~lsn:(lsn 2) (fun _ -> Page.Bytes "2");
+  Cache.update cache 1 ~lsn:(lsn 3) (fun _ -> Page.Bytes "1b");
+  Cache.update cache 3 ~lsn:(lsn 4) (fun _ -> Page.Bytes "3");
+  Alcotest.(check (list int)) "lru dirty page evicted" [ 1; 3 ] (Cache.cached_pages cache);
+  Alcotest.(check bool) "and written back" true
+    (Page.data_equal (Page.data (Disk.read disk 2)) (Page.Bytes "2"))
+
+let test_eviction_protects_in_use () =
+  (* The page the caller is in the middle of using is never the victim,
+     even when it is the only resident page. *)
+  let cache = Cache.create ~capacity:0 (Disk.create ()) in
+  Cache.update cache 7 ~lsn:(lsn 1) (fun _ -> Page.Bytes "live");
+  Alcotest.(check (list int)) "in-use page survives zero capacity" [ 7 ]
+    (Cache.cached_pages cache);
+  Alcotest.(check bool) "still dirty" true (Cache.is_dirty cache 7)
+
+let test_cache_flush_order_long_cycle () =
+  (* A cycle through three pages is still detected by the recursive
+     prerequisite walk. *)
+  let cache = Cache.create (Disk.create ()) in
+  List.iter
+    (fun pid -> Cache.update cache pid ~lsn:(lsn pid) (fun _ -> Page.Bytes "x"))
+    [ 1; 2; 3 ];
+  Cache.add_flush_order cache ~first:1 ~next:2;
+  Cache.add_flush_order cache ~first:2 ~next:3;
+  Cache.add_flush_order cache ~first:3 ~next:1;
+  match Cache.flush_page cache 3 with
+  | exception Cache.Flush_cycle _ -> ()
+  | _ -> Alcotest.fail "expected Flush_cycle"
+
 let test_cache_crash () =
   let disk = Disk.create () in
   let cache = Cache.create disk in
@@ -182,7 +239,12 @@ let suite =
     Alcotest.test_case "cache WAL hook" `Quick test_cache_wal_hook;
     Alcotest.test_case "careful write order" `Quick test_cache_flush_order;
     Alcotest.test_case "write order cycle detected" `Quick test_cache_flush_order_cycle;
+    Alcotest.test_case "write order long cycle detected" `Quick
+      test_cache_flush_order_long_cycle;
     Alcotest.test_case "eviction" `Quick test_cache_eviction;
+    Alcotest.test_case "eviction prefers clean" `Quick test_eviction_prefers_clean;
+    Alcotest.test_case "eviction LRU order" `Quick test_eviction_lru_order;
+    Alcotest.test_case "eviction protects in-use page" `Quick test_eviction_protects_in_use;
     Alcotest.test_case "crash drops volatile" `Quick test_cache_crash;
     Alcotest.test_case "recLSN lifecycle" `Quick test_rec_lsn_lifecycle;
   ]

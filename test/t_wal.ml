@@ -62,6 +62,83 @@ let test_stable_bytes () =
   Alcotest.(check bool) "stable counted" true
     ((Log_manager.stats log).Log_manager.stable_bytes > 0)
 
+let test_records_from_boundaries () =
+  (* Empty log. *)
+  let log = Log_manager.create () in
+  Alcotest.(check int) "empty log" 0
+    (List.length (Log_manager.records_from log ~from:(Lsn.of_int 1)));
+  (* Fully flushed. *)
+  let _ = Log_manager.append log (payload_put "a" "1") in
+  let _ = Log_manager.append log (payload_put "b" "2") in
+  let l3 = Log_manager.append log (payload_put "c" "3") in
+  Alcotest.(check int) "nothing stable yet" 0
+    (List.length (Log_manager.records_from log ~from:(Lsn.of_int 1)));
+  Log_manager.force_all log;
+  Alcotest.(check int) "all from 1" 3
+    (List.length (Log_manager.records_from log ~from:(Lsn.of_int 1)));
+  Alcotest.(check int) "from the last lsn" 1
+    (List.length (Log_manager.records_from log ~from:l3));
+  Alcotest.(check int) "from beyond the end" 0
+    (List.length (Log_manager.records_from log ~from:(Lsn.of_int 4)));
+  (* Partially flushed: the unforced tail is invisible. *)
+  let log = Log_manager.create () in
+  let _ = Log_manager.append log (payload_put "a" "1") in
+  let l2 = Log_manager.append log (payload_put "b" "2") in
+  let _ = Log_manager.append log (payload_put "c" "3") in
+  Log_manager.force log ~upto:l2;
+  Alcotest.(check int) "stable prefix only" 2
+    (List.length (Log_manager.records_from log ~from:(Lsn.of_int 1)));
+  Alcotest.(check int) "tail record not visible" 0
+    (List.length (Log_manager.records_from log ~from:(Lsn.of_int 3)))
+
+let test_checkpoint_at_flushed () =
+  (* The checkpoint record is exactly the last stable record. *)
+  let log = Log_manager.create () in
+  let _ = Log_manager.append log (payload_put "a" "1") in
+  let c = Log_manager.append log (Record.Checkpoint { dirty_pages = []; note = "edge" }) in
+  let _ = Log_manager.append log (payload_put "b" "2") in
+  Alcotest.(check bool) "unforced checkpoint invisible" true
+    (Log_manager.last_stable_checkpoint log = None);
+  Log_manager.force log ~upto:c;
+  (match Log_manager.last_stable_checkpoint log with
+  | Some (lsn, { Record.note; _ }) ->
+    Alcotest.(check int) "checkpoint at the horizon" (Lsn.to_int c) (Lsn.to_int lsn);
+    Alcotest.(check string) "note" "edge" note
+  | None -> Alcotest.fail "expected the checkpoint exactly at flushed")
+
+let test_crash_torn_tear_points () =
+  (* Two unforced records; the racing force tears inside the second
+     frame. Whether the tear lands mid-payload or mid-header, exactly
+     the first record survives and LSNs resume after it. *)
+  let second_frame_size =
+    (* [payload_put "b" "2"] will get LSN 2 below; frame = 8-byte header
+       + payload. *)
+    8 + Codec.encoded_size (Record.make ~lsn:(Lsn.of_int 2) (payload_put "b" "2"))
+  in
+  let run ~drop =
+    let log = Log_manager.create () in
+    let _ = Log_manager.append log (payload_put "a" "1") in
+    let _ = Log_manager.append log (payload_put "b" "2") in
+    Log_manager.crash_torn log ~drop;
+    log
+  in
+  (* Tear mid-payload: a byte of the second payload is missing. *)
+  let log = run ~drop:1 in
+  Alcotest.(check int) "mid-payload: first survives" 1 (List.length (Log_manager.all_records log));
+  Alcotest.(check int) "mid-payload: flushed = 1" 1 (Lsn.to_int (Log_manager.flushed_lsn log));
+  (* Tear mid-header: only part of the second frame's header made it. *)
+  let log = run ~drop:(second_frame_size - 3) in
+  Alcotest.(check int) "mid-header: first survives" 1 (List.length (Log_manager.all_records log));
+  let l2 = Log_manager.append log (payload_put "c" "3") in
+  Alcotest.(check int) "lsn resumes after survivor" 2 (Lsn.to_int l2);
+  (* Tear swallowing the whole tail: nothing unforced survives. *)
+  let log = run ~drop:10_000 in
+  Alcotest.(check int) "whole tail torn off" 0 (List.length (Log_manager.all_records log));
+  Alcotest.(check int) "flushed back to zero" 0 (Lsn.to_int (Log_manager.flushed_lsn log));
+  (* drop = 0: the force completed; everything survives. *)
+  let log = run ~drop:0 in
+  Alcotest.(check int) "nothing torn" 2 (List.length (Log_manager.all_records log))
+
 let test_record_sizes () =
   (* The generalized split record is (much) smaller than the
      physiological Init record carrying the moved contents. *)
@@ -80,7 +157,10 @@ let suite =
     Alcotest.test_case "lsn assignment" `Quick test_lsn_assignment;
     Alcotest.test_case "force and crash" `Quick test_force_and_crash;
     Alcotest.test_case "records_from" `Quick test_records_from;
+    Alcotest.test_case "records_from boundaries" `Quick test_records_from_boundaries;
     Alcotest.test_case "checkpoint lookup" `Quick test_checkpoint_lookup;
+    Alcotest.test_case "checkpoint exactly at flushed" `Quick test_checkpoint_at_flushed;
+    Alcotest.test_case "crash_torn tear points" `Quick test_crash_torn_tear_points;
     Alcotest.test_case "byte accounting" `Quick test_stable_bytes;
     Alcotest.test_case "split record sizes" `Quick test_record_sizes;
   ]
