@@ -1,10 +1,42 @@
-(* Table printing and a thin Bechamel wrapper shared by the experiment
-   harness. *)
+(* Table printing, wall-clock timing with warm-up/repetition, and a thin
+   Bechamel wrapper shared by the experiment harness. *)
 
 let heading title =
   Fmt.pr "@.%s@.%s@." title (String.make (String.length title) '-')
 
 let row fmt = Fmt.pr fmt
+
+let time_ns f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  (Unix.gettimeofday () -. t0) *. 1e9
+
+(* Time [work] over freshly [setup] state, with [warmup] throwaway
+   rounds first (heap growth, lazy initialisation and first-touch costs
+   land there, not in the measurement — without this, small-n rows read
+   2x slower than large-n ones purely from cold start) and the best of
+   [repeat] measured rounds reported. Alongside the time, the counter
+   deltas the best round moved in the global metrics registry — a
+   per-phase work profile to attach to the timing row. *)
+let bench_ns ?(warmup = 1) ?(repeat = 5) ~setup work =
+  for _ = 1 to warmup do
+    work (setup ())
+  done;
+  let best_ns = ref infinity and best_counters = ref [] in
+  for _ = 1 to repeat do
+    let state = setup () in
+    (* Collect the previous round's garbage outside the clock, so one
+       round's allocation doesn't bill GC time to the next. *)
+    Gc.full_major ();
+    let before = Redo_obs.Metrics.counter_values () in
+    let ns = time_ns (fun () -> work state) in
+    if ns < !best_ns then begin
+      best_ns := ns;
+      best_counters :=
+        Redo_obs.Metrics.counter_diff ~before ~after:(Redo_obs.Metrics.counter_values ())
+    end
+  done;
+  !best_ns, !best_counters
 
 (* Run a group of Bechamel tests on the monotonic clock and print the
    OLS estimate (ns/run) per test. *)

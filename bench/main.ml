@@ -302,28 +302,30 @@ let e7_faults () =
 (* ------------------------------------------------------------------ *)
 (* PERF: hot-path scaling. Times the WAL append/force path, the crash  *)
 (* scan + redo replay, and the cache's careful-write-order machinery   *)
-(* at 1k/10k/100k records, and writes the rows to BENCH_1.json so      *)
+(* at 1k/10k/100k records, and writes the rows to BENCH_2.json so      *)
 (* future changes have a machine-readable trajectory to compare        *)
 (* against. Near-linear scaling here is the point: every one of these  *)
 (* paths used to be quadratic (whole-log filter+sort per force,        *)
 (* whole-log rescan per recovery iteration, whole-dep-list filter per  *)
-(* flush).                                                             *)
-
-let time_ns f =
-  let t0 = Unix.gettimeofday () in
-  f ();
-  (Unix.gettimeofday () -. t0) *. 1e9
+(* flush). Each row is best-of-3 after a warm-up round (BENCH_1's 1k   *)
+(* rows were dominated by cold-start cost) and carries the metric      *)
+(* counters the measured round moved — the work profile, not just the  *)
+(* wall time.                                                          *)
 
 let perf_sizes = [ 1_000; 10_000; 100_000 ]
 
 let perf_emit_json rows =
-  let oc = open_out "BENCH_1.json" in
+  let oc = open_out "BENCH_2.json" in
   output_string oc "[\n";
   let last = List.length rows - 1 in
   List.iteri
-    (fun i (bench, n, total_ns) ->
-      Printf.fprintf oc "{\"bench\": %S, \"n\": %d, \"ns_per_op\": %.1f}%s\n" bench n
-        (total_ns /. float n)
+    (fun i (bench, n, total_ns, counters) ->
+      let metrics =
+        List.map (fun (name, v) -> Printf.sprintf "%S: %d" name v) counters
+        |> String.concat ", "
+      in
+      Printf.fprintf oc "{\"bench\": %S, \"n\": %d, \"ns_per_op\": %.1f, \"metrics\": {%s}}%s\n"
+        bench n (total_ns /. float n) metrics
         (if i = last then "" else ","))
     rows;
   output_string oc "]\n";
@@ -333,56 +335,65 @@ let perf () =
   Bench_util.heading "PERF: hot-path scaling (WAL force, recovery scan+replay, cache order deps)";
   Fmt.pr "  %-22s %10s %14s %12s@." "bench" "n" "total-ms" "ns/op";
   let rows = ref [] in
-  let record bench n total_ns =
-    rows := (bench, n, total_ns) :: !rows;
+  let record bench n ~setup work =
+    let total_ns, counters = Bench_util.bench_ns ~setup work in
+    rows := (bench, n, total_ns, counters) :: !rows;
     Fmt.pr "  %-22s %10d %14.2f %12.1f@." bench n (total_ns /. 1e6) (total_ns /. float n)
   in
   List.iter
     (fun n ->
       (* WAL: n appends with a group-commit force every 64 records. *)
-      let wal = Redo_wal.Log_manager.create () in
       record "wal_append_force" n
-        (time_ns (fun () ->
-             for i = 1 to n do
-               ignore
-                 (Redo_wal.Log_manager.append wal
-                    (Redo_wal.Record.Logical
-                       (Redo_wal.Record.Db_put (Printf.sprintf "key%07d" i, "value"))));
-               if i mod 64 = 0 then Redo_wal.Log_manager.force_all wal
-             done;
-             Redo_wal.Log_manager.force_all wal));
+        ~setup:(fun () -> Redo_wal.Log_manager.create ())
+        (fun wal ->
+          for i = 1 to n do
+            ignore
+              (Redo_wal.Log_manager.append wal
+                 (Redo_wal.Record.Logical
+                    (Redo_wal.Record.Db_put (Printf.sprintf "key%07d" i, "value"))));
+            if i mod 64 = 0 then Redo_wal.Log_manager.force_all wal
+          done;
+          Redo_wal.Log_manager.force_all wal);
       (* Recovery: crash (pre-recovery log scan) + full redo replay of a
-         checkpoint-free log, via the logical method. *)
+         checkpoint-free log, via the logical method. Crash+recover is
+         repeatable on one loaded store, so the load happens once. *)
       let m = Logical.create ~partitions:16 () in
       for i = 1 to n do
         Logical.put m (Printf.sprintf "key%07d" i) "value"
       done;
       Logical.sync m;
       record "recover_logical" n
-        (time_ns (fun () ->
-             Logical.crash m;
-             ignore (Logical.recover m)));
+        ~setup:(fun () -> m)
+        (fun m ->
+          Logical.crash m;
+          ignore (Logical.recover m));
       (* Cache: n/2 careful-write-order edges, then flush everything;
          each flush must find its prerequisites and retire its own
          constraints without scanning the rest. *)
-      let cache = Redo_storage.Cache.create ~capacity:(n + 1) (Redo_storage.Disk.create ()) in
-      for pid = 1 to n do
-        Redo_storage.Cache.update cache pid ~lsn:(Redo_storage.Lsn.of_int pid) (fun _ ->
-            Redo_storage.Page.Bytes "payload");
-        if pid mod 2 = 0 then Redo_storage.Cache.add_flush_order cache ~first:(pid - 1) ~next:pid
-      done;
-      record "cache_flush_deps" n (time_ns (fun () -> Redo_storage.Cache.flush_all cache));
+      record "cache_flush_deps" n
+        ~setup:(fun () ->
+          let cache =
+            Redo_storage.Cache.create ~capacity:(n + 1) (Redo_storage.Disk.create ())
+          in
+          for pid = 1 to n do
+            Redo_storage.Cache.update cache pid ~lsn:(Redo_storage.Lsn.of_int pid) (fun _ ->
+                Redo_storage.Page.Bytes "payload");
+            if pid mod 2 = 0 then
+              Redo_storage.Cache.add_flush_order cache ~first:(pid - 1) ~next:pid
+          done;
+          cache)
+        Redo_storage.Cache.flush_all;
       (* Cache: read-through churn over 4x the capacity, so every access
          evicts — the eviction pick must not rescan the whole cache. *)
-      let churn = Redo_storage.Cache.create ~capacity:512 (Redo_storage.Disk.create ()) in
       record "cache_evict_churn" n
-        (time_ns (fun () ->
-             for i = 1 to n do
-               ignore (Redo_storage.Cache.read churn (i mod 2048))
-             done)))
+        ~setup:(fun () -> Redo_storage.Cache.create ~capacity:512 (Redo_storage.Disk.create ()))
+        (fun churn ->
+          for i = 1 to n do
+            ignore (Redo_storage.Cache.read churn (i mod 2048))
+          done))
     perf_sizes;
   perf_emit_json (List.rev !rows);
-  Fmt.pr "  rows written to BENCH_1.json@."
+  Fmt.pr "  rows written to BENCH_2.json (best of 5 rounds, after warm-up)@."
 
 let micro_benchmarks () =
   Bench_util.heading "Micro-benchmarks (Bechamel, OLS estimate per run)";

@@ -4,7 +4,11 @@
    redo graphs [-o DIR]      - dot files for the paper's figures
    redo sim -m METHOD ...    - crash-recovery simulation, theory-checked
    redo torture ...          - many seeds x all methods
-   redo check -m METHOD ...  - run a workload, crash, print the invariant report *)
+   redo check -m METHOD ...  - run a workload, crash, print the invariant report
+   redo stats ...            - run a crashing workload, dump the metrics registry
+
+   sim, torture and check also take --metrics [pretty|json] to dump the
+   process-wide metrics registry after the run. *)
 
 open Cmdliner
 
@@ -35,6 +39,30 @@ let crash_every_arg =
 let checkpoint_every_arg =
   Arg.(
     value & opt int 40 & info [ "checkpoint-every" ] ~docv:"N" ~doc:"Checkpoint every N operations.")
+
+(* --- metrics plumbing --- *)
+
+let metrics_format = Arg.enum [ "pretty", `Pretty; "json", `Json ]
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some metrics_format) None
+    & info [ "metrics" ] ~docv:"FORMAT"
+        ~doc:"Dump the metrics registry after the run ($(b,pretty) or $(b,json)).")
+
+let emit_metrics = function
+  | None -> ()
+  | Some `Pretty -> Fmt.pr "%a@." Redo_obs.Metrics.pp (Redo_obs.Metrics.snapshot ())
+  | Some `Json -> print_endline (Redo_obs.Metrics.to_json (Redo_obs.Metrics.snapshot ()))
+
+(* Counters are process-global; zero them so the dump reflects exactly
+   this invocation's run. *)
+let with_metrics format run =
+  if format <> None then Redo_obs.Metrics.reset ();
+  let code = run () in
+  emit_metrics format;
+  code
 
 (* --- demo --- *)
 
@@ -90,7 +118,8 @@ let graphs dir =
 
 (* --- sim --- *)
 
-let sim method_name seed ops partitions cache crash_every checkpoint_every =
+let sim method_name seed ops partitions cache crash_every checkpoint_every metrics =
+  with_metrics metrics @@ fun () ->
   let open Redo_sim in
   let make =
     match List.assoc_opt method_name Redo_methods.Registry.all with
@@ -126,7 +155,8 @@ let sim method_name seed ops partitions cache crash_every checkpoint_every =
 
 (* --- torture --- *)
 
-let torture seeds ops =
+let torture seeds ops metrics =
+  with_metrics metrics @@ fun () ->
   let open Redo_sim in
   let failures = ref 0 in
   List.iter
@@ -219,7 +249,8 @@ let faults seeds =
 
 (* --- check --- *)
 
-let check method_name seed ops partitions cache =
+let check method_name seed ops partitions cache metrics =
+  with_metrics metrics @@ fun () ->
   let store_method =
     match method_name with
     | "logical" -> Redo_kv.Store.Logical
@@ -253,6 +284,56 @@ let check method_name seed ops partitions cache =
     Fmt.pr "INVARIANT VIOLATION: %s@." msg;
     1
 
+(* --- stats --- *)
+
+(* Run a crashing workload purely for its telemetry: the metrics
+   registry (counters, histograms) plus the tail of the trace-event
+   stream, captured in a ring-buffer sink. *)
+let stats method_name seed ops partitions cache crash_every checkpoint_every format events =
+  let open Redo_sim in
+  let make =
+    match List.assoc_opt method_name Redo_methods.Registry.all with
+    | Some make -> make
+    | None ->
+      Fmt.epr "unknown method %S (available: %s)@." method_name
+        (String.concat ", " method_names);
+      exit 2
+  in
+  Redo_obs.Metrics.reset ();
+  let ring = Redo_obs.Trace.make_ring ~capacity:events in
+  Redo_obs.Trace.set_sink (Redo_obs.Trace.Ring ring);
+  let config =
+    {
+      Simulator.default_config with
+      Simulator.seed;
+      total_ops = ops;
+      partitions;
+      cache_capacity = cache;
+      crash_every = (if crash_every <= 0 then None else Some crash_every);
+      checkpoint_every = (if checkpoint_every <= 0 then None else Some checkpoint_every);
+    }
+  in
+  let o = Simulator.run config (make ~cache_capacity:cache ~partitions ()) in
+  Redo_obs.Trace.set_sink Redo_obs.Trace.Null;
+  let snapshot = Redo_obs.Metrics.snapshot () in
+  (match format with
+  | `Pretty ->
+    Fmt.pr "%s: %d ops, %d crashes, %d checkpoints@.@." method_name o.Simulator.kv_ops
+      o.Simulator.crashes o.Simulator.checkpoints;
+    Fmt.pr "%a@." Redo_obs.Metrics.pp snapshot;
+    let tail = Redo_obs.Trace.ring_events ring in
+    Fmt.pr "@.trace (last %d of %d events):@." (List.length tail)
+      (Redo_obs.Trace.ring_seen ring);
+    List.iter (fun e -> Fmt.pr "  %a@." Redo_obs.Trace.pp_event e) tail
+  | `Json ->
+    let events =
+      Redo_obs.Trace.ring_events ring
+      |> List.map Redo_obs.Trace.event_to_json
+      |> String.concat ", "
+    in
+    Fmt.pr "{\"metrics\": %s, \"events\": [%s]}@." (Redo_obs.Metrics.to_json snapshot) events);
+  if o.Simulator.verify_failures = [] then 0 else 1
+
 (* --- command wiring --- *)
 
 let demo_cmd =
@@ -271,17 +352,37 @@ let sim_cmd =
     (Cmd.info "sim" ~doc:"Run a crash-recovery simulation with content and theory verification")
     Term.(
       const sim $ method_arg $ seed_arg $ ops_arg $ partitions_arg $ cache_arg $ crash_every_arg
-      $ checkpoint_every_arg)
+      $ checkpoint_every_arg $ metrics_arg)
 
 let torture_cmd =
   let seeds = Arg.(value & opt int 5 & info [ "seeds" ] ~docv:"N" ~doc:"Seeds per method.") in
   Cmd.v (Cmd.info "torture" ~doc:"Torture all methods across many seeds")
-    Term.(const torture $ seeds $ ops_arg)
+    Term.(const torture $ seeds $ ops_arg $ metrics_arg)
 
 let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc:"Run a workload, crash, and print the Recovery Invariant report")
-    Term.(const check $ method_arg $ seed_arg $ ops_arg $ partitions_arg $ cache_arg)
+    Term.(const check $ method_arg $ seed_arg $ ops_arg $ partitions_arg $ cache_arg $ metrics_arg)
+
+let stats_cmd =
+  let format =
+    Arg.(
+      value & opt metrics_format `Pretty
+      & info [ "format" ] ~docv:"FORMAT" ~doc:"Output format ($(b,pretty) or $(b,json)).")
+  in
+  let events =
+    Arg.(
+      value & opt int 24
+      & info [ "events" ] ~docv:"N" ~doc:"Trace events to retain in the ring buffer.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run a crashing workload and dump the telemetry: WAL/cache/recovery counters, \
+          histograms, and the trace-event tail")
+    Term.(
+      const stats $ method_arg $ seed_arg $ ops_arg $ partitions_arg $ cache_arg
+      $ crash_every_arg $ checkpoint_every_arg $ format $ events)
 
 let faults_cmd =
   let seeds = Arg.(value & opt int 8 & info [ "seeds" ] ~docv:"N" ~doc:"Seeds per variant.") in
@@ -293,6 +394,6 @@ let faults_cmd =
 let main_cmd =
   let doc = "A Theory of Redo Recovery (Lomet & Tuttle, SIGMOD 2003), executable" in
   Cmd.group (Cmd.info "redo" ~version:"1.0.0" ~doc)
-    [ demo_cmd; graphs_cmd; sim_cmd; torture_cmd; check_cmd; faults_cmd ]
+    [ demo_cmd; graphs_cmd; sim_cmd; torture_cmd; check_cmd; faults_cmd; stats_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,3 +1,14 @@
+module Metrics = Redo_obs.Metrics
+module Trace = Redo_obs.Trace
+
+let c_runs = Metrics.counter "recover.runs"
+let c_scanned = Metrics.counter "recover.records_scanned"
+let c_already_installed = Metrics.counter "recover.already_installed"
+let c_applied = Metrics.counter "recover.ops_applied"
+let c_skipped = Metrics.counter "recover.ops_skipped"
+let c_analyze_calls = Metrics.counter "recover.analyze_calls"
+let h_run_ns = Metrics.histogram "recover.run_ns"
+
 type 'a spec = {
   analyze :
     state:State.t -> log:Log.t -> unrecovered:Digraph.Node_set.t -> 'a option -> 'a option;
@@ -41,38 +52,54 @@ let redo_if test =
    With [~trace:true] every iteration additionally snapshots
    state/unrecovered so the Recovery Invariant can be audited after the
    fact; the default keeps only the redo set and final state, so large
-   recoveries do not retain O(n^2) memory. *)
-let recover ?(trace = false) spec ~state ~log ~checkpoint =
+   recoveries do not retain O(n^2) memory. A [~sink] receives the same
+   per-iteration snapshot as it happens, without retaining it — the
+   streaming form that lets an auditor observe recovery live. *)
+let recover ?(trace = false) ?sink spec ~state ~log ~checkpoint =
+  Metrics.incr c_runs;
+  let t0 = Metrics.now_ns () in
+  let snapshotting = trace || sink <> None in
   let rec loop records state unrecovered analysis redo_set iterations =
     match records with
     | [] -> { final = state; redo_set; iterations = List.rev iterations }
     | r :: rest when not (Digraph.Node_set.mem r.Log.op_id unrecovered) ->
+      Metrics.incr c_scanned;
+      Metrics.incr c_already_installed;
       loop rest state unrecovered analysis redo_set iterations
     | r :: rest ->
+      Metrics.incr c_scanned;
       let op = Log.find_op log r.Log.op_id in
+      Metrics.incr c_analyze_calls;
       let analysis = spec.analyze ~state ~log ~unrecovered analysis in
       let redone = spec.redo op ~state ~log ~analysis in
+      Metrics.incr (if redone then c_applied else c_skipped);
       let state' = if redone then Op.apply op state else state in
       let redo_set =
         if redone then Digraph.Node_set.add r.Log.op_id redo_set else redo_set
       in
       let iterations =
-        if not trace then iterations
-        else
-          {
-            op_id = r.Log.op_id;
-            redone;
-            state_before = state;
-            state_after = state';
-            unrecovered_before = unrecovered;
-          }
-          :: iterations
+        if not snapshotting then iterations
+        else begin
+          let it =
+            {
+              op_id = r.Log.op_id;
+              redone;
+              state_before = state;
+              state_after = state';
+              unrecovered_before = unrecovered;
+            }
+          in
+          (match sink with Some observe -> observe it | None -> ());
+          if trace then it :: iterations else iterations
+        end
       in
       loop rest state' (Digraph.Node_set.remove r.Log.op_id unrecovered) analysis redo_set
         iterations
   in
   let unrecovered = Digraph.Node_set.diff (Log.operations log) checkpoint in
-  loop (Log.records log) state unrecovered None Digraph.Node_set.empty []
+  let result = loop (Log.records log) state unrecovered None Digraph.Node_set.empty [] in
+  Metrics.observe h_run_ns (Metrics.now_ns () -. t0);
+  result
 
 let succeeded ?universe ~log result =
   let cg = Log.conflict_graph log in
@@ -89,31 +116,87 @@ type invariant_violation = {
 let installed_at ~log ~redo_set ~unrecovered =
   Digraph.Node_set.diff (Log.operations log) (Digraph.Node_set.inter redo_set unrecovered)
 
-let check_invariant ?universe ~log result =
-  (* "The set operations(log) - redo_set induces a prefix of the
-     installation graph that explains the state", evaluated at every
-     point of the recovery execution (Section 4.5). *)
-  let cg = Log.conflict_graph log in
-  let ctx = Explain.ctx cg in
-  let check i ~state ~unrecovered =
-    let installed = installed_at ~log ~redo_set:result.redo_set ~unrecovered in
-    if not (Explain.ctx_is_installation_prefix ctx installed) then
-      Some { at_iteration = i; installed; reason = "installed set is not an installation-graph prefix" }
-    else if not (Explain.ctx_explains ?universe ctx ~prefix:installed state) then
-      Some { at_iteration = i; installed; reason = "installed prefix does not explain the state" }
+(* "The set operations(log) - redo_set induces a prefix of the
+   installation graph that explains the state", evaluated at every point
+   of the recovery execution (Section 4.5). The auditor checks each
+   point as it is observed — either streamed straight out of [recover]
+   via [~sink], or replayed from a [~trace:true] result — retaining only
+   the first violation, never the snapshots themselves. *)
+type auditor = {
+  a_universe : Var.Set.t option;
+  a_log : Log.t;
+  a_redo_set : Digraph.Node_set.t;  (* the planned redo set *)
+  a_ctx : Explain.ctx;
+  mutable a_checked : int;  (* iterations audited so far *)
+  mutable a_violation : invariant_violation option;
+}
+
+type audit_report = {
+  violation : invariant_violation option;
+  iterations_checked : int;
+}
+
+let auditor ?universe ~log ~redo_set () =
+  {
+    a_universe = universe;
+    a_log = log;
+    a_redo_set = redo_set;
+    a_ctx = Explain.ctx (Log.conflict_graph log);
+    a_checked = 0;
+    a_violation = None;
+  }
+
+let audit_point a ~state ~unrecovered =
+  let installed = installed_at ~log:a.a_log ~redo_set:a.a_redo_set ~unrecovered in
+  let violation =
+    if not (Explain.ctx_is_installation_prefix a.a_ctx installed) then
+      Some
+        {
+          at_iteration = a.a_checked;
+          installed;
+          reason = "installed set is not an installation-graph prefix";
+        }
+    else if not (Explain.ctx_explains ?universe:a.a_universe a.a_ctx ~prefix:installed state)
+    then
+      Some
+        {
+          at_iteration = a.a_checked;
+          installed;
+          reason = "installed prefix does not explain the state";
+        }
     else None
   in
-  let rec go i = function
-    | [] -> None
-    | it :: rest ->
-      (match check i ~state:it.state_before ~unrecovered:it.unrecovered_before with
-      | Some v -> Some v
-      | None -> go (i + 1) rest)
-  in
-  match go 0 result.iterations with
-  | Some v -> Some v
-  | None ->
-    check (List.length result.iterations) ~state:result.final ~unrecovered:Digraph.Node_set.empty
+  (match violation with
+  | Some v ->
+    a.a_violation <- Some v;
+    if Trace.enabled () then
+      Trace.emit "recover.invariant_violation"
+        [
+          "iteration", Trace.Int v.at_iteration;
+          "installed", Trace.String (Fmt.str "%a" Digraph.Node_set.pp v.installed);
+          "reason", Trace.String v.reason;
+        ]
+  | None -> ());
+  violation
+
+let audit_observe a it =
+  if a.a_violation = None then begin
+    ignore (audit_point a ~state:it.state_before ~unrecovered:it.unrecovered_before);
+    a.a_checked <- a.a_checked + 1
+  end
+
+let audit_finish a ~final =
+  (match a.a_violation with
+  | Some _ -> ()
+  | None -> ignore (audit_point a ~state:final ~unrecovered:Digraph.Node_set.empty));
+  { violation = a.a_violation; iterations_checked = a.a_checked }
+
+let audit ?universe ~log result =
+  let a = auditor ?universe ~log ~redo_set:result.redo_set () in
+  List.iter (audit_observe a) result.iterations;
+  audit_finish a ~final:result.final
+
+let check_invariant ?universe ~log result = (audit ?universe ~log result).violation
 
 let pp_violation ppf v =
   Fmt.pf ppf "invariant violated at iteration %d (installed=%a): %s" v.at_iteration

@@ -50,14 +50,23 @@ val redo_if : (Op.t -> State.t -> bool) -> unit spec
     comparison, Section 6.3). *)
 
 val recover :
-  ?trace:bool -> 'a spec -> state:State.t -> log:Log.t -> checkpoint:Digraph.Node_set.t -> result
+  ?trace:bool ->
+  ?sink:(iteration -> unit) ->
+  'a spec ->
+  state:State.t ->
+  log:Log.t ->
+  checkpoint:Digraph.Node_set.t ->
+  result
 (** Run Figure 6's [recover(state, log, checkpoint)]. [checkpoint] is
     the set of operations the checkpoint allows recovery to ignore
     (Section 4.2). The loop is a single LSN-ordered pass over the log —
     O(records) total. With [~trace:true] (default [false]) each
     iteration snapshots its pre-state and unrecovered set so
-    {!check_invariant} can audit every step; untraced runs keep O(n)
-    memory and audit only the final state. *)
+    {!check_invariant} can audit every step after the fact; a [~sink]
+    receives the same snapshots {e as they happen} without retaining
+    them, so a streaming {!auditor} can observe an arbitrarily long
+    recovery in O(1) extra memory. Untraced, sink-less runs keep O(n)
+    memory and can only be audited at the final state. *)
 
 val succeeded : ?universe:Var.Set.t -> log:Log.t -> result -> bool
 (** Did recovery terminate in the state determined by the conflict
@@ -77,12 +86,59 @@ val installed_at :
 (** [installed_i = operations(log) − (redo_set ∩ unrecovered_i)]: the
     operations that will never (or never again) be redone. *)
 
+(** {1 Auditing}
+
+    The audit has two forms. The streaming form pairs an {!auditor}
+    with {!recover}'s [~sink], checking the invariant at every
+    iteration as recovery runs — O(1) retained memory, and a violation
+    is emitted as a [recover.invariant_violation] trace event (with the
+    installed set and reason) the moment it is observed. The post-hoc
+    form, {!audit} / {!check_invariant}, replays the [iterations] of a
+    [~trace:true] result through the same checks. *)
+
+type auditor
+
+type audit_report = {
+  violation : invariant_violation option;
+      (** [None] means every audited point satisfied the invariant. *)
+  iterations_checked : int;
+      (** Per-iteration points actually audited (the final state is
+          always checked, on top of these). {b Caveat:} on a result
+          produced without [~trace:true] (and with no [~sink]) this is
+          [0] — a "clean" report then only says the final state is
+          explained, a strictly weaker guarantee than a full audit.
+          Always inspect this count before trusting [violation =
+          None]. *)
+}
+
+val auditor :
+  ?universe:Var.Set.t -> log:Log.t -> redo_set:Digraph.Node_set.t -> unit -> auditor
+(** A streaming invariant checker for a recovery whose redo set is
+    known up front ([redo_set] is what the redo test will replay — for
+    a method projection, its [redo_ids]). Feed it iterations with
+    {!audit_observe} (typically as [recover]'s [~sink]), then close
+    with {!audit_finish}. *)
+
+val audit_observe : auditor -> iteration -> unit
+(** Check the invariant at this iteration's pre-state. After the first
+    violation the auditor stops checking (the report keeps the first). *)
+
+val audit_finish : auditor -> final:State.t -> audit_report
+(** Check the final state (unrecovered = ∅) and close the audit. *)
+
+val audit : ?universe:Var.Set.t -> log:Log.t -> result -> audit_report
+(** Post-hoc audit of a completed run: replay [result.iterations]
+    through an {!auditor} and finish at [result.final]. See the
+    {!audit_report.iterations_checked} caveat for untraced results. *)
+
 val check_invariant :
   ?universe:Var.Set.t -> log:Log.t -> result -> invariant_violation option
-(** Audit the Recovery Invariant at every iteration of a completed run;
-    [None] means the invariant held throughout (and hence, by
-    Corollary 4, recovery succeeded). A full audit needs the run to have
-    been produced by {!recover} [~trace:true]; on an untraced result
-    only the final state is checked. *)
+(** [(audit ?universe ~log result).violation]. [None] means the
+    invariant held at every {e audited} point (and hence, by
+    Corollary 4, recovery succeeded) — but see
+    {!audit_report.iterations_checked}: on an untraced result only the
+    final state is checked, and the [None] is indistinguishable from a
+    full audit's. Prefer {!audit} when the depth of the audit
+    matters. *)
 
 val pp_violation : invariant_violation Fmt.t

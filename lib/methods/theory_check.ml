@@ -10,6 +10,7 @@ type report = {
   state_explained : bool;
   recovery_succeeds : bool;
   invariant_held : bool;
+  audited_iterations : int;
   failure : string option;
   diagnosis : string list;
 }
@@ -26,6 +27,7 @@ let fail_report ~method_name ~op_count msg =
     state_explained = false;
     recovery_succeeds = false;
     invariant_held = false;
+    audited_iterations = 0;
     failure = Some msg;
     diagnosis = [];
   }
@@ -91,12 +93,17 @@ let check (p : Projection.t) =
       let spec =
         Recovery.redo_if (fun op _ -> Digraph.Node_set.mem (Op.id op) redo_set)
       in
+      (* The auditor observes recovery as it runs: each iteration is
+         checked and discarded, so nothing is retained but the first
+         violation — no materialized trace. *)
+      let auditor = Recovery.auditor ~universe ~log ~redo_set () in
       let result =
-        Recovery.recover ~trace:true spec ~state:p.Projection.stable ~log
-          ~checkpoint:installed
+        Recovery.recover ~sink:(Recovery.audit_observe auditor) spec
+          ~state:p.Projection.stable ~log ~checkpoint:installed
       in
       let recovery_succeeds = Recovery.succeeded ~universe ~log result in
-      let violation = Recovery.check_invariant ~universe ~log result in
+      let audit = Recovery.audit_finish auditor ~final:result.Recovery.final in
+      let violation = audit.Recovery.violation in
       let failure =
         if not installed_is_prefix then
           Some "installed operations do not form an installation-graph prefix"
@@ -118,6 +125,7 @@ let check (p : Projection.t) =
         state_explained;
         recovery_succeeds;
         invariant_held = violation = None;
+        audited_iterations = audit.Recovery.iterations_checked;
         failure;
         diagnosis;
       })
@@ -125,5 +133,7 @@ let check (p : Projection.t) =
 let pp_report ppf r =
   Fmt.pf ppf "[%s] %d ops, %d installed, %d redo: %s" r.method_name r.op_count
     r.installed_count r.redo_count
-    (match r.failure with None -> "invariant holds" | Some msg -> "FAIL: " ^ msg);
+    (match r.failure with
+    | None -> Fmt.str "invariant holds (%d iterations audited)" r.audited_iterations
+    | Some msg -> "FAIL: " ^ msg);
   List.iter (fun line -> Fmt.pf ppf "@,  %s" line) r.diagnosis

@@ -25,6 +25,11 @@ type report = {
   state_explained : bool;
   recovery_succeeds : bool;
   invariant_held : bool;
+  audited_iterations : int;
+      (** Recovery iterations the streaming auditor actually checked;
+          the final state is always checked on top. A passing report
+          with a low count is a weaker guarantee (see
+          {!Redo_core.Recovery.audit_report}). *)
   failure : string option;  (** [None] iff everything holds. *)
   diagnosis : string list;
       (** When the state is unexplained: one line per exposed variable

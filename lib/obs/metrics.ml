@@ -1,0 +1,238 @@
+type counter = { c_name : string; mutable c_count : int }
+type gauge = { g_name : string; mutable g_level : float }
+
+type histogram = {
+  h_name : string;
+  bounds : float array;  (* strictly increasing upper bounds *)
+  buckets : int array;  (* one per bound, plus the overflow bucket *)
+  mutable h_events : int;
+  mutable h_sum : float;
+  mutable h_max : float;
+}
+
+type t = {
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 64;
+    gauges = Hashtbl.create 16;
+    histograms = Hashtbl.create 16;
+  }
+
+let default = create ()
+
+let counter ?(registry = default) name =
+  match Hashtbl.find_opt registry.counters name with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; c_count = 0 } in
+    Hashtbl.replace registry.counters name c;
+    c
+
+let incr c = c.c_count <- c.c_count + 1
+let add c n = c.c_count <- c.c_count + n
+let count c = c.c_count
+
+let gauge ?(registry = default) name =
+  match Hashtbl.find_opt registry.gauges name with
+  | Some g -> g
+  | None ->
+    let g = { g_name = name; g_level = 0. } in
+    Hashtbl.replace registry.gauges name g;
+    g
+
+let set g v = g.g_level <- v
+let level g = g.g_level
+
+let duration_bounds_ns =
+  [|
+    100.; 250.; 500.; 1e3; 2.5e3; 5e3; 1e4; 2.5e4; 5e4; 1e5; 2.5e5; 5e5; 1e6; 2.5e6; 5e6;
+    1e7; 2.5e7; 5e7; 1e8; 2.5e8; 1e9;
+  |]
+
+let count_bounds =
+  [| 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256.; 512.; 1024.; 4096.; 16384.; 65536. |]
+
+let histogram ?(registry = default) ?(bounds = duration_bounds_ns) name =
+  match Hashtbl.find_opt registry.histograms name with
+  | Some h -> h
+  | None ->
+    if Array.length bounds = 0 then invalid_arg "Metrics.histogram: empty bounds";
+    Array.iteri
+      (fun i b ->
+        if i > 0 && bounds.(i - 1) >= b then
+          invalid_arg "Metrics.histogram: bounds must be strictly increasing")
+      bounds;
+    let h =
+      {
+        h_name = name;
+        bounds;
+        buckets = Array.make (Array.length bounds + 1) 0;
+        h_events = 0;
+        h_sum = 0.;
+        h_max = 0.;
+      }
+    in
+    Hashtbl.replace registry.histograms name h;
+    h
+
+(* Smallest i with v <= bounds.(i); length bounds = overflow. The bound
+   array is a small constant, so this is a handful of compares. *)
+let bucket_index bounds v =
+  let lo = ref 0 and hi = ref (Array.length bounds) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if v <= bounds.(mid) then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let observe h v =
+  let i = bucket_index h.bounds v in
+  h.buckets.(i) <- h.buckets.(i) + 1;
+  h.h_events <- h.h_events + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v > h.h_max then h.h_max <- v
+
+let events h = h.h_events
+let mean h = if h.h_events = 0 then 0. else h.h_sum /. float h.h_events
+let bucket_counts h = Array.copy h.buckets
+
+let percentile h p =
+  if h.h_events = 0 then 0.
+  else begin
+    let rank = max 1 (int_of_float (ceil (p /. 100. *. float h.h_events))) in
+    let n = Array.length h.buckets in
+    let rec go i acc =
+      if i >= n - 1 then h.h_max
+      else
+        let acc = acc + h.buckets.(i) in
+        if acc >= rank then h.bounds.(i) else go (i + 1) acc
+    in
+    go 0 0
+  end
+
+let now_ns () = Unix.gettimeofday () *. 1e9
+
+let span h f =
+  let t0 = now_ns () in
+  Fun.protect ~finally:(fun () -> observe h (now_ns () -. t0)) f
+
+let reset ?(registry = default) () =
+  Hashtbl.iter (fun _ c -> c.c_count <- 0) registry.counters;
+  Hashtbl.iter (fun _ g -> g.g_level <- 0.) registry.gauges;
+  Hashtbl.iter
+    (fun _ h ->
+      Array.fill h.buckets 0 (Array.length h.buckets) 0;
+      h.h_events <- 0;
+      h.h_sum <- 0.;
+      h.h_max <- 0.)
+    registry.histograms
+
+let sorted_by_name l = List.sort (fun (a, _) (b, _) -> String.compare a b) l
+
+let counter_values ?(registry = default) () =
+  Hashtbl.fold (fun name c acc -> (name, c.c_count) :: acc) registry.counters []
+  |> sorted_by_name
+
+let counter_diff ~before ~after =
+  let base = Hashtbl.create 64 in
+  List.iter (fun (name, v) -> Hashtbl.replace base name v) before;
+  List.filter_map
+    (fun (name, v) ->
+      let d = v - Option.value ~default:0 (Hashtbl.find_opt base name) in
+      if d = 0 then None else Some (name, d))
+    after
+
+type histogram_view = {
+  hv_name : string;
+  hv_events : int;
+  hv_mean : float;
+  hv_p50 : float;
+  hv_p90 : float;
+  hv_p99 : float;
+  hv_max : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : histogram_view list;
+}
+
+let snapshot ?(registry = default) () =
+  {
+    counters = counter_values ~registry ();
+    gauges =
+      Hashtbl.fold (fun name g acc -> (name, g.g_level) :: acc) registry.gauges []
+      |> sorted_by_name;
+    histograms =
+      Hashtbl.fold
+        (fun name h acc ->
+          {
+            hv_name = name;
+            hv_events = h.h_events;
+            hv_mean = mean h;
+            hv_p50 = percentile h 50.;
+            hv_p90 = percentile h 90.;
+            hv_p99 = percentile h 99.;
+            hv_max = h.h_max;
+          }
+          :: acc)
+        registry.histograms []
+      |> List.sort (fun a b -> String.compare a.hv_name b.hv_name);
+  }
+
+let pp ppf s =
+  Fmt.pf ppf "@[<v>counters:";
+  List.iter (fun (name, v) -> Fmt.pf ppf "@,  %-36s %12d" name v) s.counters;
+  if s.gauges <> [] then begin
+    Fmt.pf ppf "@,gauges:";
+    List.iter (fun (name, v) -> Fmt.pf ppf "@,  %-36s %12.1f" name v) s.gauges
+  end;
+  if s.histograms <> [] then begin
+    Fmt.pf ppf "@,histograms:%38s%10s%10s%10s%10s%10s" "events" "mean" "p50" "p90" "p99" "max";
+    List.iter
+      (fun h ->
+        Fmt.pf ppf "@,  %-36s %10d %9.0f %9.0f %9.0f %9.0f %9.0f" h.hv_name h.hv_events
+          h.hv_mean h.hv_p50 h.hv_p90 h.hv_p99 h.hv_max)
+      s.histograms
+  end;
+  Fmt.pf ppf "@]"
+
+(* %.17g round-trips any float; plain integers render without an
+   exponent for the common case. *)
+let json_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let to_json s =
+  let buf = Buffer.create 1024 in
+  let fields add l =
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_string buf ", ";
+        add x)
+      l
+  in
+  Buffer.add_string buf "{\"counters\": {";
+  fields (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "%S: %d" name v)) s.counters;
+  Buffer.add_string buf "}, \"gauges\": {";
+  fields
+    (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "%S: %s" name (json_float v)))
+    s.gauges;
+  Buffer.add_string buf "}, \"histograms\": {";
+  fields
+    (fun h ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "%S: {\"events\": %d, \"mean\": %s, \"p50\": %s, \"p90\": %s, \"p99\": %s, \
+            \"max\": %s}"
+           h.hv_name h.hv_events (json_float h.hv_mean) (json_float h.hv_p50)
+           (json_float h.hv_p90) (json_float h.hv_p99) (json_float h.hv_max)))
+    s.histograms;
+  Buffer.add_string buf "}}";
+  Buffer.contents buf

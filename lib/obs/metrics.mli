@@ -1,0 +1,120 @@
+(** Named metrics: counters, gauges, and fixed-bucket histograms.
+
+    A registry maps names to mutable instruments. Handles are resolved
+    once (typically at module initialisation) and recording is a direct
+    field update — an [incr] is one integer store, an [observe] is a
+    binary search over a small fixed bound array plus two stores — so
+    instrumentation on hot paths costs a few nanoseconds whether or not
+    anyone ever reads the registry.
+
+    Most code records into the process-wide {!default} registry; tests
+    can create private registries to stay isolated. *)
+
+type counter
+(** A monotonically increasing integer. *)
+
+type gauge
+(** A level that can move both ways (e.g. cached pages, dirty pages). *)
+
+type histogram
+(** A fixed-bucket histogram: observations land in the first bucket
+    whose upper bound is [>=] the value, or in the implicit overflow
+    bucket past the last bound. *)
+
+type t
+(** A registry of named instruments. *)
+
+val create : unit -> t
+
+val default : t
+(** The process-wide registry every instrumented subsystem records
+    into. *)
+
+(** {1 Instruments}
+
+    Lookup is by name; asking twice for the same name returns the same
+    handle, so modules can resolve handles at load time and callers can
+    re-resolve for reading. *)
+
+val counter : ?registry:t -> string -> counter
+val incr : counter -> unit
+val add : counter -> int -> unit
+val count : counter -> int
+
+val gauge : ?registry:t -> string -> gauge
+val set : gauge -> float -> unit
+val level : gauge -> float
+
+val duration_bounds_ns : float array
+(** Default histogram bounds: log-spaced durations from 100 ns to 1 s. *)
+
+val count_bounds : float array
+(** Log-spaced bounds for event counts (1 .. 65536), e.g. records per
+    force. *)
+
+val histogram : ?registry:t -> ?bounds:float array -> string -> histogram
+(** [bounds] (default {!duration_bounds_ns}) must be strictly
+    increasing; it is fixed at first creation and ignored on later
+    lookups of the same name. *)
+
+val observe : histogram -> float -> unit
+val events : histogram -> int
+val mean : histogram -> float
+
+val bucket_counts : histogram -> int array
+(** Per-bucket tallies, one slot per bound plus the overflow bucket
+    (a copy; mutating it does not affect the histogram). *)
+
+val percentile : histogram -> float -> float
+(** [percentile h p] (with [p] in [0..100]) is the upper bound of the
+    bucket holding the [p]-th percentile observation — an overestimate
+    bounded by the bucket resolution. The overflow bucket reports the
+    maximum observed value. Zero observations report 0. *)
+
+(** {1 Spans} *)
+
+val now_ns : unit -> float
+(** Wall-clock nanoseconds from an arbitrary origin, for span timing. *)
+
+val span : histogram -> (unit -> 'a) -> 'a
+(** Time the thunk and [observe] the elapsed nanoseconds (also on
+    exception). *)
+
+(** {1 Reading} *)
+
+val reset : ?registry:t -> unit -> unit
+(** Zero every instrument (handles stay valid). *)
+
+val counter_values : ?registry:t -> unit -> (string * int) list
+(** Current counter readings, sorted by name. *)
+
+val counter_diff :
+  before:(string * int) list -> after:(string * int) list -> (string * int) list
+(** Per-name deltas ([after] minus [before]), dropping zeros — the
+    counters a measured region actually moved. *)
+
+type histogram_view = {
+  hv_name : string;
+  hv_events : int;
+  hv_mean : float;
+  hv_p50 : float;
+  hv_p90 : float;
+  hv_p99 : float;
+  hv_max : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : histogram_view list;
+}
+
+val snapshot : ?registry:t -> unit -> snapshot
+(** A consistent, name-sorted reading of the whole registry. *)
+
+val pp : snapshot Fmt.t
+(** Human-readable sections: counters, gauges, histograms. *)
+
+val to_json : snapshot -> string
+(** One JSON object:
+    [{"counters": {...}, "gauges": {...}, "histograms": {name: {...}}}]. *)

@@ -1,0 +1,78 @@
+type value = String of string | Int of int | Float of float | Bool of bool
+
+type event = { seq : int; name : string; fields : (string * value) list }
+
+type ring = {
+  slots : event option array;
+  mutable next : int;  (* slot the next event lands in *)
+  mutable seen : int;
+}
+
+type sink = Null | Ring of ring | Stderr | Jsonl of out_channel
+
+let make_ring ~capacity =
+  if capacity <= 0 then invalid_arg "Trace.make_ring: capacity must be positive";
+  { slots = Array.make capacity None; next = 0; seen = 0 }
+
+let ring_events r =
+  let cap = Array.length r.slots in
+  let rec go i acc =
+    if i = 0 then acc
+    else
+      let slot = r.slots.((r.next + cap - i) mod cap) in
+      go (i - 1) (match slot with Some e -> e :: acc | None -> acc)
+  in
+  List.rev (go cap [])
+
+let ring_seen r = r.seen
+
+let current = ref Null
+let seq = ref 0
+
+let set_sink s = current := s
+let sink () = !current
+let enabled () = match !current with Null -> false | _ -> true
+
+let pp_value ppf = function
+  | String s -> Fmt.string ppf s
+  | Int i -> Fmt.int ppf i
+  | Float f -> Fmt.pf ppf "%g" f
+  | Bool b -> Fmt.bool ppf b
+
+let pp_event ppf e =
+  Fmt.pf ppf "#%-5d %-28s" e.seq e.name;
+  List.iter (fun (k, v) -> Fmt.pf ppf " %s=%a" k pp_value v) e.fields
+
+let json_value = function
+  | String s -> Printf.sprintf "%S" s
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%.17g" f
+  | Bool b -> string_of_bool b
+
+let event_to_json e =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Printf.sprintf "{\"seq\": %d, \"event\": %S" e.seq e.name);
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf ", %S: %s" k (json_value v)))
+    e.fields;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let deliver s e =
+  match s with
+  | Null -> ()
+  | Ring r ->
+    r.slots.(r.next) <- Some e;
+    r.next <- (r.next + 1) mod Array.length r.slots;
+    r.seen <- r.seen + 1
+  | Stderr -> Fmt.epr "%a@." pp_event e
+  | Jsonl oc ->
+    output_string oc (event_to_json e);
+    output_char oc '\n'
+
+let emit name fields =
+  match !current with
+  | Null -> ()
+  | s ->
+    incr seq;
+    deliver s { seq = !seq; name; fields }

@@ -1,0 +1,46 @@
+(** Structured trace events with pluggable sinks.
+
+    A trace event is a name plus typed fields. Events flow to one
+    process-wide sink; the default {!Null} sink makes {!emit} return
+    immediately, so hot-path call sites that guard field construction
+    with {!enabled} cost a single load-and-branch when tracing is off. *)
+
+type value = String of string | Int of int | Float of float | Bool of bool
+
+type event = {
+  seq : int;  (** Global emission order, 1-based; only advances while a
+                  real sink is installed. *)
+  name : string;
+  fields : (string * value) list;
+}
+
+type ring
+(** A bounded in-memory buffer keeping the most recent events. *)
+
+type sink =
+  | Null  (** Drop everything (the default). *)
+  | Ring of ring  (** Retain the last [capacity] events. *)
+  | Stderr  (** Pretty-print each event to stderr as it happens. *)
+  | Jsonl of out_channel  (** One JSON object per line. *)
+
+val make_ring : capacity:int -> ring
+(** [capacity] must be positive. *)
+
+val ring_events : ring -> event list
+(** Retained events, oldest first. *)
+
+val ring_seen : ring -> int
+(** Total events ever offered to this ring (retained or overwritten). *)
+
+val set_sink : sink -> unit
+val sink : unit -> sink
+
+val enabled : unit -> bool
+(** [false] iff the installed sink is {!Null}. Guard any field
+    construction with this on hot paths. *)
+
+val emit : string -> (string * value) list -> unit
+(** Deliver an event to the installed sink; a no-op under {!Null}. *)
+
+val pp_event : event Fmt.t
+val event_to_json : event -> string

@@ -1,4 +1,26 @@
 open Redo_methods
+module Metrics = Redo_obs.Metrics
+module Trace = Redo_obs.Trace
+
+let c_kv_ops = Metrics.counter "sim.kv_ops"
+let c_crashes = Metrics.counter "sim.crashes"
+let c_torn_crashes = Metrics.counter "sim.torn_crashes"
+let c_checkpoints = Metrics.counter "sim.checkpoints"
+let c_theory_ok = Metrics.counter "sim.theory_ok"
+let c_theory_fail = Metrics.counter "sim.theory_fail"
+let c_verify_failures = Metrics.counter "sim.verify_failures"
+let c_rec_scanned = Metrics.counter "recovery.scanned"
+let c_rec_redone = Metrics.counter "recovery.redone"
+let c_rec_skipped = Metrics.counter "recovery.skipped"
+let c_rec_analysis = Metrics.counter "recovery.analysis_scanned"
+
+(* The three phases of a crash-recovery cycle (Lomet & Tzoumas split
+   redo time the same way): the pre-recovery log scan (inside crash),
+   the redo pass itself, and the content verification. *)
+let h_crash_scan_ns = Metrics.histogram "recovery.crash_scan_ns"
+let h_redo_ns = Metrics.histogram "recovery.redo_ns"
+let h_verify_ns = Metrics.histogram "recovery.verify_ns"
+let h_theory_ns = Metrics.histogram "recovery.theory_check_ns"
 
 type config = {
   seed : int;
@@ -58,45 +80,98 @@ let mismatch_message ~when_ expected actual =
 let crash_recover_verify ?(rng : Random.State.t option) cfg instance reference outcome =
   (* Some crashes tear the final log frame: the stable medium lost a few
      bytes mid-append and the damaged record with them. *)
-  (match rng with
-  | Some rng when Random.State.float rng 1.0 < cfg.torn_write_prob ->
-    Method_intf.instance_crash_torn instance ~drop:(1 + Random.State.int rng 6)
-  | _ -> Method_intf.instance_crash instance);
+  let torn =
+    match rng with
+    | Some rng when Random.State.float rng 1.0 < cfg.torn_write_prob -> true
+    | _ -> false
+  in
+  Metrics.incr c_crashes;
+  if torn then Metrics.incr c_torn_crashes;
+  if Trace.enabled () then
+    Trace.emit "sim.crash"
+      [
+        "crash", Trace.Int (!outcome.crashes + 1);
+        "op", Trace.Int !outcome.kv_ops;
+        "torn", Trace.Bool torn;
+      ];
+  (* The crash runs the pre-recovery stable-log scan (checksums, torn
+     tail truncation): phase one of the recovery timeline. *)
+  Metrics.span h_crash_scan_ns (fun () ->
+      if torn then
+        Method_intf.instance_crash_torn instance
+          ~drop:(1 + Random.State.int (Option.get rng) 6)
+      else Method_intf.instance_crash instance);
   let theory_reports =
     if cfg.verify_theory then
-      Theory_check.check (Method_intf.instance_projection instance) :: !outcome.theory_reports
+      Metrics.span h_theory_ns (fun () ->
+          let report = Theory_check.check (Method_intf.instance_projection instance) in
+          Metrics.incr (if Theory_check.ok report then c_theory_ok else c_theory_fail);
+          if (not (Theory_check.ok report)) && Trace.enabled () then
+            Trace.emit "sim.theory_violation"
+              [
+                "crash", Trace.Int (!outcome.crashes + 1);
+                "report", Trace.String (Fmt.str "%a" Theory_check.pp_report report);
+              ];
+          report :: !outcome.theory_reports)
     else !outcome.theory_reports
   in
   let t0 = Sys.time () in
   (* A recovery or traversal that raises is itself a verification
      failure (injected faults corrupt state badly enough for that). *)
   let stats, recover_error =
-    match Method_intf.instance_recover instance with
-    | stats -> stats, None
-    | exception e -> { Method_intf.scanned = 0; redone = 0; skipped = 0; analysis_scanned = 0 }, Some e
+    Metrics.span h_redo_ns (fun () ->
+        match Method_intf.instance_recover instance with
+        | stats -> stats, None
+        | exception e ->
+          ( { Method_intf.scanned = 0; redone = 0; skipped = 0; analysis_scanned = 0 },
+            Some e ))
   in
   let dt = Sys.time () -. t0 in
-  let durable = Method_intf.instance_durable_ops instance in
-  Reference.truncate reference durable;
-  let expected = Reference.dump reference in
-  let actual_or_error =
-    match recover_error with
-    | Some e -> Error e
-    | None -> (try Ok (Method_intf.instance_dump instance) with e -> Error e)
-  in
+  Metrics.add c_rec_scanned stats.Method_intf.scanned;
+  Metrics.add c_rec_redone stats.Method_intf.redone;
+  Metrics.add c_rec_skipped stats.Method_intf.skipped;
+  Metrics.add c_rec_analysis stats.Method_intf.analysis_scanned;
+  if Trace.enabled () then
+    Trace.emit "sim.recovered"
+      [
+        "crash", Trace.Int (!outcome.crashes + 1);
+        "scanned", Trace.Int stats.Method_intf.scanned;
+        "redone", Trace.Int stats.Method_intf.redone;
+        "skipped", Trace.Int stats.Method_intf.skipped;
+      ];
   let verify_failures =
-    match actual_or_error with
-    | Ok actual when expected = actual -> !outcome.verify_failures
-    | Ok actual ->
-      mismatch_message
-        ~when_:(Printf.sprintf "after crash %d (%d durable ops)" (!outcome.crashes + 1) durable)
-        expected actual
-      :: !outcome.verify_failures
-    | Error e ->
-      Printf.sprintf "after crash %d: recovery/dump raised %s" (!outcome.crashes + 1)
-        (Printexc.to_string e)
-      :: !outcome.verify_failures
+    Metrics.span h_verify_ns (fun () ->
+        let durable = Method_intf.instance_durable_ops instance in
+        Reference.truncate reference durable;
+        let expected = Reference.dump reference in
+        let actual_or_error =
+          match recover_error with
+          | Some e -> Error e
+          | None -> (try Ok (Method_intf.instance_dump instance) with e -> Error e)
+        in
+        match actual_or_error with
+        | Ok actual when expected = actual -> !outcome.verify_failures
+        | Ok actual ->
+          mismatch_message
+            ~when_:
+              (Printf.sprintf "after crash %d (%d durable ops)" (!outcome.crashes + 1)
+                 durable)
+            expected actual
+          :: !outcome.verify_failures
+        | Error e ->
+          Printf.sprintf "after crash %d: recovery/dump raised %s" (!outcome.crashes + 1)
+            (Printexc.to_string e)
+          :: !outcome.verify_failures)
   in
+  if List.length verify_failures > List.length !outcome.verify_failures then begin
+    Metrics.incr c_verify_failures;
+    if Trace.enabled () then
+      Trace.emit "sim.verify_failure"
+        [
+          "crash", Trace.Int (!outcome.crashes + 1);
+          "message", Trace.String (List.hd verify_failures);
+        ]
+  end;
   outcome :=
     {
       !outcome with
@@ -154,13 +229,16 @@ let run cfg instance =
             Reference.put reference key value
           end;
           outcome := { !outcome with kv_ops = !outcome.kv_ops + 1 };
+          Metrics.incr c_kv_ops;
           if Random.State.float rng 1.0 < cfg.flush_prob then
             Method_intf.instance_flush_some instance rng;
           if Random.State.float rng 1.0 < cfg.sync_prob then Method_intf.instance_sync instance;
           match cfg.checkpoint_every with
           | Some n when i mod n = 0 ->
             Method_intf.instance_checkpoint instance;
-            outcome := { !outcome with checkpoints = !outcome.checkpoints + 1 }
+            outcome := { !outcome with checkpoints = !outcome.checkpoints + 1 };
+            Metrics.incr c_checkpoints;
+            if Trace.enabled () then Trace.emit "sim.checkpoint" [ "op", Trace.Int i ]
           | _ -> ()
         with
        | Exit -> raise Exit

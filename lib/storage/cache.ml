@@ -1,6 +1,18 @@
 exception Flush_cycle of int list
 
 module Int_set = Set.Make (Int)
+module Metrics = Redo_obs.Metrics
+module Trace = Redo_obs.Trace
+
+let c_hits = Metrics.counter "cache.hits"
+let c_misses = Metrics.counter "cache.misses"
+let c_updates = Metrics.counter "cache.updates"
+let c_flushes = Metrics.counter "cache.flushes"
+let c_forced_order_flushes = Metrics.counter "cache.forced_order_flushes"
+let c_evictions_clean = Metrics.counter "cache.evictions_clean"
+let c_evictions_dirty = Metrics.counter "cache.evictions_dirty"
+let c_edges_added = Metrics.counter "cache.order_edges_added"
+let c_edges_discharged = Metrics.counter "cache.order_edges_discharged"
 
 type entry = {
   pid : int;
@@ -140,6 +152,7 @@ let retire_constraints t pid =
         match Hashtbl.find_opt t.prereqs nxt with
         | None -> ()
         | Some firsts ->
+          if Int_set.mem pid firsts then Metrics.incr c_edges_discharged;
           let firsts = Int_set.remove pid firsts in
           if Int_set.is_empty firsts then Hashtbl.remove t.prereqs nxt
           else Hashtbl.replace t.prereqs nxt firsts)
@@ -157,6 +170,10 @@ let rec flush_with t ~forced ~visiting pid =
     List.iter
       (fun first ->
         t.stats.forced_order_flushes <- t.stats.forced_order_flushes + 1;
+        Metrics.incr c_forced_order_flushes;
+        if Trace.enabled () then
+          Trace.emit "cache.forced_order_flush"
+            [ "page", Trace.Int first; "needed_by", Trace.Int pid ];
         flush_with t ~forced:true ~visiting:(pid :: visiting) first)
       (dirty_prereqs t pid);
     ignore forced;
@@ -166,6 +183,7 @@ let rec flush_with t ~forced ~visiting pid =
     e.dirty <- false;
     q_push_front t.clean e;
     t.stats.flushes <- t.stats.flushes + 1;
+    Metrics.incr c_flushes;
     retire_constraints t pid
 
 let flush_page t pid = flush_with t ~forced:false ~visiting:[] pid
@@ -177,12 +195,13 @@ let would_force t pid = dirty_prereqs t pid
 let add_flush_order t ~first ~next =
   if first <> next then begin
     let add tbl key v =
-      Hashtbl.replace tbl key
-        (Int_set.add v
-           (Option.value ~default:Int_set.empty (Hashtbl.find_opt tbl key)))
+      let existing = Option.value ~default:Int_set.empty (Hashtbl.find_opt tbl key) in
+      let fresh = not (Int_set.mem v existing) in
+      if fresh then Hashtbl.replace tbl key (Int_set.add v existing);
+      fresh
     in
-    add t.prereqs next first;
-    add t.dependents first next
+    if add t.prereqs next first then Metrics.incr c_edges_added;
+    ignore (add t.dependents first next)
   end
 
 let flush_orders t =
@@ -216,11 +235,13 @@ let evict_victim t ~protect =
   match victim with
   | None -> false
   | Some e ->
+    let was_dirty = e.dirty in
     if e.dirty then flush_page t e.pid;
     (* The flush moved the entry to the clean queue if it was dirty. *)
     q_unlink t.clean e;
     Hashtbl.remove t.entries e.pid;
     t.stats.evictions <- t.stats.evictions + 1;
+    Metrics.incr (if was_dirty then c_evictions_dirty else c_evictions_clean);
     true
 
 let ensure_capacity t ~protect =
@@ -235,11 +256,13 @@ let entry t pid =
   match Hashtbl.find_opt t.entries pid with
   | Some e ->
     t.stats.hits <- t.stats.hits + 1;
+    Metrics.incr c_hits;
     e.last_use <- tick t;
     q_touch t e;
     e
   | None ->
     t.stats.misses <- t.stats.misses + 1;
+    Metrics.incr c_misses;
     let e =
       {
         pid;
@@ -271,7 +294,8 @@ let update t pid ~lsn f =
   if not e.dirty then e.rec_lsn <- lsn;
   e.page <- Page.make ~lsn data;
   mark_dirty t e;
-  t.stats.updates <- t.stats.updates + 1
+  t.stats.updates <- t.stats.updates + 1;
+  Metrics.incr c_updates
 
 let set_page t pid page =
   let e = entry t pid in

@@ -1,4 +1,16 @@
 open Redo_storage
+module Metrics = Redo_obs.Metrics
+module Trace = Redo_obs.Trace
+
+(* Process-wide telemetry, resolved once; recording is a field update. *)
+let c_appends = Metrics.counter "wal.appends"
+let c_bytes_staged = Metrics.counter "wal.bytes_staged"
+let c_forces = Metrics.counter "wal.forces"
+let c_records_forced = Metrics.counter "wal.records_forced"
+let c_bytes_written = Metrics.counter "wal.bytes_written"
+let c_restores = Metrics.counter "wal.restores"
+let h_records_per_force = Metrics.histogram ~bounds:Metrics.count_bounds "wal.records_per_force"
+let h_force_ns = Metrics.histogram "wal.force_ns"
 
 type stats = {
   mutable appended_bytes : int;
@@ -48,8 +60,11 @@ let append t payload =
   let r = Record.make ~lsn payload in
   (match payload with Record.Checkpoint _ -> t.ckpts <- t.len :: t.ckpts | _ -> ());
   push t r;
-  t.stats.appended_bytes <- t.stats.appended_bytes + Codec.encoded_size r + 8;
+  let framed = Codec.encoded_size r + 8 in
+  t.stats.appended_bytes <- t.stats.appended_bytes + framed;
   t.stats.appended_records <- t.stats.appended_records + 1;
+  Metrics.incr c_appends;
+  Metrics.add c_bytes_staged framed;
   lsn
 
 let last_lsn t = Lsn.of_int t.len
@@ -62,11 +77,26 @@ let force t ~upto =
   let upto = if Lsn.to_int upto > t.len then last_lsn t else upto in
   if Lsn.(t.flushed < upto) then begin
     t.stats.forces <- t.stats.forces + 1;
-    for i = Lsn.to_int t.flushed to Lsn.to_int upto - 1 do
+    let t0 = Metrics.now_ns () in
+    let first = Lsn.to_int t.flushed and last = Lsn.to_int upto in
+    let bytes_before = Stable_log.byte_size t.medium in
+    for i = first to last - 1 do
       ignore (Stable_log.append_record t.medium t.arr.(i))
     done;
     t.stats.stable_bytes <- Stable_log.byte_size t.medium;
-    t.flushed <- upto
+    t.flushed <- upto;
+    Metrics.incr c_forces;
+    Metrics.add c_records_forced (last - first);
+    Metrics.add c_bytes_written (t.stats.stable_bytes - bytes_before);
+    Metrics.observe h_records_per_force (float (last - first));
+    Metrics.observe h_force_ns (Metrics.now_ns () -. t0);
+    if Trace.enabled () then
+      Trace.emit "wal.force"
+        [
+          "upto", Trace.Int last;
+          "records", Trace.Int (last - first);
+          "bytes", Trace.Int (t.stats.stable_bytes - bytes_before);
+        ]
   end
 
 let force_all t = force t ~upto:(last_lsn t)
@@ -85,7 +115,11 @@ let restore_from_medium t =
      survive (and checksum) are the log. *)
   let survivors = Stable_log.truncate_torn t.medium in
   rebuild_from_records t survivors;
-  t.stats.stable_bytes <- Stable_log.byte_size t.medium
+  t.stats.stable_bytes <- Stable_log.byte_size t.medium;
+  Metrics.incr c_restores;
+  if Trace.enabled () then
+    Trace.emit "wal.restore"
+      [ "records", Trace.Int t.len; "bytes", Trace.Int t.stats.stable_bytes ]
 
 let crash t = restore_from_medium t
 

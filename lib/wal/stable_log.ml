@@ -13,6 +13,16 @@
    blit, and tearing/truncation just move the length — no wholesale
    copies of the log on the hot path. *)
 
+module Metrics = Redo_obs.Metrics
+module Trace = Redo_obs.Trace
+
+let c_frames = Metrics.counter "stable_log.frames_encoded"
+let c_scans = Metrics.counter "stable_log.scans"
+let c_scan_records = Metrics.counter "stable_log.scan_records"
+let c_torn_scans = Metrics.counter "stable_log.torn_scans"
+let c_truncated_bytes = Metrics.counter "stable_log.truncated_bytes"
+let h_scan_ns = Metrics.histogram "stable_log.scan_ns"
+
 type t = {
   mutable data : Bytes.t;
   mutable len : int;  (* bytes 0..len-1 are the log; the rest is slack *)
@@ -53,6 +63,7 @@ let append t payload =
   Buffer.blit t.scratch 0 t.data t.len n;
   t.len <- t.len + n;
   t.frames <- t.frames + 1;
+  Metrics.incr c_frames;
   n
 
 let append_record t record = append t (Codec.encode_record record)
@@ -79,6 +90,7 @@ type scan_result = {
 }
 
 let scan t =
+  let t0 = Metrics.now_ns () in
   let data = t.data and len = t.len in
   let rec go pos acc =
     if pos = len then { records = List.rev acc; valid_bytes = pos; torn = false }
@@ -99,11 +111,23 @@ let scan t =
           | exception Codec.Decode_error _ ->
             { records = List.rev acc; valid_bytes = pos; torn = true }
   in
-  go 0 []
+  let result = go 0 [] in
+  Metrics.incr c_scans;
+  Metrics.add c_scan_records (List.length result.records);
+  if result.torn then Metrics.incr c_torn_scans;
+  Metrics.observe h_scan_ns (Metrics.now_ns () -. t0);
+  result
 
 let truncate_torn t =
   let result = scan t in
   if result.torn then begin
+    Metrics.add c_truncated_bytes (t.len - result.valid_bytes);
+    if Trace.enabled () then
+      Trace.emit "stable_log.truncated"
+        [
+          "dropped_bytes", Trace.Int (t.len - result.valid_bytes);
+          "surviving_records", Trace.Int (List.length result.records);
+        ];
     t.len <- result.valid_bytes;
     t.frames <- List.length result.records
   end;

@@ -1,0 +1,143 @@
+(* The observability layer: metrics registry semantics (counters,
+   gauges, histogram buckets and percentiles) and the trace-event sinks
+   (ring-buffer ordering/wraparound, the null sink recording nothing). *)
+
+open Redo_obs
+
+let test_counter_semantics () =
+  let r = Metrics.create () in
+  let c = Metrics.counter ~registry:r "test.counter" in
+  Alcotest.(check int) "starts at zero" 0 (Metrics.count c);
+  Metrics.incr c;
+  Metrics.add c 41;
+  Alcotest.(check int) "incr + add" 42 (Metrics.count c);
+  (* Same name resolves to the same instrument. *)
+  let c' = Metrics.counter ~registry:r "test.counter" in
+  Metrics.incr c';
+  Alcotest.(check int) "aliased handle" 43 (Metrics.count c);
+  (* Distinct registries are isolated. *)
+  let other = Metrics.counter ~registry:(Metrics.create ()) "test.counter" in
+  Alcotest.(check int) "fresh registry" 0 (Metrics.count other);
+  Metrics.reset ~registry:r ();
+  Alcotest.(check int) "reset zeroes, handle survives" 0 (Metrics.count c)
+
+let test_gauge_semantics () =
+  let r = Metrics.create () in
+  let g = Metrics.gauge ~registry:r "test.gauge" in
+  Metrics.set g 7.5;
+  Metrics.set g 3.0;
+  Alcotest.(check (float 1e-9)) "last set wins" 3.0 (Metrics.level g)
+
+let test_histogram_buckets () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram ~registry:r ~bounds:[| 10.; 20.; 40. |] "test.hist" in
+  (* Bucket i holds v <= bounds.(i); past the last bound is overflow. *)
+  List.iter (Metrics.observe h) [ 5.; 10.; 10.5; 20.; 39.9; 40.; 41.; 1000. ];
+  Alcotest.(check (array int)) "bucket boundaries are inclusive upper bounds"
+    [| 2; 2; 2; 2 |] (Metrics.bucket_counts h);
+  Alcotest.(check int) "events" 8 (Metrics.events h);
+  Alcotest.(check (float 1e-9)) "max tracked" 1000. (Metrics.percentile h 100.);
+  (match Metrics.histogram ~registry:r ~bounds:[| 3.; 2. |] "test.bad" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-increasing bounds accepted")
+
+let test_histogram_percentiles () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram ~registry:r ~bounds:[| 1.; 2.; 4.; 8. |] "test.pctl" in
+  Alcotest.(check (float 1e-9)) "empty histogram reads 0" 0. (Metrics.percentile h 50.);
+  (* 100 observations of 1, 2, 3, 4 cycling: 25 in each of the first
+     three occupied buckets (3 lands in the <=4 bucket with 4). *)
+  for i = 0 to 99 do
+    Metrics.observe h (float ((i mod 4) + 1))
+  done;
+  Alcotest.(check (float 1e-9)) "p25 -> first bucket bound" 1. (Metrics.percentile h 25.);
+  Alcotest.(check (float 1e-9)) "p50 -> second bucket bound" 2. (Metrics.percentile h 50.);
+  Alcotest.(check (float 1e-9)) "p99 -> <=4 bucket bound" 4. (Metrics.percentile h 99.);
+  Metrics.observe h 100.;
+  Alcotest.(check (float 1e-9)) "p100 in overflow -> max observed" 100.
+    (Metrics.percentile h 100.);
+  Alcotest.(check (float 1e-6)) "histogram mean" ((2.5 *. 100. +. 100.) /. 101.)
+    (Metrics.mean h)
+
+let with_sink sink f =
+  Fun.protect ~finally:(fun () -> Trace.set_sink Trace.Null) (fun () ->
+      Trace.set_sink sink;
+      f ())
+
+let test_ring_ordering_and_wraparound () =
+  let ring = Trace.make_ring ~capacity:4 in
+  with_sink (Trace.Ring ring) (fun () ->
+      Alcotest.(check bool) "enabled under a real sink" true (Trace.enabled ());
+      for i = 1 to 6 do
+        Trace.emit "tick" [ "i", Trace.Int i ]
+      done);
+  Alcotest.(check int) "all six offered" 6 (Trace.ring_seen ring);
+  let events = Trace.ring_events ring in
+  Alcotest.(check int) "capacity retained" 4 (List.length events);
+  Alcotest.(check (list int)) "oldest evicted, order preserved" [ 3; 4; 5; 6 ]
+    (List.map
+       (fun (e : Trace.event) ->
+         match e.Trace.fields with [ ("i", Trace.Int i) ] -> i | _ -> -1)
+       events);
+  let seqs = List.map (fun (e : Trace.event) -> e.Trace.seq) events in
+  Alcotest.(check bool) "seq strictly increasing" true
+    (List.for_all2 (fun a b -> a < b) seqs (List.tl seqs @ [ max_int ]))
+
+let test_null_sink_records_nothing () =
+  let ring = Trace.make_ring ~capacity:4 in
+  (* Default sink is Null: emitting must be a no-op... *)
+  Alcotest.(check bool) "disabled by default" false (Trace.enabled ());
+  Trace.emit "dropped" [ "x", Trace.Int 1 ];
+  with_sink (Trace.Ring ring) (fun () -> Trace.emit "kept" []);
+  (* ...and must not have advanced the sequence or touched any buffer. *)
+  Trace.emit "dropped-again" [];
+  Alcotest.(check int) "ring saw only the enabled emit" 1 (Trace.ring_seen ring);
+  match Trace.ring_events ring with
+  | [ e ] -> Alcotest.(check string) "the kept event" "kept" e.Trace.name
+  | l -> Alcotest.failf "expected exactly one event, got %d" (List.length l)
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec at i = i + n <= h && (String.sub hay i n = needle || at (i + 1)) in
+  at 0
+
+let test_snapshot_and_json () =
+  let r = Metrics.create () in
+  Metrics.add (Metrics.counter ~registry:r "b.count") 2;
+  Metrics.add (Metrics.counter ~registry:r "a.count") 1;
+  Metrics.set (Metrics.gauge ~registry:r "g.level") 1.5;
+  Metrics.observe (Metrics.histogram ~registry:r ~bounds:[| 10. |] "h.ns") 4.;
+  let s = Metrics.snapshot ~registry:r () in
+  Alcotest.(check (list (pair string int))) "counters sorted"
+    [ "a.count", 1; "b.count", 2 ] s.Metrics.counters;
+  let json = Metrics.to_json s in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " in json") true (contains ~needle json))
+    [ "\"a.count\": 1"; "\"g.level\": 1.5"; "\"h.ns\""; "\"events\": 1" ]
+
+let test_counter_diff () =
+  let r = Metrics.create () in
+  let a = Metrics.counter ~registry:r "a" and b = Metrics.counter ~registry:r "b" in
+  Metrics.incr a;
+  let before = Metrics.counter_values ~registry:r () in
+  Metrics.add a 4;
+  Metrics.incr b;
+  ignore (Metrics.counter ~registry:r "c");
+  let diff =
+    Metrics.counter_diff ~before ~after:(Metrics.counter_values ~registry:r ())
+  in
+  Alcotest.(check (list (pair string int))) "only moved counters" [ "a", 4; "b", 1 ] diff
+
+let suite =
+  [
+    Alcotest.test_case "counter semantics" `Quick test_counter_semantics;
+    Alcotest.test_case "gauge semantics" `Quick test_gauge_semantics;
+    Alcotest.test_case "histogram bucket boundaries" `Quick test_histogram_buckets;
+    Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+    Alcotest.test_case "ring sink ordering and wraparound" `Quick
+      test_ring_ordering_and_wraparound;
+    Alcotest.test_case "null sink records nothing" `Quick test_null_sink_records_nothing;
+    Alcotest.test_case "snapshot and json" `Quick test_snapshot_and_json;
+    Alcotest.test_case "counter diff" `Quick test_counter_diff;
+  ]

@@ -107,6 +107,49 @@ let test_untraced_matches_traced () =
   Alcotest.(check bool) "untraced run succeeded" true
     (Recovery.succeeded ~universe ~log untraced)
 
+let test_streaming_audit_matches_posthoc () =
+  (* An auditor fed through [~sink] checks the same points as a post-hoc
+     [audit] of a [~trace:true] run, without the run retaining any
+     snapshots. *)
+  let s = Scenario.scenario_2 in
+  let log = log_of s.Scenario.exec in
+  let run ?trace ?sink () =
+    Recovery.recover ?trace ?sink Recovery.always_redo ~state:s.Scenario.crash_state ~log
+      ~checkpoint:s.Scenario.claimed_installed
+  in
+  let traced = run ~trace:true () in
+  let posthoc = Recovery.audit ~universe ~log traced in
+  let a = Recovery.auditor ~universe ~log ~redo_set:traced.Recovery.redo_set () in
+  let streamed = run ~sink:(Recovery.audit_observe a) () in
+  let report = Recovery.audit_finish a ~final:streamed.Recovery.final in
+  Alcotest.(check bool) "no violation" true (report.Recovery.violation = None);
+  Alcotest.(check bool) "audited every iteration" true
+    (posthoc.Recovery.iterations_checked > 0);
+  Alcotest.(check int) "same audit depth" posthoc.Recovery.iterations_checked
+    report.Recovery.iterations_checked;
+  Alcotest.(check int) "streaming run retains no snapshots" 0
+    (List.length streamed.Recovery.iterations);
+  (* The documented caveat: an untraced, sink-less result can only be
+     audited at its final state. *)
+  Alcotest.(check int) "untraced audit depth is zero" 0
+    (Recovery.audit ~universe ~log (run ())).Recovery.iterations_checked
+
+let test_streaming_audit_detects_violation () =
+  let s = Scenario.scenario_1 in
+  let log = log_of s.Scenario.exec in
+  let traced =
+    Recovery.recover ~trace:true Recovery.always_redo ~state:s.Scenario.crash_state ~log
+      ~checkpoint:s.Scenario.claimed_installed
+  in
+  let a = Recovery.auditor ~universe ~log ~redo_set:traced.Recovery.redo_set () in
+  List.iter (Recovery.audit_observe a) traced.Recovery.iterations;
+  let report = Recovery.audit_finish a ~final:traced.Recovery.final in
+  match report.Recovery.violation with
+  | Some v ->
+    Alcotest.(check string) "streaming auditor pinpoints the violation"
+      "installed set is not an installation-graph prefix" v.Recovery.reason
+  | None -> Alcotest.fail "expected an invariant violation"
+
 let test_installed_at () =
   let log = log_of Scenario.figure_4 in
   let redo_set = Util.ids [ "P"; "Q" ] in
@@ -161,6 +204,10 @@ let suite =
     Alcotest.test_case "bogus redo test detected" `Quick test_redo_if;
     Alcotest.test_case "untraced recovery matches traced" `Quick
       test_untraced_matches_traced;
+    Alcotest.test_case "streaming audit matches post-hoc" `Quick
+      test_streaming_audit_matches_posthoc;
+    Alcotest.test_case "streaming audit detects violation" `Quick
+      test_streaming_audit_detects_violation;
     Alcotest.test_case "installed_at" `Quick test_installed_at;
     Util.qtest ~count:200 "corollary 4 (recovery correctness)" prop_corollary4;
     Util.qtest "final state needs no redo" prop_final_state_needs_no_redo;

@@ -23,4 +23,5 @@ let () =
       "projection", T_projection.suite;
       "beyond the theory", T_beyond_theory.suite;
       "persistent app", T_persist.suite;
+      "obs", T_obs.suite;
     ]
