@@ -301,50 +301,75 @@ let e7_faults () =
 
 (* ------------------------------------------------------------------ *)
 (* PERF: hot-path scaling. Times the WAL append/force path, the crash  *)
-(* scan + redo replay, and the cache's careful-write-order machinery   *)
-(* at 1k/10k/100k records, and writes the rows to BENCH_2.json so      *)
-(* future changes have a machine-readable trajectory to compare        *)
-(* against. Near-linear scaling here is the point: every one of these  *)
-(* paths used to be quadratic (whole-log filter+sort per force,        *)
-(* whole-log rescan per recovery iteration, whole-dep-list filter per  *)
-(* flush). Each row is best-of-3 after a warm-up round (BENCH_1's 1k   *)
-(* rows were dominated by cold-start cost) and carries the metric      *)
-(* counters the measured round moved — the work profile, not just the  *)
-(* wall time.                                                          *)
+(* scan + redo replay, the cache's careful-write-order machinery, and  *)
+(* the partition-parallel recovery pipeline at 1k/10k/100k records,    *)
+(* and writes the rows to BENCH_3.json so future changes have a        *)
+(* machine-readable trajectory to compare against. Near-linear scaling *)
+(* here is the point: every one of these paths used to be quadratic    *)
+(* (whole-log filter+sort per force, whole-log rescan per recovery     *)
+(* iteration, whole-dep-list filter per flush) or superlinear through  *)
+(* allocation (double-encoding every WAL append, growth copies,        *)
+(* polymorphic sorts). Each row is best-of-5 after a warm-up round     *)
+(* (BENCH_1's 1k rows were dominated by cold-start cost), carries the  *)
+(* metric counters the measured round moved — the work profile, not    *)
+(* just the wall time — and a "domains" field (1 for the sequential    *)
+(* benches; 1/2/4 for recover_parallel, where the domains=1 row is the *)
+(* zero-overhead sequential fallback).                                 *)
 
 let perf_sizes = [ 1_000; 10_000; 100_000 ]
 
 let perf_emit_json rows =
-  let oc = open_out "BENCH_2.json" in
+  let oc = open_out "BENCH_3.json" in
   output_string oc "[\n";
   let last = List.length rows - 1 in
   List.iteri
-    (fun i (bench, n, total_ns, counters) ->
+    (fun i (bench, n, domains, total_ns, counters) ->
       let metrics =
         List.map (fun (name, v) -> Printf.sprintf "%S: %d" name v) counters
         |> String.concat ", "
       in
-      Printf.fprintf oc "{\"bench\": %S, \"n\": %d, \"ns_per_op\": %.1f, \"metrics\": {%s}}%s\n"
-        bench n (total_ns /. float n) metrics
+      Printf.fprintf oc
+        "{\"bench\": %S, \"n\": %d, \"domains\": %d, \"ns_per_op\": %.1f, \"metrics\": \
+         {%s}}%s\n"
+        bench n domains (total_ns /. float n) metrics
         (if i = last then "" else ","))
     rows;
   output_string oc "]\n";
   close_out oc
 
+(* A workload the planner can actually cut: [components] independent
+   variable clusters, each a chain of read-modify-writes confined to
+   its cluster. The conflict graph is [components] disjoint chains, so
+   the plan has exactly [components] shards. *)
+let sharded_log ~components ~vars_per n =
+  let cluster_var c j = Var.of_string (Printf.sprintf "c%03d_v%d" c j) in
+  let ops =
+    List.init n (fun i ->
+        let c = i mod components in
+        let target = cluster_var c (i mod vars_per) in
+        let source = cluster_var c ((i + 1) mod vars_per) in
+        Op.of_assigns
+          ~id:(Printf.sprintf "op%07d" i)
+          [ target, Expr.(var source + var target + int 1) ])
+  in
+  Log.of_conflict_graph (Conflict_graph.of_exec (Exec.make ops))
+
 let perf () =
   Bench_util.heading "PERF: hot-path scaling (WAL force, recovery scan+replay, cache order deps)";
   Fmt.pr "  %-22s %10s %14s %12s@." "bench" "n" "total-ms" "ns/op";
   let rows = ref [] in
-  let record bench n ~setup work =
+  let record ?(domains = 1) bench n ~setup work =
     let total_ns, counters = Bench_util.bench_ns ~setup work in
-    rows := (bench, n, total_ns, counters) :: !rows;
-    Fmt.pr "  %-22s %10d %14.2f %12.1f@." bench n (total_ns /. 1e6) (total_ns /. float n)
+    rows := (bench, n, domains, total_ns, counters) :: !rows;
+    Fmt.pr "  %-22s %10d %14.2f %12.1f@."
+      (if domains = 1 then bench else Printf.sprintf "%s (d=%d)" bench domains)
+      n (total_ns /. 1e6) (total_ns /. float n)
   in
   List.iter
     (fun n ->
       (* WAL: n appends with a group-commit force every 64 records. *)
       record "wal_append_force" n
-        ~setup:(fun () -> Redo_wal.Log_manager.create ())
+        ~setup:(fun () -> Redo_wal.Log_manager.create ~capacity:n ())
         (fun wal ->
           for i = 1 to n do
             ignore
@@ -373,7 +398,8 @@ let perf () =
       record "cache_flush_deps" n
         ~setup:(fun () ->
           let cache =
-            Redo_storage.Cache.create ~capacity:(n + 1) (Redo_storage.Disk.create ())
+            Redo_storage.Cache.create ~capacity:(n + 1)
+              (Redo_storage.Disk.create ~capacity:n ())
           in
           for pid = 1 to n do
             Redo_storage.Cache.update cache pid ~lsn:(Redo_storage.Lsn.of_int pid) (fun _ ->
@@ -390,10 +416,25 @@ let perf () =
         (fun churn ->
           for i = 1 to n do
             ignore (Redo_storage.Cache.read churn (i mod 2048))
-          done))
+          done);
+      (* Partition-parallel redo over a multi-component workload: 8
+         disjoint conflict chains, replayed sequentially (domains=1, the
+         fallback path) and on 2 and 4 worker domains. The log is built
+         once per size — replay never mutates it. *)
+      let par_log = sharded_log ~components:8 ~vars_per:4 n in
+      List.iter
+        (fun domains ->
+          record "recover_parallel" ~domains n
+            ~setup:(fun () -> ())
+            (fun () ->
+              ignore
+                (Recovery.recover_parallel ~domains Recovery.always_redo ~state:State.empty
+                   ~log:par_log ~checkpoint:Digraph.Node_set.empty)))
+        [ 1; 2; 4 ])
     perf_sizes;
   perf_emit_json (List.rev !rows);
-  Fmt.pr "  rows written to BENCH_2.json (best of 5 rounds, after warm-up)@."
+  Fmt.pr "  rows written to BENCH_3.json (best of 5 rounds, after warm-up; %d cores online)@."
+    (Domain.recommended_domain_count ())
 
 let micro_benchmarks () =
   Bench_util.heading "Micro-benchmarks (Bechamel, OLS estimate per run)";

@@ -36,6 +36,14 @@ let cache_arg =
 let crash_every_arg =
   Arg.(value & opt int 75 & info [ "crash-every" ] ~docv:"N" ~doc:"Crash every N operations.")
 
+let domains_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the theory check's parallel recovery leg; 1 keeps the check \
+           sequential.")
+
 let checkpoint_every_arg =
   Arg.(
     value & opt int 40 & info [ "checkpoint-every" ] ~docv:"N" ~doc:"Checkpoint every N operations.")
@@ -118,7 +126,7 @@ let graphs dir =
 
 (* --- sim --- *)
 
-let sim method_name seed ops partitions cache crash_every checkpoint_every metrics =
+let sim method_name seed ops partitions cache crash_every checkpoint_every domains metrics =
   with_metrics metrics @@ fun () ->
   let open Redo_sim in
   let make =
@@ -138,6 +146,7 @@ let sim method_name seed ops partitions cache crash_every checkpoint_every metri
       cache_capacity = cache;
       crash_every = (if crash_every <= 0 then None else Some crash_every);
       checkpoint_every = (if checkpoint_every <= 0 then None else Some checkpoint_every);
+      domains;
     }
   in
   let instance = make ~cache_capacity:cache ~partitions () in
@@ -155,7 +164,7 @@ let sim method_name seed ops partitions cache crash_every checkpoint_every metri
 
 (* --- torture --- *)
 
-let torture seeds ops metrics =
+let torture seeds ops domains metrics =
   with_metrics metrics @@ fun () ->
   let open Redo_sim in
   let failures = ref 0 in
@@ -175,6 +184,7 @@ let torture seeds ops metrics =
             checkpoint_every = Some (max 10 (ops / 8));
             cache_capacity = 8;
             partitions = 6;
+            domains;
           }
         in
         let instance = make ~cache_capacity:8 ~partitions:6 () in
@@ -249,7 +259,7 @@ let faults seeds =
 
 (* --- check --- *)
 
-let check method_name seed ops partitions cache metrics =
+let check method_name seed ops partitions cache domains metrics =
   with_metrics metrics @@ fun () ->
   let store_method =
     match method_name with
@@ -272,7 +282,7 @@ let check method_name seed ops partitions cache metrics =
   done;
   Redo_kv.Store.sync store;
   Redo_kv.Store.crash store;
-  match Redo_kv.Store.verify_recovery_invariant store with
+  match Redo_kv.Store.verify_recovery_invariant ~domains store with
   | Ok report ->
     Fmt.pr "%a@." Redo_methods.Theory_check.pp_report report;
     Redo_kv.Store.recover store;
@@ -352,17 +362,19 @@ let sim_cmd =
     (Cmd.info "sim" ~doc:"Run a crash-recovery simulation with content and theory verification")
     Term.(
       const sim $ method_arg $ seed_arg $ ops_arg $ partitions_arg $ cache_arg $ crash_every_arg
-      $ checkpoint_every_arg $ metrics_arg)
+      $ checkpoint_every_arg $ domains_arg $ metrics_arg)
 
 let torture_cmd =
   let seeds = Arg.(value & opt int 5 & info [ "seeds" ] ~docv:"N" ~doc:"Seeds per method.") in
   Cmd.v (Cmd.info "torture" ~doc:"Torture all methods across many seeds")
-    Term.(const torture $ seeds $ ops_arg $ metrics_arg)
+    Term.(const torture $ seeds $ ops_arg $ domains_arg $ metrics_arg)
 
 let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc:"Run a workload, crash, and print the Recovery Invariant report")
-    Term.(const check $ method_arg $ seed_arg $ ops_arg $ partitions_arg $ cache_arg $ metrics_arg)
+    Term.(
+      const check $ method_arg $ seed_arg $ ops_arg $ partitions_arg $ cache_arg $ domains_arg
+      $ metrics_arg)
 
 let stats_cmd =
   let format =

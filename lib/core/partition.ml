@@ -1,0 +1,120 @@
+type shard = {
+  index : int;
+  ops : Digraph.Node_set.t;
+  vars : Var.Set.t;
+  records : Log.record list;
+}
+
+type plan = {
+  shards : shard list;
+  unrecovered : Digraph.Node_set.t;
+}
+
+(* Union-find over the unrecovered operations' log positions, with path
+   halving and union-by-minimum. Keeping the smallest position as the
+   root makes each component's representative its earliest log record,
+   which both orders the shards deterministically and costs nothing
+   extra. *)
+let find parent i =
+  let i = ref i in
+  while parent.(!i) <> !i do
+    parent.(!i) <- parent.(parent.(!i));
+    i := parent.(!i)
+  done;
+  !i
+
+let union parent a b =
+  let ra = find parent a and rb = find parent b in
+  if ra < rb then parent.(rb) <- ra else if rb < ra then parent.(ra) <- rb
+
+let plan ~log ~checkpoint =
+  let unrecovered = Digraph.Node_set.diff (Log.operations log) checkpoint in
+  let records =
+    List.filter (fun r -> Digraph.Node_set.mem r.Log.op_id unrecovered) (Log.records log)
+  in
+  let records = Array.of_list records in
+  let n = Array.length records in
+  let ops = Array.map (fun r -> Log.find_op log r.Log.op_id) records in
+  let parent = Array.init n Fun.id in
+  (* Two operations conflict only through a shared variable, so joining
+     every operation with the previous accessor of each variable it
+     touches closes the components without enumerating conflict edges. *)
+  let last_accessor : (Var.t, int) Hashtbl.t = Hashtbl.create (max 16 (2 * n)) in
+  for i = 0 to n - 1 do
+    Var.Set.iter
+      (fun v ->
+        match Hashtbl.find_opt last_accessor v with
+        | Some j -> union parent i j
+        | None -> Hashtbl.add last_accessor v i)
+      (Op.accesses ops.(i))
+  done;
+  (* Bucket by root. Scanning positions in increasing order keeps each
+     shard's record list in log order, and roots appear in order of
+     their component's earliest record. *)
+  let buckets : (int, shard) Hashtbl.t = Hashtbl.create (max 16 n) in
+  let roots = ref [] in
+  for i = n - 1 downto 0 do
+    let root = find parent i in
+    let op_id = records.(i).Log.op_id in
+    let accesses = Op.accesses ops.(i) in
+    match Hashtbl.find_opt buckets root with
+    | Some s ->
+      Hashtbl.replace buckets root
+        {
+          s with
+          ops = Digraph.Node_set.add op_id s.ops;
+          vars = Var.Set.union accesses s.vars;
+          records = records.(i) :: s.records;
+        }
+    | None ->
+      roots := root :: !roots;
+      Hashtbl.replace buckets root
+        {
+          index = 0;
+          ops = Digraph.Node_set.singleton op_id;
+          vars = accesses;
+          records = [ records.(i) ];
+        }
+  done;
+  let shards =
+    List.sort Int.compare !roots
+    |> List.mapi (fun index root -> { (Hashtbl.find buckets root) with index })
+  in
+  { shards; unrecovered }
+
+let shard_count plan = List.length plan.shards
+
+let shard_of plan op_id =
+  List.find_opt (fun s -> Digraph.Node_set.mem op_id s.ops) plan.shards
+
+let disjoint plan =
+  let ops_ok, _ =
+    List.fold_left
+      (fun (ok, seen) s ->
+        ( ok && Digraph.Node_set.disjoint s.ops seen,
+          Digraph.Node_set.union s.ops seen ))
+      (true, Digraph.Node_set.empty) plan.shards
+  in
+  let vars_ok, _ =
+    List.fold_left
+      (fun (ok, seen) s -> ok && Var.Set.disjoint s.vars seen, Var.Set.union s.vars seen)
+      (true, Var.Set.empty) plan.shards
+  in
+  let covered =
+    List.fold_left
+      (fun acc s -> Digraph.Node_set.union s.ops acc)
+      Digraph.Node_set.empty plan.shards
+  in
+  ops_ok && vars_ok && Digraph.Node_set.equal covered plan.unrecovered
+
+let pp ppf plan =
+  let pp_shard ppf s =
+    Fmt.pf ppf "shard %d: %d ops, %d vars" s.index
+      (Digraph.Node_set.cardinal s.ops)
+      (Var.Set.cardinal s.vars)
+  in
+  Fmt.pf ppf "@[<v>%d unrecovered ops in %d shards@,%a@]"
+    (Digraph.Node_set.cardinal plan.unrecovered)
+    (shard_count plan)
+    Fmt.(list ~sep:cut pp_shard)
+    plan.shards

@@ -1,5 +1,6 @@
 module Metrics = Redo_obs.Metrics
 module Trace = Redo_obs.Trace
+module Domain_pool = Redo_par.Domain_pool
 
 let c_runs = Metrics.counter "recover.runs"
 let c_scanned = Metrics.counter "recover.records_scanned"
@@ -8,6 +9,12 @@ let c_applied = Metrics.counter "recover.ops_applied"
 let c_skipped = Metrics.counter "recover.ops_skipped"
 let c_analyze_calls = Metrics.counter "recover.analyze_calls"
 let h_run_ns = Metrics.histogram "recover.run_ns"
+let c_parallel_runs = Metrics.counter "recover.parallel.runs"
+let c_shard_runs = Metrics.counter "recover.shard.runs"
+let c_shard_applied = Metrics.counter "recover.shard.ops_applied"
+let c_shard_skipped = Metrics.counter "recover.shard.ops_skipped"
+let h_par_run_ns = Metrics.histogram "recover.parallel.run_ns"
+let h_shard_ops = Metrics.histogram ~bounds:Metrics.count_bounds "recover.shard.ops"
 
 type 'a spec = {
   analyze :
@@ -43,11 +50,38 @@ let redo_if test =
     redo = (fun op ~state ~log:_ ~analysis:_ -> test op state);
   }
 
-(* The procedure of Figure 6. Figure 6 re-scans the log for the first
-   unrecovered record at the top of every iteration; since records are
-   unique and [unrecovered] only ever shrinks by the record just
-   processed, that first-match order is exactly one LSN-ordered cursor
-   over the log — a single pass, O(total records), not O(n^2).
+(* Per-run tallies, accumulated locally and flushed into the registry
+   counters once the run (or shard) is over. Keeping the loop free of
+   registry stores is what lets shards of one recovery run on several
+   domains at once: the registry's counters are plain mutable ints, so
+   concurrent increments would lose updates, whereas flushing each
+   shard's tallies from the coordinating domain after the join is
+   race-free and exact. *)
+type run_stats = {
+  mutable s_scanned : int;
+  mutable s_already_installed : int;
+  mutable s_applied : int;
+  mutable s_skipped : int;
+  mutable s_analyze_calls : int;
+}
+
+let fresh_stats () =
+  { s_scanned = 0; s_already_installed = 0; s_applied = 0; s_skipped = 0; s_analyze_calls = 0 }
+
+let flush_stats s =
+  Metrics.add c_scanned s.s_scanned;
+  Metrics.add c_already_installed s.s_already_installed;
+  Metrics.add c_applied s.s_applied;
+  Metrics.add c_skipped s.s_skipped;
+  Metrics.add c_analyze_calls s.s_analyze_calls
+
+(* The procedure of Figure 6, over an explicit record list. Figure 6
+   re-scans the log for the first unrecovered record at the top of every
+   iteration; since records are unique and [unrecovered] only ever
+   shrinks by the record just processed, that first-match order is
+   exactly one LSN-ordered cursor over the records — a single pass,
+   O(total records), not O(n^2). [records] is the whole log for a
+   sequential run and one shard's slice for a parallel one.
 
    With [~trace:true] every iteration additionally snapshots
    state/unrecovered so the Recovery Invariant can be audited after the
@@ -55,24 +89,23 @@ let redo_if test =
    recoveries do not retain O(n^2) memory. A [~sink] receives the same
    per-iteration snapshot as it happens, without retaining it — the
    streaming form that lets an auditor observe recovery live. *)
-let recover ?(trace = false) ?sink spec ~state ~log ~checkpoint =
-  Metrics.incr c_runs;
-  let t0 = Metrics.now_ns () in
+let run_loop ~trace ~sink ~stats spec ~records ~state ~log ~unrecovered =
   let snapshotting = trace || sink <> None in
   let rec loop records state unrecovered analysis redo_set iterations =
     match records with
     | [] -> { final = state; redo_set; iterations = List.rev iterations }
     | r :: rest when not (Digraph.Node_set.mem r.Log.op_id unrecovered) ->
-      Metrics.incr c_scanned;
-      Metrics.incr c_already_installed;
+      stats.s_scanned <- stats.s_scanned + 1;
+      stats.s_already_installed <- stats.s_already_installed + 1;
       loop rest state unrecovered analysis redo_set iterations
     | r :: rest ->
-      Metrics.incr c_scanned;
+      stats.s_scanned <- stats.s_scanned + 1;
       let op = Log.find_op log r.Log.op_id in
-      Metrics.incr c_analyze_calls;
+      stats.s_analyze_calls <- stats.s_analyze_calls + 1;
       let analysis = spec.analyze ~state ~log ~unrecovered analysis in
       let redone = spec.redo op ~state ~log ~analysis in
-      Metrics.incr (if redone then c_applied else c_skipped);
+      if redone then stats.s_applied <- stats.s_applied + 1
+      else stats.s_skipped <- stats.s_skipped + 1;
       let state' = if redone then Op.apply op state else state in
       let redo_set =
         if redone then Digraph.Node_set.add r.Log.op_id redo_set else redo_set
@@ -96,10 +129,99 @@ let recover ?(trace = false) ?sink spec ~state ~log ~checkpoint =
       loop rest state' (Digraph.Node_set.remove r.Log.op_id unrecovered) analysis redo_set
         iterations
   in
+  loop records state unrecovered None Digraph.Node_set.empty []
+
+let recover ?(trace = false) ?sink spec ~state ~log ~checkpoint =
+  Metrics.incr c_runs;
+  let t0 = Metrics.now_ns () in
+  let stats = fresh_stats () in
   let unrecovered = Digraph.Node_set.diff (Log.operations log) checkpoint in
-  let result = loop (Log.records log) state unrecovered None Digraph.Node_set.empty [] in
+  let result =
+    run_loop ~trace ~sink ~stats spec ~records:(Log.records log) ~state ~log ~unrecovered
+  in
+  flush_stats stats;
   Metrics.observe h_run_ns (Metrics.now_ns () -. t0);
   result
+
+(* ---- partition-parallel recovery ---------------------------------- *)
+
+type shard_run = {
+  shard : Partition.shard;
+  shard_result : result;
+}
+
+type parallel_result = {
+  merged : result;
+  shard_runs : shard_run list;
+  domains_used : int;
+}
+
+(* Replay each conflict-closed shard of the unrecovered operations on
+   its own domain, then merge. Soundness is Theorem 3 applied
+   shard-wise: no conflict edge crosses a component, so the sequential
+   log order restricted to a shard replays that shard exactly as the
+   global pass would, and distinct shards touch disjoint variables, so
+   overlaying each shard's final bindings (restricted to its variables)
+   on the crash state commutes and reconstructs the sequential final
+   state.
+
+   The shared inputs — the crash [state], the [log], the spec's closures
+   — are immutable; each domain builds only fresh states. The spec is
+   consulted with the {e shard's} unrecovered set and state view, which
+   is the restriction of the global recovery problem to the component;
+   every spec in this library (redo tests reading the variables the
+   operation accesses, analyses over the unrecovered set) is confined to
+   the component by construction, which is what makes the restriction
+   faithful. *)
+let recover_parallel ?(trace = false) ?(domains = 2) spec ~state ~log ~checkpoint =
+  if domains <= 1 then
+    { merged = recover ~trace spec ~state ~log ~checkpoint; shard_runs = []; domains_used = 1 }
+  else begin
+    Metrics.incr c_parallel_runs;
+    let t0 = Metrics.now_ns () in
+    let plan = Partition.plan ~log ~checkpoint in
+    let tasks =
+      List.map
+        (fun (s : Partition.shard) () ->
+          let stats = fresh_stats () in
+          let r =
+            run_loop ~trace ~sink:None ~stats spec ~records:s.Partition.records ~state ~log
+              ~unrecovered:s.Partition.ops
+          in
+          s, r, stats)
+        plan.Partition.shards
+    in
+    let domains_used = min domains (max 1 (List.length tasks)) in
+    let runs = Domain_pool.run ~domains:domains_used tasks in
+    let final =
+      List.fold_left
+        (fun acc (s, r, _) ->
+          State.set_many acc (State.bindings (State.restrict r.final s.Partition.vars)))
+        state runs
+    in
+    let redo_set =
+      List.fold_left
+        (fun acc (_, r, _) -> Digraph.Node_set.union r.redo_set acc)
+        Digraph.Node_set.empty runs
+    in
+    let iterations =
+      if trace then List.concat_map (fun (_, r, _) -> r.iterations) runs else []
+    in
+    List.iter
+      (fun ((s : Partition.shard), _, stats) ->
+        flush_stats stats;
+        Metrics.incr c_shard_runs;
+        Metrics.add c_shard_applied stats.s_applied;
+        Metrics.add c_shard_skipped stats.s_skipped;
+        Metrics.observe h_shard_ops (float (Digraph.Node_set.cardinal s.Partition.ops)))
+      runs;
+    Metrics.observe h_par_run_ns (Metrics.now_ns () -. t0);
+    {
+      merged = { final; redo_set; iterations };
+      shard_runs = List.map (fun (s, r, _) -> { shard = s; shard_result = r }) runs;
+      domains_used;
+    }
+  end
 
 let succeeded ?universe ~log result =
   let cg = Log.conflict_graph log in

@@ -68,6 +68,55 @@ val recover :
     recovery in O(1) extra memory. Untraced, sink-less runs keep O(n)
     memory and can only be audited at the final state. *)
 
+(** {1 Partition-parallel recovery}
+
+    {!recover_parallel} splits [operations(log) − checkpoint] into the
+    conflict-closed shards of {!Partition.plan} and replays each shard
+    on its own domain. No conflict edge crosses a shard, so by
+    Theorem 3 each shard's log-ordered replay is exactly what the
+    sequential pass would have done to it, and the shards' variable
+    sets are disjoint, so overlaying each shard's final bindings on the
+    crash state reconstructs the sequential final state — same [final],
+    same [redo_set], for any spec whose redo test and analysis are
+    confined to the component they are asked about (every spec in this
+    library is: redo tests read only the variables the operation
+    accesses, and analyses look only at the unrecovered set they are
+    given). *)
+
+type shard_run = {
+  shard : Partition.shard;
+  shard_result : result;
+      (** The shard's replay against the shared crash state: [final]
+          is authoritative only on [shard.vars]; [iterations] is the
+          shard's own trace (when tracing). *)
+}
+
+type parallel_result = {
+  merged : result;
+      (** [final] and [redo_set] agree with the sequential {!recover}.
+          [iterations] (when tracing) concatenates the shard traces in
+          shard order — each shard's trace is log-ordered, but the
+          concatenation is {e not} a global log order. *)
+  shard_runs : shard_run list;  (** Empty on the [domains <= 1] path. *)
+  domains_used : int;
+}
+
+val recover_parallel :
+  ?trace:bool ->
+  ?domains:int ->
+  'a spec ->
+  state:State.t ->
+  log:Log.t ->
+  checkpoint:Digraph.Node_set.t ->
+  parallel_result
+(** Plan shards and replay them on a pool of [domains] (default 2)
+    worker domains. [~domains:1] (or less) is exactly {!recover} — no
+    planning, no pool, no overhead. Per-shard tallies are aggregated
+    into the [recover.shard.*] counters and the [recover.shard.ops]
+    histogram after the join; [~sink] is deliberately absent — a
+    streaming observer would race across domains (audit a shard's
+    [shard_result.iterations] post hoc instead, with [~trace:true]). *)
+
 val succeeded : ?universe:Var.Set.t -> log:Log.t -> result -> bool
 (** Did recovery terminate in the state determined by the conflict
     graph (the execution's final state)? *)

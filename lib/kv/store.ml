@@ -100,8 +100,8 @@ let stats t =
 let log_bytes t =
   (Method_intf.instance_log_stats t.instance).Redo_wal.Log_manager.appended_bytes
 
-let verify_recovery_invariant t =
-  let report = Theory_check.check (Method_intf.instance_projection t.instance) in
+let verify_recovery_invariant ?domains t =
+  let report = Theory_check.check ?domains (Method_intf.instance_projection t.instance) in
   match report.Theory_check.failure with
   | None -> Ok report
   | Some msg -> Error msg

@@ -6,16 +6,20 @@ type report = {
   op_count : int;
   installed_count : int;
   redo_count : int;
+  shard_count : int;
   installed_is_prefix : bool;
   state_explained : bool;
   recovery_succeeds : bool;
   invariant_held : bool;
+  parallel_agrees : bool;
   audited_iterations : int;
   failure : string option;
   diagnosis : string list;
 }
 
-let ok r = r.installed_is_prefix && r.state_explained && r.recovery_succeeds && r.invariant_held
+let ok r =
+  r.installed_is_prefix && r.state_explained && r.recovery_succeeds && r.invariant_held
+  && r.parallel_agrees
 
 let fail_report ~method_name ~op_count msg =
   {
@@ -23,10 +27,12 @@ let fail_report ~method_name ~op_count msg =
     op_count;
     installed_count = 0;
     redo_count = 0;
+    shard_count = 0;
     installed_is_prefix = false;
     state_explained = false;
     recovery_succeeds = false;
     invariant_held = false;
+    parallel_agrees = false;
     audited_iterations = 0;
     failure = Some msg;
     diagnosis = [];
@@ -72,7 +78,7 @@ let diagnose cg ~installed ~stable ~universe =
    explains the stable state; (3) the abstract Figure 6 procedure, run
    with exactly this redo set, rebuilds the final state while keeping
    the invariant at every iteration. *)
-let check (p : Projection.t) =
+let check ?(domains = 2) (p : Projection.t) =
   let method_name = p.Projection.method_name in
   let op_count = List.length p.Projection.ops in
   match Exec.make ~initial:p.Projection.initial p.Projection.ops with
@@ -104,12 +110,44 @@ let check (p : Projection.t) =
       let recovery_succeeds = Recovery.succeeded ~universe ~log result in
       let audit = Recovery.audit_finish auditor ~final:result.Recovery.final in
       let violation = audit.Recovery.violation in
+      (* Replay the same redo set shard-parallel and insist the merged
+         outcome is the sequential one — the executable form of the
+         Theorem 3 argument that conflict-free operations commute. Run
+         on every check, so any workload the simulator or a test throws
+         at a method exercises the equivalence. *)
+      let shard_count, parallel_agrees =
+        if domains <= 1 then 0, true
+        else begin
+          let par =
+            Recovery.recover_parallel ~domains spec ~state:p.Projection.stable ~log
+              ~checkpoint:installed
+          in
+          let shards_disjoint =
+            Partition.disjoint
+              {
+                Partition.shards =
+                  List.map (fun sr -> sr.Recovery.shard) par.Recovery.shard_runs;
+                unrecovered = redo_set;
+              }
+          in
+          ( List.length par.Recovery.shard_runs,
+            shards_disjoint
+            && State.equal_on universe par.Recovery.merged.Recovery.final
+                 result.Recovery.final
+            && Digraph.Node_set.equal par.Recovery.merged.Recovery.redo_set
+                 result.Recovery.redo_set )
+        end
+      in
       let failure =
         if not installed_is_prefix then
           Some "installed operations do not form an installation-graph prefix"
         else if not state_explained then
           Some "installed prefix does not explain the stable state"
         else if not recovery_succeeds then Some "abstract recovery missed the final state"
+        else if not parallel_agrees then
+          Some
+            (Fmt.str "parallel recovery (%d shards, %d domains) diverged from sequential"
+               shard_count domains)
         else Option.map (Fmt.str "%a" Recovery.pp_violation) violation
       in
       let diagnosis =
@@ -121,18 +159,20 @@ let check (p : Projection.t) =
         op_count;
         installed_count = Digraph.Node_set.cardinal installed;
         redo_count = Digraph.Node_set.cardinal redo_set;
+        shard_count;
         installed_is_prefix;
         state_explained;
         recovery_succeeds;
         invariant_held = violation = None;
+        parallel_agrees;
         audited_iterations = audit.Recovery.iterations_checked;
         failure;
         diagnosis;
       })
 
 let pp_report ppf r =
-  Fmt.pf ppf "[%s] %d ops, %d installed, %d redo: %s" r.method_name r.op_count
-    r.installed_count r.redo_count
+  Fmt.pf ppf "[%s] %d ops, %d installed, %d redo, %d shards: %s" r.method_name r.op_count
+    r.installed_count r.redo_count r.shard_count
     (match r.failure with
     | None -> Fmt.str "invariant holds (%d iterations audited)" r.audited_iterations
     | Some msg -> "FAIL: " ^ msg);

@@ -21,10 +21,18 @@ type report = {
   op_count : int;  (** Operations on the stable log. *)
   installed_count : int;
   redo_count : int;
+  shard_count : int;
+      (** Conflict-closed shards of the redo set ({!Redo_core.Partition});
+          0 when the check ran sequentially ([~domains:1]). *)
   installed_is_prefix : bool;
   state_explained : bool;
   recovery_succeeds : bool;
   invariant_held : bool;
+  parallel_agrees : bool;
+      (** Shard-parallel replay of the same redo set produced the same
+          final state and redo set as the sequential pass — Theorem 3's
+          commutation of conflict-free components, checked on this very
+          workload. Trivially true with [~domains:1]. *)
   audited_iterations : int;
       (** Recovery iterations the streaming auditor actually checked;
           the final state is always checked on top. A passing report
@@ -38,5 +46,10 @@ type report = {
 }
 
 val ok : report -> bool
-val check : Projection.t -> report
+
+val check : ?domains:int -> Projection.t -> report
+(** [domains] (default 2) sizes the domain pool for the
+    parallel-equivalence leg of the check; [~domains:1] skips it (and
+    reports [parallel_agrees = true], [shard_count = 0]). *)
+
 val pp_report : report Fmt.t

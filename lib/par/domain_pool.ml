@@ -1,0 +1,98 @@
+type t = {
+  mutex : Mutex.t;
+  work_ready : Condition.t;  (* a task was queued, or shutdown began *)
+  queue : (unit -> unit) Queue.t;
+  mutable closing : bool;
+  mutable workers : unit Domain.t array;
+}
+
+(* Block for work; process until shutdown has been requested AND the
+   queue is drained, so submitted tasks are never dropped. *)
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && not t.closing do
+    Condition.wait t.work_ready t.mutex
+  done;
+  match Queue.take_opt t.queue with
+  | None ->
+    (* closing, queue empty *)
+    Mutex.unlock t.mutex
+  | Some task ->
+    Mutex.unlock t.mutex;
+    (try task () with _ -> ());
+    worker_loop t
+
+let create ~domains =
+  let t =
+    {
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      queue = Queue.create ();
+      closing = false;
+      workers = [||];
+    }
+  in
+  t.workers <- Array.init (max 1 domains) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let size t = Array.length t.workers
+
+let submit t task =
+  Mutex.lock t.mutex;
+  if t.closing then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Domain_pool.submit: pool is shut down"
+  end;
+  Queue.add task t.queue;
+  Condition.signal t.work_ready;
+  Mutex.unlock t.mutex
+
+let map t f xs =
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  if n = 0 then []
+  else begin
+    let results = Array.make n None in
+    (* Completion state local to this map, so concurrent maps on a
+       shared pool cannot observe each other's countdown. *)
+    let done_mutex = Mutex.create () in
+    let all_done = Condition.create () in
+    let remaining = ref n in
+    Array.iteri
+      (fun i x ->
+        submit t (fun () ->
+            let r = match f x with v -> Ok v | exception e -> Error e in
+            Mutex.lock done_mutex;
+            results.(i) <- Some r;
+            decr remaining;
+            if !remaining = 0 then Condition.broadcast all_done;
+            Mutex.unlock done_mutex))
+      items;
+    Mutex.lock done_mutex;
+    while !remaining > 0 do
+      Condition.wait all_done done_mutex
+    done;
+    Mutex.unlock done_mutex;
+    Array.to_list
+      (Array.map
+         (function
+           | Some (Ok v) -> v
+           | Some (Error e) -> raise e
+           | None -> assert false)
+         results)
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let was_closing = t.closing in
+  t.closing <- true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.mutex;
+  if not was_closing then Array.iter Domain.join t.workers
+
+let run ~domains thunks =
+  if domains <= 1 then List.map (fun f -> f ()) thunks
+  else begin
+    let t = create ~domains:(min domains (List.length thunks)) in
+    Fun.protect ~finally:(fun () -> shutdown t) (fun () -> map t (fun f -> f ()) thunks)
+  end

@@ -1,0 +1,38 @@
+(** A fixed pool of OCaml 5 domains draining a shared work queue.
+
+    Built on stdlib [Domain]/[Mutex]/[Condition] only. Workers block on
+    a condition variable while the queue is empty, so an idle pool costs
+    nothing; [shutdown] drains the queue before the workers exit.
+
+    The pool makes no fairness or ordering promise beyond FIFO dequeue.
+    Tasks must not themselves block on the pool they run in. *)
+
+type t
+
+val create : domains:int -> t
+(** Spawn [max 1 domains] worker domains. The creating domain is not a
+    worker; it coordinates and blocks in {!map}. *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue a task. An exception escaping the task is swallowed (wrap
+    the task to capture it — {!map} does).
+    @raise Invalid_argument after {!shutdown}. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Run [f] over every element on the pool and block until all are
+    done, preserving list order. If any application raised, the first
+    (in list order) such exception is re-raised after all tasks
+    finished. Concurrent [map]s on one pool are safe — each tracks its
+    own completion. *)
+
+val shutdown : t -> unit
+(** Finish queued work, then join every worker. Idempotent. *)
+
+val run : domains:int -> (unit -> 'a) list -> 'a list
+(** [map] of the thunks on a throwaway pool: create, run, shutdown
+    (also on exception). With [domains <= 1] the thunks run in the
+    calling domain, in order, with no pool at all — the sequential
+    special case costs nothing. *)

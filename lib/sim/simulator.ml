@@ -35,6 +35,7 @@ type config = {
   partitions : int;
   cache_capacity : int;
   verify_theory : bool;
+  domains : int;
 }
 
 let default_config =
@@ -51,6 +52,7 @@ let default_config =
     partitions = 8;
     cache_capacity = 16;
     verify_theory = true;
+    domains = 2;
   }
 
 type outcome = {
@@ -104,7 +106,10 @@ let crash_recover_verify ?(rng : Random.State.t option) cfg instance reference o
   let theory_reports =
     if cfg.verify_theory then
       Metrics.span h_theory_ns (fun () ->
-          let report = Theory_check.check (Method_intf.instance_projection instance) in
+          let report =
+            Theory_check.check ~domains:cfg.domains
+              (Method_intf.instance_projection instance)
+          in
           Metrics.incr (if Theory_check.ok report then c_theory_ok else c_theory_fail);
           if (not (Theory_check.ok report)) && Trace.enabled () then
             Trace.emit "sim.theory_violation"

@@ -28,6 +28,10 @@ type config = {
   partitions : int;
   cache_capacity : int;
   verify_theory : bool;
+  domains : int;
+      (** Worker domains for the theory check's parallel-equivalence
+          leg ({!Redo_methods.Theory_check.check}); [1] keeps every
+          crash's check sequential. *)
 }
 
 val default_config : config

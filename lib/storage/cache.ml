@@ -41,18 +41,23 @@ type stats = {
   mutable updates : int;
 }
 
+(* Careful-write-order constraints touching one page, both directions
+   in one record so a flush resolves them with a single table probe:
+   [pre] is the pages that must reach disk before this one, [dep] the
+   reverse (the constraints this page's flush satisfies). Fields mutate
+   in place — discharging an edge is a field store, never a
+   [Hashtbl.replace]. *)
+type links = {
+  mutable pre : Int_set.t;
+  mutable dep : Int_set.t;
+}
+
 type t = {
   disk : Disk.t;
   capacity : int;
   before_flush : Page.t -> unit;
   entries : (int, entry) Hashtbl.t;
-  (* Careful-write-order edges, indexed both ways so a flush touches
-     only the constraints that mention its page: [prereqs] maps a page
-     to the pages that must reach disk before it; [dependents] is the
-     reverse map, used to retire a page's outgoing constraints when it
-     is flushed. *)
-  prereqs : (int, Int_set.t) Hashtbl.t;
-  dependents : (int, Int_set.t) Hashtbl.t;
+  orders : (int, links) Hashtbl.t;  (* pages some write-order constraint mentions *)
   clean : queue;
   dirty_q : queue;
   mutable clock : int;
@@ -64,9 +69,8 @@ let create ?(capacity = 64) ?(before_flush = fun _ -> ()) disk =
     disk;
     capacity;
     before_flush;
-    entries = Hashtbl.create 64;
-    prereqs = Hashtbl.create 16;
-    dependents = Hashtbl.create 16;
+    entries = Hashtbl.create (max 64 capacity);
+    orders = Hashtbl.create (max 16 (capacity / 4));
     clean = { head = None; tail = None };
     dirty_q = { head = None; tail = None };
     clock = 0;
@@ -115,7 +119,21 @@ let q_fold q f acc =
 let is_dirty t pid =
   match Hashtbl.find_opt t.entries pid with Some e -> e.dirty | None -> false
 
-let dirty_pages t = q_fold t.dirty_q (fun acc e -> e.pid :: acc) [] |> List.sort compare
+(* Sorted pids of the dirty queue. Collect-into-array plus a
+   monomorphic int sort: [List.sort compare] here cost O(n log n) boxed
+   cons cells and a polymorphic-compare call per comparison — the bulk
+   of what made [flush_all] superlinear at 100k pages. *)
+let dirty_pages t =
+  let arr = Array.make (q_fold t.dirty_q (fun acc _ -> acc + 1) 0) 0 in
+  let i = ref 0 in
+  ignore
+    (q_fold t.dirty_q
+       (fun () e ->
+         arr.(!i) <- e.pid;
+         incr i)
+       ());
+  Array.sort Int.compare arr;
+  Array.to_list arr
 
 let cached_pages t =
   Hashtbl.fold (fun pid _ acc -> pid :: acc) t.entries [] |> List.sort compare
@@ -136,46 +154,59 @@ let min_rec_lsn t =
 (* ---- careful write order ------------------------------------------ *)
 
 let dirty_prereqs t pid =
-  match Hashtbl.find_opt t.prereqs pid with
+  match Hashtbl.find_opt t.orders pid with
   | None -> []
-  | Some firsts -> Int_set.elements (Int_set.filter (is_dirty t) firsts)
+  | Some l -> Int_set.elements (Int_set.filter (is_dirty t) l.pre)
 
 (* Constraints naming [pid] as the prerequisite are satisfied by its
    flush and die with this version. *)
-let retire_constraints t pid =
-  match Hashtbl.find_opt t.dependents pid with
-  | None -> ()
-  | Some nexts ->
-    Hashtbl.remove t.dependents pid;
-    Int_set.iter
-      (fun nxt ->
-        match Hashtbl.find_opt t.prereqs nxt with
-        | None -> ()
-        | Some firsts ->
-          if Int_set.mem pid firsts then Metrics.incr c_edges_discharged;
-          let firsts = Int_set.remove pid firsts in
-          if Int_set.is_empty firsts then Hashtbl.remove t.prereqs nxt
-          else Hashtbl.replace t.prereqs nxt firsts)
-      nexts
+let retire_constraints t pid l =
+  Int_set.iter
+    (fun nxt ->
+      match Hashtbl.find_opt t.orders nxt with
+      | None -> ()
+      | Some ln ->
+        if Int_set.mem pid ln.pre then begin
+          Metrics.incr c_edges_discharged;
+          ln.pre <- Int_set.remove pid ln.pre
+        end)
+    l.dep;
+  l.dep <- Int_set.empty
 
 (* Flush [pid], first flushing any dirty page that a registered write
    order requires to hit the disk earlier (Figure 8's careful write
-   order). [forced] distinguishes flushes the order deps caused. *)
+   order). [forced] distinguishes flushes the order deps caused.
+
+   One [orders] probe covers both directions, and none happens at all
+   while no constraint is registered — the constraint-free fast path
+   (logical and physical workloads) touches only the entry, the queues
+   and the disk. The captured [l.pre] set is immutable, so recursive
+   flushes (which retire edges by mutating [pre] fields) cannot
+   invalidate the iteration; the per-element dirty re-check skips a
+   prerequisite some earlier recursion already flushed. *)
 let rec flush_with t ~forced ~visiting pid =
   if List.mem pid visiting then raise (Flush_cycle (pid :: visiting));
   match Hashtbl.find_opt t.entries pid with
   | None -> ()
   | Some e when not e.dirty -> ()
   | Some e ->
-    List.iter
-      (fun first ->
-        t.stats.forced_order_flushes <- t.stats.forced_order_flushes + 1;
-        Metrics.incr c_forced_order_flushes;
-        if Trace.enabled () then
-          Trace.emit "cache.forced_order_flush"
-            [ "page", Trace.Int first; "needed_by", Trace.Int pid ];
-        flush_with t ~forced:true ~visiting:(pid :: visiting) first)
-      (dirty_prereqs t pid);
+    let links =
+      if Hashtbl.length t.orders = 0 then None else Hashtbl.find_opt t.orders pid
+    in
+    (match links with
+    | None -> ()
+    | Some l ->
+      Int_set.iter
+        (fun first ->
+          if is_dirty t first then begin
+            t.stats.forced_order_flushes <- t.stats.forced_order_flushes + 1;
+            Metrics.incr c_forced_order_flushes;
+            if Trace.enabled () then
+              Trace.emit "cache.forced_order_flush"
+                [ "page", Trace.Int first; "needed_by", Trace.Int pid ];
+            flush_with t ~forced:true ~visiting:(pid :: visiting) first
+          end)
+        l.pre);
     ignore forced;
     t.before_flush e.page;
     Disk.write t.disk pid e.page;
@@ -184,7 +215,7 @@ let rec flush_with t ~forced ~visiting pid =
     q_push_front t.clean e;
     t.stats.flushes <- t.stats.flushes + 1;
     Metrics.incr c_flushes;
-    retire_constraints t pid
+    match links with None -> () | Some l -> retire_constraints t pid l
 
 let flush_page t pid = flush_with t ~forced:false ~visiting:[] pid
 
@@ -194,25 +225,30 @@ let would_force t pid = dirty_prereqs t pid
 
 let add_flush_order t ~first ~next =
   if first <> next then begin
-    let add tbl key v =
-      let existing = Option.value ~default:Int_set.empty (Hashtbl.find_opt tbl key) in
-      let fresh = not (Int_set.mem v existing) in
-      if fresh then Hashtbl.replace tbl key (Int_set.add v existing);
-      fresh
+    let links pid =
+      match Hashtbl.find_opt t.orders pid with
+      | Some l -> l
+      | None ->
+        let l = { pre = Int_set.empty; dep = Int_set.empty } in
+        Hashtbl.add t.orders pid l;
+        l
     in
-    if add t.prereqs next first then Metrics.incr c_edges_added;
-    ignore (add t.dependents first next)
+    let ln = links next in
+    if not (Int_set.mem first ln.pre) then begin
+      ln.pre <- Int_set.add first ln.pre;
+      Metrics.incr c_edges_added
+    end;
+    let lf = links first in
+    lf.dep <- Int_set.add next lf.dep
   end
 
 let flush_orders t =
   Hashtbl.fold
-    (fun next firsts acc ->
-      Int_set.fold (fun first acc -> (first, next) :: acc) firsts acc)
-    t.prereqs []
+    (fun next l acc -> Int_set.fold (fun first acc -> (first, next) :: acc) l.pre acc)
+    t.orders []
   |> List.sort compare
 
-let dep_count t =
-  Hashtbl.fold (fun _ firsts acc -> acc + Int_set.cardinal firsts) t.prereqs 0
+let dep_count t = Hashtbl.fold (fun _ l acc -> acc + Int_set.cardinal l.pre) t.orders 0
 
 (* ---- eviction ------------------------------------------------------ *)
 
@@ -305,8 +341,7 @@ let set_page t pid page =
 
 let drop_volatile t =
   Hashtbl.reset t.entries;
-  Hashtbl.reset t.prereqs;
-  Hashtbl.reset t.dependents;
+  Hashtbl.reset t.orders;
   t.clean.head <- None;
   t.clean.tail <- None;
   t.dirty_q.head <- None;

@@ -4,7 +4,7 @@ type t = {
   mutable reads : int;
 }
 
-let create () = { pages = Hashtbl.create 64; writes = 0; reads = 0 }
+let create ?(capacity = 64) () = { pages = Hashtbl.create (max 64 capacity); writes = 0; reads = 0 }
 
 let read t pid =
   t.reads <- t.reads + 1;

@@ -7,7 +7,9 @@
 
 type t
 
-val create : unit -> t
+val create : ?capacity:int -> unit -> t
+(** [capacity] (pages, default 64) presizes the page table; it still
+    grows past it. *)
 
 val read : t -> int -> Page.t
 (** Missing pages read as {!Page.empty} (LSN zero). *)

@@ -143,6 +143,67 @@ let encode_record (r : Record.t) =
   put_payload buf (Record.payload r);
   Buffer.contents buf
 
+(* --- sizing ---
+
+   [encoded_size] runs on every append (the log manager's byte
+   accounting), so it must not actually encode: these mirror the put_
+   functions above byte-for-byte, allocation-free. [t_codec] pins the
+   mirror to the encoder over every payload shape. *)
+
+let size_u8 = 1
+let size_u32 = 4
+let size_i64 = 8
+let size_string s = size_u32 + String.length s
+
+let size_entries entries =
+  List.fold_left (fun acc (k, v) -> acc + size_string k + size_string v) size_u32 entries
+
+let size_ints ints = size_u32 + (size_i64 * List.length ints)
+let size_strings strings = List.fold_left (fun acc s -> acc + size_string s) size_u32 strings
+
+let size_data (data : Page.data) =
+  match data with
+  | Page.Empty -> size_u8
+  | Page.Bytes s -> size_u8 + size_string s
+  | Page.Kv entries -> size_u8 + size_entries entries
+  | Page.Node (Page.Leaf entries) -> size_u8 + size_entries entries
+  | Page.Node (Page.Internal { seps; children }) ->
+    size_u8 + size_strings seps + size_ints children
+
+let size_page_op (op : Page_op.t) =
+  match op with
+  | Page_op.Put (k, v) -> size_u8 + size_string k + size_string v
+  | Page_op.Del k -> size_u8 + size_string k
+  | Page_op.Set_bytes s -> size_u8 + size_string s
+  | Page_op.Leaf_put (k, v) -> size_u8 + size_string k + size_string v
+  | Page_op.Leaf_del k -> size_u8 + size_string k
+  | Page_op.Init_leaf entries -> size_u8 + size_entries entries
+  | Page_op.Init_internal { seps; children } -> size_u8 + size_strings seps + size_ints children
+  | Page_op.Internal_add { sep; right = _ } -> size_u8 + size_string sep + size_i64
+  | Page_op.Drop_from { key } -> size_u8 + size_string key
+
+let size_multi_op (op : Multi_op.t) =
+  match op with
+  | Multi_op.Split_to { src = _; dst = _; at } -> size_u8 + size_i64 + size_i64 + size_string at
+  | Multi_op.Copy _ -> size_u8 + size_i64 + size_i64
+
+let size_db_op (op : Record.db_op) =
+  match op with
+  | Record.Db_put (k, v) -> size_u8 + size_string k + size_string v
+  | Record.Db_del k -> size_u8 + size_string k
+
+let size_payload (payload : Record.payload) =
+  match payload with
+  | Record.Physical { pid = _; image } -> size_u8 + size_i64 + size_data image
+  | Record.Physiological { pid = _; op } -> size_u8 + size_i64 + size_page_op op
+  | Record.Multi op -> size_u8 + size_multi_op op
+  | Record.Logical op -> size_u8 + size_db_op op
+  | Record.App_op { tag; body } -> size_u8 + size_string tag + size_string body
+  | Record.Checkpoint { dirty_pages; note } ->
+    size_u8 + size_u32 + (2 * size_i64 * List.length dirty_pages) + size_string note
+
+let encoded_size r = size_i64 + size_payload (Record.payload r)
+
 (* --- decoding --- *)
 
 type cursor = {
@@ -274,5 +335,3 @@ let decode_record data =
   if c.pos <> String.length data then
     fail "trailing bytes: %d of %d consumed" c.pos (String.length data);
   Record.make ~lsn payload
-
-let encoded_size r = String.length (encode_record r)

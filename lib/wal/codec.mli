@@ -13,4 +13,7 @@ val decode_record : string -> Record.t
 (** @raise Decode_error on truncation, unknown tags or trailing bytes. *)
 
 val encoded_size : Record.t -> int
-(** Exact wire size of the record (excluding framing). *)
+(** Exact wire size of the record (excluding framing), computed
+    arithmetically without encoding — allocation-free, safe on the
+    append hot path. Pinned to [String.length (encode_record r)] by the
+    codec tests. *)

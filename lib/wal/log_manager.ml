@@ -27,19 +27,23 @@ type stats = {
 type t = {
   mutable arr : Record.t array;  (* slots 0..len-1 are live *)
   mutable len : int;
+  capacity : int;  (* initial array size on first push *)
   mutable flushed : Lsn.t;  (* records with lsn <= flushed are stable *)
   mutable ckpts : int list;  (* slot indices of checkpoint records, newest first *)
   medium : Stable_log.t;  (* the crash-surviving frames *)
   stats : stats;
 }
 
-let create () =
+let create ?(capacity = 16) () =
   {
     arr = [||];
     len = 0;
+    capacity = max 16 capacity;
     flushed = Lsn.zero;
     ckpts = [];
-    medium = Stable_log.create ();
+    (* ~48 stable bytes per record covers the common logical/
+       physiological payloads; oversizing only costs slack. *)
+    medium = Stable_log.create ~capacity:(max 1024 (capacity * 48)) ();
     stats = { appended_bytes = 0; stable_bytes = 0; forces = 0; appended_records = 0 };
   }
 
@@ -48,7 +52,7 @@ let medium t = t.medium
 
 let push t r =
   if t.len = Array.length t.arr then begin
-    let arr = Array.make (max 16 (2 * t.len)) r in
+    let arr = Array.make (max t.capacity (2 * t.len)) r in
     Array.blit t.arr 0 arr 0 t.len;
     t.arr <- arr
   end;

@@ -18,7 +18,13 @@ type stats = {
 
 type t
 
-val create : unit -> t
+val create : ?capacity:int -> unit -> t
+(** [capacity] (records, default 16) preallocates the volatile record
+    array and sizes the stable medium proportionally; both still grow
+    past it by doubling. A workload that knows its log volume up front
+    (recovery replays, bulk loads, benchmarks) avoids every growth copy
+    by passing it. *)
+
 val stats : t -> stats
 (** [appended_bytes]/[stable_bytes] use the exact {!Codec} wire sizes
     plus 8 bytes of framing per record. *)

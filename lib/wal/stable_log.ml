@@ -32,8 +32,8 @@ type t = {
 
 let header_size = 8
 
-let create () =
-  { data = Bytes.create 1024; len = 0; frames = 0; scratch = Buffer.create 256 }
+let create ?(capacity = 1024) () =
+  { data = Bytes.create (max 64 capacity); len = 0; frames = 0; scratch = Buffer.create 256 }
 
 let byte_size t = t.len
 let frame_count t = t.frames

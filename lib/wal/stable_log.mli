@@ -8,7 +8,11 @@
 
 type t
 
-val create : unit -> t
+val create : ?capacity:int -> unit -> t
+(** [capacity] (bytes, default 1024) preallocates the backing array;
+    the log still grows past it by doubling. Sizing it to the expected
+    volume keeps the append path free of growth copies. *)
+
 val byte_size : t -> int
 val frame_count : t -> int
 

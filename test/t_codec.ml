@@ -92,6 +92,14 @@ let prop_roundtrip seed =
   let r' = Codec.decode_record (Codec.encode_record r) in
   r = r'
 
+(* [encoded_size] mirrors the encoder arithmetically instead of
+   encoding; this pins the mirror to the real wire format so a codec
+   change that forgets the size side cannot land. *)
+let prop_encoded_size seed =
+  let rng = Random.State.make [| seed; 0x512e |] in
+  let r = rand_record rng in
+  Codec.encoded_size r = String.length (Codec.encode_record r)
+
 let test_decode_rejects_garbage () =
   (match Codec.decode_record "" with
   | exception Codec.Decode_error _ -> ()
@@ -185,5 +193,6 @@ let suite =
     Alcotest.test_case "stable log corruption" `Quick test_stable_log_corruption;
     Alcotest.test_case "log manager torn crash" `Quick test_log_manager_torn_crash;
     Util.qtest ~count:300 "codec roundtrip (fuzz)" prop_roundtrip;
+    Util.qtest ~count:300 "encoded_size matches encoder (fuzz)" prop_encoded_size;
     Util.qtest ~count:200 "torn logs always scan to a clean prefix" prop_torn_tail_always_clean;
   ]

@@ -10,6 +10,7 @@ let () =
       "explain", T_explain.suite;
       "replay", T_replay.suite;
       "recovery", T_recovery.suite;
+      "partition", T_partition.suite;
       "write graph", T_write_graph.suite;
       "storage", T_storage.suite;
       "wal", T_wal.suite;
