@@ -303,7 +303,7 @@ let e7_faults () =
 (* PERF: hot-path scaling. Times the WAL append/force path, the crash  *)
 (* scan + redo replay, the cache's careful-write-order machinery, and  *)
 (* the partition-parallel recovery pipeline at 1k/10k/100k records,    *)
-(* and writes the rows to BENCH_3.json so future changes have a        *)
+(* and writes the rows to BENCH_4.json so future changes have a        *)
 (* machine-readable trajectory to compare against. Near-linear scaling *)
 (* here is the point: every one of these paths used to be quadratic    *)
 (* (whole-log filter+sort per force, whole-log rescan per recovery     *)
@@ -314,28 +314,73 @@ let e7_faults () =
 (* metric counters the measured round moved — the work profile, not    *)
 (* just the wall time — and a "domains" field (1 for the sequential    *)
 (* benches; 1/2/4 for recover_parallel, where the domains=1 row is the *)
-(* zero-overhead sequential fallback).                                 *)
+(* zero-overhead sequential fallback). The recover_parallel rows also  *)
+(* carry a "profile" object from a separate span-recorded pass (spans  *)
+(* stay off during the timed rounds): the critical path through the    *)
+(* recovery's span tree and the shard-imbalance numbers, so a          *)
+(* regression in the trajectory comes annotated with where the         *)
+(* wall-clock went.                                                    *)
 
 let perf_sizes = [ 1_000; 10_000; 100_000 ]
 
 let perf_emit_json rows =
-  let oc = open_out "BENCH_3.json" in
+  let oc = open_out "BENCH_4.json" in
   output_string oc "[\n";
   let last = List.length rows - 1 in
   List.iteri
-    (fun i (bench, n, domains, total_ns, counters) ->
+    (fun i (bench, n, domains, total_ns, counters, profile) ->
       let metrics =
         List.map (fun (name, v) -> Printf.sprintf "%S: %d" name v) counters
         |> String.concat ", "
       in
+      let profile =
+        match profile with
+        | None -> ""
+        | Some json -> Printf.sprintf ", \"profile\": %s" json
+      in
       Printf.fprintf oc
         "{\"bench\": %S, \"n\": %d, \"domains\": %d, \"ns_per_op\": %.1f, \"metrics\": \
-         {%s}}%s\n"
-        bench n domains (total_ns /. float n) metrics
+         {%s}%s}%s\n"
+        bench n domains (total_ns /. float n) metrics profile
         (if i = last then "" else ","))
     rows;
   output_string oc "]\n";
   close_out oc
+
+(* One span-recorded recovery pass, reduced to a JSON fragment: the
+   critical-path attribution of the run's root span plus the shard
+   spread. Runs outside the timed rounds — recording stays off while
+   Bench_util measures. *)
+let profile_recovery run =
+  let module Span = Redo_obs.Span in
+  let module Profile = Redo_obs.Profile in
+  Span.reset ();
+  Span.set_enabled true;
+  Fun.protect ~finally:(fun () -> Span.set_enabled false) run;
+  let spans = Span.collect () in
+  match Profile.roots spans with
+  | [] -> Span.reset (); "null"
+  | root :: _ ->
+    let rows = Profile.attribute (Profile.critical_path spans ~root) in
+    let cp =
+      List.map
+        (fun r ->
+          Printf.sprintf "{\"span\": %S, \"count\": %d, \"self_ns\": %.0f}" r.Profile.r_name
+            r.Profile.r_count r.Profile.r_self_ns)
+        rows
+      |> String.concat ", "
+    in
+    let imbalance =
+      match Profile.shard_imbalance spans with
+      | None -> "null"
+      | Some i ->
+        Printf.sprintf
+          "{\"shards\": %d, \"max_ns\": %.0f, \"mean_ns\": %.0f, \"stddev_ns\": %.0f}"
+          i.Profile.i_shards i.Profile.i_max_ns i.Profile.i_mean_ns i.Profile.i_stddev_ns
+    in
+    Span.reset ();
+    Printf.sprintf "{\"wall_ns\": %.0f, \"critical_path\": [%s], \"shard_imbalance\": %s}"
+      (Span.duration_ns root) cp imbalance
 
 (* A workload the planner can actually cut: [components] independent
    variable clusters, each a chain of read-modify-writes confined to
@@ -358,9 +403,10 @@ let perf () =
   Bench_util.heading "PERF: hot-path scaling (WAL force, recovery scan+replay, cache order deps)";
   Fmt.pr "  %-22s %10s %14s %12s@." "bench" "n" "total-ms" "ns/op";
   let rows = ref [] in
-  let record ?(domains = 1) bench n ~setup work =
+  let record ?(domains = 1) ?profile bench n ~setup work =
     let total_ns, counters = Bench_util.bench_ns ~setup work in
-    rows := (bench, n, domains, total_ns, counters) :: !rows;
+    let profile = Option.map (fun p -> profile_recovery p) profile in
+    rows := (bench, n, domains, total_ns, counters, profile) :: !rows;
     Fmt.pr "  %-22s %10d %14.2f %12.1f@."
       (if domains = 1 then bench else Printf.sprintf "%s (d=%d)" bench domains)
       n (total_ns /. 1e6) (total_ns /. float n)
@@ -424,16 +470,18 @@ let perf () =
       let par_log = sharded_log ~components:8 ~vars_per:4 n in
       List.iter
         (fun domains ->
-          record "recover_parallel" ~domains n
+          let replay () =
+            ignore
+              (Recovery.recover_parallel ~domains Recovery.always_redo ~state:State.empty
+                 ~log:par_log ~checkpoint:Digraph.Node_set.empty)
+          in
+          record "recover_parallel" ~domains ~profile:replay n
             ~setup:(fun () -> ())
-            (fun () ->
-              ignore
-                (Recovery.recover_parallel ~domains Recovery.always_redo ~state:State.empty
-                   ~log:par_log ~checkpoint:Digraph.Node_set.empty)))
+            (fun () -> replay ()))
         [ 1; 2; 4 ])
     perf_sizes;
   perf_emit_json (List.rev !rows);
-  Fmt.pr "  rows written to BENCH_3.json (best of 5 rounds, after warm-up; %d cores online)@."
+  Fmt.pr "  rows written to BENCH_4.json (best of 5 rounds, after warm-up; %d cores online)@."
     (Domain.recommended_domain_count ())
 
 let micro_benchmarks () =

@@ -6,9 +6,12 @@
    redo torture ...          - many seeds x all methods
    redo check -m METHOD ...  - run a workload, crash, print the invariant report
    redo stats ...            - run a crashing workload, dump the metrics registry
+   redo profile -m METHOD .. - span-profile the recoveries: critical path,
+                               shard imbalance, optional Chrome trace
 
    sim, torture and check also take --metrics [pretty|json] to dump the
-   process-wide metrics registry after the run. *)
+   process-wide metrics registry after the run, and --chrome-trace FILE
+   to record the run's span tree as Chrome trace_event JSON. *)
 
 open Cmdliner
 
@@ -72,6 +75,41 @@ let with_metrics format run =
   emit_metrics format;
   code
 
+(* --- span profiling plumbing --- *)
+
+let chrome_trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chrome-trace" ] ~docv:"FILE"
+        ~doc:
+          "Record the run's span tree and write it as Chrome trace_event JSON to $(docv) \
+           (loadable in Perfetto or chrome://tracing; one track per domain).")
+
+let write_chrome_trace file spans =
+  let oc = open_out file in
+  output_string oc (Redo_obs.Span.chrome_json spans);
+  close_out oc;
+  Fmt.pr "wrote %d spans to %s@." (List.length spans) file
+
+(* Enable span recording around [run]; write the Chrome trace if a file
+   was asked for, and hand the collected spans to [after]. *)
+let with_spans ?(after = fun _ -> ()) chrome_trace run =
+  let wanted = chrome_trace <> None in
+  if wanted then begin
+    Redo_obs.Span.reset ();
+    Redo_obs.Span.set_enabled true
+  end;
+  let code =
+    Fun.protect ~finally:(fun () -> Redo_obs.Span.set_enabled false) run
+  in
+  if wanted then begin
+    let spans = Redo_obs.Span.collect () in
+    Option.iter (fun file -> write_chrome_trace file spans) chrome_trace;
+    after spans
+  end;
+  code
+
 (* --- demo --- *)
 
 let demo () =
@@ -126,8 +164,10 @@ let graphs dir =
 
 (* --- sim --- *)
 
-let sim method_name seed ops partitions cache crash_every checkpoint_every domains metrics =
+let sim method_name seed ops partitions cache crash_every checkpoint_every domains metrics
+    chrome_trace =
   with_metrics metrics @@ fun () ->
+  with_spans chrome_trace @@ fun () ->
   let open Redo_sim in
   let make =
     match List.assoc_opt method_name Redo_methods.Registry.all with
@@ -164,8 +204,9 @@ let sim method_name seed ops partitions cache crash_every checkpoint_every domai
 
 (* --- torture --- *)
 
-let torture seeds ops domains metrics =
+let torture seeds ops domains metrics chrome_trace =
   with_metrics metrics @@ fun () ->
+  with_spans chrome_trace @@ fun () ->
   let open Redo_sim in
   let failures = ref 0 in
   List.iter
@@ -259,8 +300,9 @@ let faults seeds =
 
 (* --- check --- *)
 
-let check method_name seed ops partitions cache domains metrics =
+let check method_name seed ops partitions cache domains metrics chrome_trace =
   with_metrics metrics @@ fun () ->
+  with_spans chrome_trace @@ fun () ->
   let store_method =
     match method_name with
     | "logical" -> Redo_kv.Store.Logical
@@ -344,6 +386,70 @@ let stats method_name seed ops partitions cache crash_every checkpoint_every for
     Fmt.pr "{\"metrics\": %s, \"events\": [%s]}@." (Redo_obs.Metrics.to_json snapshot) events);
   if o.Simulator.verify_failures = [] then 0 else 1
 
+(* --- profile --- *)
+
+(* Span-profile the simulator's recoveries: run a crashing workload with
+   recording on, then answer the two questions the span tree exists for:
+   where does recovery wall-clock go (the critical path through each
+   sim.recovery root) and how lopsided are the shard replays. *)
+let profile method_name seed ops partitions cache crash_every checkpoint_every domains
+    chrome_trace =
+  let open Redo_sim in
+  let module Span = Redo_obs.Span in
+  let module Profile = Redo_obs.Profile in
+  let make =
+    match List.assoc_opt method_name Redo_methods.Registry.all with
+    | Some make -> make
+    | None ->
+      Fmt.epr "unknown method %S (available: %s)@." method_name
+        (String.concat ", " method_names);
+      exit 2
+  in
+  let config =
+    {
+      Simulator.default_config with
+      Simulator.seed;
+      total_ops = ops;
+      partitions;
+      cache_capacity = cache;
+      crash_every = (if crash_every <= 0 then None else Some crash_every);
+      checkpoint_every = (if checkpoint_every <= 0 then None else Some checkpoint_every);
+      domains;
+    }
+  in
+  Span.reset ();
+  Span.set_enabled true;
+  let o =
+    Fun.protect
+      ~finally:(fun () -> Span.set_enabled false)
+      (fun () -> Simulator.run config (make ~cache_capacity:cache ~partitions ()))
+  in
+  let spans = Span.collect () in
+  Option.iter (fun file -> write_chrome_trace file spans) chrome_trace;
+  let roots = Profile.roots ~name:"sim.recovery" spans in
+  let measured_ns = List.fold_left (fun acc r -> acc +. Span.duration_ns r) 0. roots in
+  Fmt.pr "%s: %d ops, %d crashes, %d spans recorded@." method_name o.Simulator.kv_ops
+    o.Simulator.crashes (List.length spans);
+  Fmt.pr "recovery wall-clock (%d recoveries): %a@.@." (List.length roots) Profile.pp_ms
+    measured_ns;
+  let entries = List.concat_map (fun r -> Profile.critical_path spans ~root:r) roots in
+  let rows = Profile.attribute entries in
+  Fmt.pr "critical path, aggregated over all recoveries:@.%a@." Profile.pp_rows
+    (rows, measured_ns);
+  let accounted = Profile.total_self rows in
+  Fmt.pr "accounted: %a of %a measured (%.1f%%)@." Profile.pp_ms accounted Profile.pp_ms
+    measured_ns
+    (if measured_ns > 0. then 100. *. accounted /. measured_ns else 0.);
+  (match Profile.shard_imbalance spans with
+  | Some imb -> Fmt.pr "@.%a@." Profile.pp_imbalance imb
+  | None ->
+    Fmt.pr "@.no recover.shard spans recorded (domains=%d keeps the parallel leg off)@."
+      domains);
+  List.iter (fun m -> Fmt.pr "content failure: %s@." m) o.Simulator.verify_failures;
+  let theory_ok = List.for_all Redo_methods.Theory_check.ok o.Simulator.theory_reports in
+  if roots = [] then Fmt.epr "no sim.recovery spans were recorded@.";
+  if o.Simulator.verify_failures = [] && theory_ok && roots <> [] then 0 else 1
+
 (* --- command wiring --- *)
 
 let demo_cmd =
@@ -362,19 +468,19 @@ let sim_cmd =
     (Cmd.info "sim" ~doc:"Run a crash-recovery simulation with content and theory verification")
     Term.(
       const sim $ method_arg $ seed_arg $ ops_arg $ partitions_arg $ cache_arg $ crash_every_arg
-      $ checkpoint_every_arg $ domains_arg $ metrics_arg)
+      $ checkpoint_every_arg $ domains_arg $ metrics_arg $ chrome_trace_arg)
 
 let torture_cmd =
   let seeds = Arg.(value & opt int 5 & info [ "seeds" ] ~docv:"N" ~doc:"Seeds per method.") in
   Cmd.v (Cmd.info "torture" ~doc:"Torture all methods across many seeds")
-    Term.(const torture $ seeds $ ops_arg $ domains_arg $ metrics_arg)
+    Term.(const torture $ seeds $ ops_arg $ domains_arg $ metrics_arg $ chrome_trace_arg)
 
 let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc:"Run a workload, crash, and print the Recovery Invariant report")
     Term.(
       const check $ method_arg $ seed_arg $ ops_arg $ partitions_arg $ cache_arg $ domains_arg
-      $ metrics_arg)
+      $ metrics_arg $ chrome_trace_arg)
 
 let stats_cmd =
   let format =
@@ -396,6 +502,16 @@ let stats_cmd =
       const stats $ method_arg $ seed_arg $ ops_arg $ partitions_arg $ cache_arg
       $ crash_every_arg $ checkpoint_every_arg $ format $ events)
 
+let profile_cmd =
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Span-profile the recoveries: critical-path attribution, shard-imbalance report, \
+          optional Chrome trace")
+    Term.(
+      const profile $ method_arg $ seed_arg $ ops_arg $ partitions_arg $ cache_arg
+      $ crash_every_arg $ checkpoint_every_arg $ domains_arg $ chrome_trace_arg)
+
 let faults_cmd =
   let seeds = Arg.(value & opt int 8 & info [ "seeds" ] ~docv:"N" ~doc:"Seeds per variant.") in
   Cmd.v
@@ -406,6 +522,6 @@ let faults_cmd =
 let main_cmd =
   let doc = "A Theory of Redo Recovery (Lomet & Tuttle, SIGMOD 2003), executable" in
   Cmd.group (Cmd.info "redo" ~version:"1.0.0" ~doc)
-    [ demo_cmd; graphs_cmd; sim_cmd; torture_cmd; check_cmd; faults_cmd; stats_cmd ]
+    [ demo_cmd; graphs_cmd; sim_cmd; torture_cmd; check_cmd; faults_cmd; stats_cmd; profile_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,5 +1,6 @@
 module Metrics = Redo_obs.Metrics
 module Trace = Redo_obs.Trace
+module Span = Redo_obs.Span
 module Domain_pool = Redo_par.Domain_pool
 
 let c_runs = Metrics.counter "recover.runs"
@@ -91,6 +92,11 @@ let flush_stats s =
    streaming form that lets an auditor observe recovery live. *)
 let run_loop ~trace ~sink ~stats spec ~records ~state ~log ~unrecovered =
   let snapshotting = trace || sink <> None in
+  (* Sampled once per run: per-iteration span sites pay one immutable
+     boolean test when profiling is off, no closure, no allocation. The
+     scan itself (cursor advance, membership test) is the enclosing
+     span's self time. *)
+  let prof = Span.enabled () in
   let rec loop records state unrecovered analysis redo_set iterations =
     match records with
     | [] -> { final = state; redo_set; iterations = List.rev iterations }
@@ -102,11 +108,23 @@ let run_loop ~trace ~sink ~stats spec ~records ~state ~log ~unrecovered =
       stats.s_scanned <- stats.s_scanned + 1;
       let op = Log.find_op log r.Log.op_id in
       stats.s_analyze_calls <- stats.s_analyze_calls + 1;
-      let analysis = spec.analyze ~state ~log ~unrecovered analysis in
-      let redone = spec.redo op ~state ~log ~analysis in
+      let analysis =
+        if prof then
+          Span.span "recover.analyze" (fun () -> spec.analyze ~state ~log ~unrecovered analysis)
+        else spec.analyze ~state ~log ~unrecovered analysis
+      in
+      let redone =
+        if prof then Span.span "recover.redo_test" (fun () -> spec.redo op ~state ~log ~analysis)
+        else spec.redo op ~state ~log ~analysis
+      in
       if redone then stats.s_applied <- stats.s_applied + 1
       else stats.s_skipped <- stats.s_skipped + 1;
-      let state' = if redone then Op.apply op state else state in
+      let state' =
+        if redone then
+          if prof then Span.span "recover.apply" (fun () -> Op.apply op state)
+          else Op.apply op state
+        else state
+      in
       let redo_set =
         if redone then Digraph.Node_set.add r.Log.op_id redo_set else redo_set
       in
@@ -133,6 +151,7 @@ let run_loop ~trace ~sink ~stats spec ~records ~state ~log ~unrecovered =
 
 let recover ?(trace = false) ?sink spec ~state ~log ~checkpoint =
   Metrics.incr c_runs;
+  Span.span "recover" @@ fun () ->
   let t0 = Metrics.now_ns () in
   let stats = fresh_stats () in
   let unrecovered = Digraph.Node_set.diff (Log.operations log) checkpoint in
@@ -140,6 +159,13 @@ let recover ?(trace = false) ?sink spec ~state ~log ~checkpoint =
     run_loop ~trace ~sink ~stats spec ~records:(Log.records log) ~state ~log ~unrecovered
   in
   flush_stats stats;
+  if Span.enabled () then
+    Span.note
+      [
+        "scanned", Span.Int stats.s_scanned;
+        "applied", Span.Int stats.s_applied;
+        "skipped", Span.Int stats.s_skipped;
+      ];
   Metrics.observe h_run_ns (Metrics.now_ns () -. t0);
   result
 
@@ -178,34 +204,51 @@ let recover_parallel ?(trace = false) ?(domains = 2) spec ~state ~log ~checkpoin
     { merged = recover ~trace spec ~state ~log ~checkpoint; shard_runs = []; domains_used = 1 }
   else begin
     Metrics.incr c_parallel_runs;
+    Span.span "recover.parallel" @@ fun () ->
     let t0 = Metrics.now_ns () in
-    let plan = Partition.plan ~log ~checkpoint in
+    let plan = Span.span "recover.plan" (fun () -> Partition.plan ~log ~checkpoint) in
+    (* Shard spans run on worker domains, so the parent cannot come off
+       their (empty) stacks: capture the coordinator's open span here
+       and hand it into the task closures. Each shard span carries its
+       size; the recording domain is the span's [domain] field. *)
+    let parallel_span = Span.current () in
     let tasks =
       List.map
         (fun (s : Partition.shard) () ->
-          let stats = fresh_stats () in
-          let r =
-            run_loop ~trace ~sink:None ~stats spec ~records:s.Partition.records ~state ~log
-              ~unrecovered:s.Partition.ops
+          let replay () =
+            let stats = fresh_stats () in
+            let r =
+              run_loop ~trace ~sink:None ~stats spec ~records:s.Partition.records ~state ~log
+                ~unrecovered:s.Partition.ops
+            in
+            s, r, stats
           in
-          s, r, stats)
+          if Span.enabled () then
+            Span.span ~parent:parallel_span "recover.shard"
+              ~attrs:[ "ops", Span.Int (Digraph.Node_set.cardinal s.Partition.ops) ]
+              replay
+          else replay ())
         plan.Partition.shards
     in
     let domains_used = min domains (max 1 (List.length tasks)) in
     let runs = Domain_pool.run ~domains:domains_used tasks in
-    let final =
-      List.fold_left
-        (fun acc (s, r, _) ->
-          State.set_many acc (State.bindings (State.restrict r.final s.Partition.vars)))
-        state runs
-    in
-    let redo_set =
-      List.fold_left
-        (fun acc (_, r, _) -> Digraph.Node_set.union r.redo_set acc)
-        Digraph.Node_set.empty runs
-    in
-    let iterations =
-      if trace then List.concat_map (fun (_, r, _) -> r.iterations) runs else []
+    let final, redo_set, iterations =
+      Span.span "recover.merge" @@ fun () ->
+      let final =
+        List.fold_left
+          (fun acc (s, r, _) ->
+            State.set_many acc (State.bindings (State.restrict r.final s.Partition.vars)))
+          state runs
+      in
+      let redo_set =
+        List.fold_left
+          (fun acc (_, r, _) -> Digraph.Node_set.union r.redo_set acc)
+          Digraph.Node_set.empty runs
+      in
+      let iterations =
+        if trace then List.concat_map (fun (_, r, _) -> r.iterations) runs else []
+      in
+      final, redo_set, iterations
     in
     List.iter
       (fun ((s : Partition.shard), _, stats) ->

@@ -1,5 +1,6 @@
 open Redo_core
 open Redo_storage
+module Span = Redo_obs.Span
 
 type report = {
   method_name : string;
@@ -81,19 +82,25 @@ let diagnose cg ~installed ~stable ~universe =
 let check ?(domains = 2) (p : Projection.t) =
   let method_name = p.Projection.method_name in
   let op_count = List.length p.Projection.ops in
-  match Exec.make ~initial:p.Projection.initial p.Projection.ops with
+  Span.span "theory.check" ~attrs:[ "method", Span.String method_name ] @@ fun () ->
+  (* Graph construction is its own leg: for big logs the conflict graph
+     build rivals the replay legs, and the profiler should say so. *)
+  match
+    Span.span "theory.graph" (fun () ->
+        let exec = Exec.make ~initial:p.Projection.initial p.Projection.ops in
+        exec, Conflict_graph.of_exec exec)
+  with
   | exception e -> fail_report ~method_name ~op_count (Printexc.to_string e)
-  | exec ->
-    (match Conflict_graph.of_exec exec with
-    | exception e -> fail_report ~method_name ~op_count (Printexc.to_string e)
-    | cg ->
+  | exec, cg ->
       let redo_set = Digraph.Node_set.of_list p.Projection.redo_ids in
       let installed = Digraph.Node_set.diff (Exec.op_id_set exec) redo_set in
       let universe = p.Projection.universe in
-      let installed_is_prefix = Explain.is_installation_prefix cg installed in
-      let state_explained =
-        installed_is_prefix
-        && Explain.explains ~universe cg ~prefix:installed p.Projection.stable
+      let installed_is_prefix, state_explained =
+        Span.span "theory.explain" (fun () ->
+            let is_prefix = Explain.is_installation_prefix cg installed in
+            ( is_prefix,
+              is_prefix
+              && Explain.explains ~universe cg ~prefix:installed p.Projection.stable ))
       in
       let log = Log.of_conflict_graph cg in
       let spec =
@@ -103,12 +110,15 @@ let check ?(domains = 2) (p : Projection.t) =
          checked and discarded, so nothing is retained but the first
          violation — no materialized trace. *)
       let auditor = Recovery.auditor ~universe ~log ~redo_set () in
-      let result =
-        Recovery.recover ~sink:(Recovery.audit_observe auditor) spec
-          ~state:p.Projection.stable ~log ~checkpoint:installed
+      let result, recovery_succeeds, audit =
+        Span.span "theory.sequential" (fun () ->
+            let result =
+              Recovery.recover ~sink:(Recovery.audit_observe auditor) spec
+                ~state:p.Projection.stable ~log ~checkpoint:installed
+            in
+            let recovery_succeeds = Recovery.succeeded ~universe ~log result in
+            result, recovery_succeeds, Recovery.audit_finish auditor ~final:result.Recovery.final)
       in
-      let recovery_succeeds = Recovery.succeeded ~universe ~log result in
-      let audit = Recovery.audit_finish auditor ~final:result.Recovery.final in
       let violation = audit.Recovery.violation in
       (* Replay the same redo set shard-parallel and insist the merged
          outcome is the sequential one — the executable form of the
@@ -117,7 +127,8 @@ let check ?(domains = 2) (p : Projection.t) =
          at a method exercises the equivalence. *)
       let shard_count, parallel_agrees =
         if domains <= 1 then 0, true
-        else begin
+        else
+          Span.span "theory.parallel" @@ fun () ->
           let par =
             Recovery.recover_parallel ~domains spec ~state:p.Projection.stable ~log
               ~checkpoint:installed
@@ -136,7 +147,6 @@ let check ?(domains = 2) (p : Projection.t) =
                  result.Recovery.final
             && Digraph.Node_set.equal par.Recovery.merged.Recovery.redo_set
                  result.Recovery.redo_set )
-        end
       in
       let failure =
         if not installed_is_prefix then
@@ -168,7 +178,7 @@ let check ?(domains = 2) (p : Projection.t) =
         audited_iterations = audit.Recovery.iterations_checked;
         failure;
         diagnosis;
-      })
+      }
 
 let pp_report ppf r =
   Fmt.pf ppf "[%s] %d ops, %d installed, %d redo, %d shards: %s" r.method_name r.op_count

@@ -1,4 +1,11 @@
-type counter = { c_name : string; mutable c_count : int }
+(* Counters are atomic so worker domains may record directly (lost
+   updates, not torn values, were the risk: [c <- c + 1] is a
+   read-modify-write). Gauges and histograms stay plain mutable —
+   multi-field updates would need a lock — under a single-writer rule:
+   only the coordinating domain observes them. Recovery's parallel path
+   honours this by accumulating per-shard tallies locally and flushing
+   from the coordinator after the join (see [Recovery.run_stats]). *)
+type counter = { c_name : string; c_count : int Atomic.t }
 type gauge = { g_name : string; mutable g_level : float }
 
 type histogram = {
@@ -29,13 +36,13 @@ let counter ?(registry = default) name =
   match Hashtbl.find_opt registry.counters name with
   | Some c -> c
   | None ->
-    let c = { c_name = name; c_count = 0 } in
+    let c = { c_name = name; c_count = Atomic.make 0 } in
     Hashtbl.replace registry.counters name c;
     c
 
-let incr c = c.c_count <- c.c_count + 1
-let add c n = c.c_count <- c.c_count + n
-let count c = c.c_count
+let incr c = Atomic.incr c.c_count
+let add c n = ignore (Atomic.fetch_and_add c.c_count n)
+let count c = Atomic.get c.c_count
 
 let gauge ?(registry = default) name =
   match Hashtbl.find_opt registry.gauges name with
@@ -122,7 +129,7 @@ let span h f =
   Fun.protect ~finally:(fun () -> observe h (now_ns () -. t0)) f
 
 let reset ?(registry = default) () =
-  Hashtbl.iter (fun _ c -> c.c_count <- 0) registry.counters;
+  Hashtbl.iter (fun _ c -> Atomic.set c.c_count 0) registry.counters;
   Hashtbl.iter (fun _ g -> g.g_level <- 0.) registry.gauges;
   Hashtbl.iter
     (fun _ h ->
@@ -135,7 +142,7 @@ let reset ?(registry = default) () =
 let sorted_by_name l = List.sort (fun (a, _) (b, _) -> String.compare a b) l
 
 let counter_values ?(registry = default) () =
-  Hashtbl.fold (fun name c acc -> (name, c.c_count) :: acc) registry.counters []
+  Hashtbl.fold (fun name c acc -> (name, Atomic.get c.c_count) :: acc) registry.counters []
   |> sorted_by_name
 
 let counter_diff ~before ~after =

@@ -11,15 +11,23 @@
     can create private registries to stay isolated. *)
 
 type counter
-(** A monotonically increasing integer. *)
+(** A monotonically increasing integer. Backed by an [Atomic], so
+    {!incr}/{!add} are safe from any domain — concurrent increments
+    are never lost. *)
 
 type gauge
-(** A level that can move both ways (e.g. cached pages, dirty pages). *)
+(** A level that can move both ways (e.g. cached pages, dirty pages).
+    Plain mutable: single-writer only. Worker domains must not [set]
+    gauges (none of the instrumented subsystems — WAL, cache,
+    simulator — are reachable from recovery's worker domains, which
+    only replay pure shard state). *)
 
 type histogram
 (** A fixed-bucket histogram: observations land in the first bucket
     whose upper bound is [>=] the value, or in the implicit overflow
-    bucket past the last bound. *)
+    bucket past the last bound. Multi-field updates, so single-writer
+    only, like gauges: parallel recovery accumulates per-shard tallies
+    locally and observes from the coordinating domain after the join. *)
 
 type t
 (** A registry of named instruments. *)

@@ -1,0 +1,114 @@
+type cp_entry = { cp_span : Span.span; cp_self_ns : float }
+
+type row = { r_name : string; r_count : int; r_self_ns : float }
+
+type imbalance = {
+  i_shards : int;
+  i_max_ns : float;
+  i_mean_ns : float;
+  i_stddev_ns : float;
+}
+
+let roots ?name spans =
+  let ids = Hashtbl.create (List.length spans * 2) in
+  List.iter (fun (s : Span.span) -> Hashtbl.replace ids s.Span.id ()) spans;
+  List.filter
+    (fun (s : Span.span) ->
+      (s.Span.parent = 0 || not (Hashtbl.mem ids s.Span.parent))
+      && match name with None -> true | Some n -> s.Span.name = n)
+    spans
+
+(* The critical path through one root's span tree: walk backwards in
+   time from the root's end; at every point the responsible span is the
+   innermost one covering that instant whose subtree finishes last —
+   for sequential children that is simply the child chain, for children
+   fanned out across domains (shard replays) it is the last finisher,
+   i.e. exactly "the biggest shard's replay tail". Each span on the
+   path is charged the part of the interval no child on the path
+   covers (its self time), so the entries partition the root's
+   duration: their self times sum to the root's wall-clock exactly. *)
+let critical_path spans ~root =
+  let children = Hashtbl.create (List.length spans * 2) in
+  List.iter (fun (s : Span.span) -> Hashtbl.add children s.Span.parent s) spans;
+  let kids id =
+    Hashtbl.find_all children id
+    |> List.sort (fun (a : Span.span) b -> Float.compare b.Span.end_ns a.Span.end_ns)
+  in
+  let acc = ref [] in
+  let rec walk (s : Span.span) t_hi =
+    let t = ref (Float.min t_hi s.Span.end_ns) in
+    let self = ref 0. in
+    List.iter
+      (fun (c : Span.span) ->
+        (* Children in decreasing end-time order: the first child whose
+           end precedes the unattributed point [t] is the last finisher
+           there; children still running past [t] are shadowed by a
+           later-finishing sibling already walked. *)
+        if c.Span.end_ns <= !t && c.Span.end_ns > s.Span.start_ns then begin
+          self := !self +. (!t -. c.Span.end_ns);
+          walk c c.Span.end_ns;
+          t := Float.max s.Span.start_ns c.Span.start_ns
+        end)
+      (kids s.Span.id);
+    self := !self +. (!t -. s.Span.start_ns);
+    acc := { cp_span = s; cp_self_ns = !self } :: !acc
+  in
+  walk root root.Span.end_ns;
+  !acc
+
+let attribute entries =
+  let by_name = Hashtbl.create 32 in
+  List.iter
+    (fun e ->
+      let name = e.cp_span.Span.name in
+      match Hashtbl.find_opt by_name name with
+      | Some (count, self) -> Hashtbl.replace by_name name (count + 1, self +. e.cp_self_ns)
+      | None -> Hashtbl.replace by_name name (1, e.cp_self_ns))
+    entries;
+  Hashtbl.fold
+    (fun name (count, self) acc -> { r_name = name; r_count = count; r_self_ns = self } :: acc)
+    by_name []
+  |> List.sort (fun a b ->
+         match Float.compare b.r_self_ns a.r_self_ns with
+         | 0 -> String.compare a.r_name b.r_name
+         | c -> c)
+
+let total_self rows = List.fold_left (fun acc r -> acc +. r.r_self_ns) 0. rows
+
+let shard_imbalance ?(name = "recover.shard") spans =
+  let durs =
+    List.filter_map
+      (fun (s : Span.span) ->
+        if s.Span.name = name then Some (Span.duration_ns s) else None)
+      spans
+  in
+  match durs with
+  | [] -> None
+  | _ ->
+    let n = float (List.length durs) in
+    let mean = List.fold_left ( +. ) 0. durs /. n in
+    let var = List.fold_left (fun acc d -> acc +. ((d -. mean) ** 2.)) 0. durs /. n in
+    Some
+      {
+        i_shards = List.length durs;
+        i_max_ns = List.fold_left Float.max neg_infinity durs;
+        i_mean_ns = mean;
+        i_stddev_ns = sqrt var;
+      }
+
+let pp_ms ppf ns =
+  if ns >= 1e6 then Fmt.pf ppf "%10.3f ms" (ns /. 1e6) else Fmt.pf ppf "%10.1f us" (ns /. 1e3)
+
+let pp_rows ppf (rows, total_ns) =
+  Fmt.pf ppf "@[<v>  %-28s %8s %13s %8s" "span" "count" "self" "share";
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "@,  %-28s %8d %a %7.1f%%" r.r_name r.r_count pp_ms r.r_self_ns
+        (100. *. r.r_self_ns /. Float.max 1. total_ns))
+    rows;
+  Fmt.pf ppf "@]"
+
+let pp_imbalance ppf i =
+  Fmt.pf ppf "shards=%d max=%a mean=%a stddev=%a max/mean=%.2f" i.i_shards pp_ms i.i_max_ns
+    pp_ms i.i_mean_ns pp_ms i.i_stddev_ns
+    (i.i_max_ns /. Float.max 1. i.i_mean_ns)

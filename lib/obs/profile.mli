@@ -1,0 +1,51 @@
+(** Analyses over a collected {!Span} tree: critical-path attribution
+    and shard-imbalance, the two questions parallel redo keeps asking
+    ("where does recovery wall-clock go?" and "how lopsided are the
+    shards?"). *)
+
+type cp_entry = {
+  cp_span : Span.span;
+  cp_self_ns : float;
+      (** The part of this span's interval that lies on the critical
+          path and is covered by no child also on the path. *)
+}
+
+type row = { r_name : string; r_count : int; r_self_ns : float }
+
+type imbalance = {
+  i_shards : int;
+  i_max_ns : float;  (** the replay tail parallel recovery waits on *)
+  i_mean_ns : float;
+  i_stddev_ns : float;
+}
+
+val roots : ?name:string -> Span.span list -> Span.span list
+(** Spans with no parent in the list (optionally restricted to spans
+    named [name]) — the entry points for {!critical_path}. *)
+
+val critical_path : Span.span list -> root:Span.span -> cp_entry list
+(** The longest dependency chain through [root]'s subtree. Sequential
+    children chain; children fanned out across domains contribute their
+    last finisher (the straggler shard). The entries partition the
+    root's interval: their [cp_self_ns] sum to the root's duration
+    exactly, so the attribution accounts for 100% of measured
+    wall-clock. *)
+
+val attribute : cp_entry list -> row list
+(** Aggregate path entries (possibly from several roots) by span name,
+    largest self-time first. *)
+
+val total_self : row list -> float
+
+val shard_imbalance : ?name:string -> Span.span list -> imbalance option
+(** Max/mean/stddev over the durations of spans named [name] (default
+    ["recover.shard"]); [None] if there are none. *)
+
+val pp_ms : float Fmt.t
+(** Nanoseconds rendered as ms (or us below 1 ms). *)
+
+val pp_rows : (row list * float) Fmt.t
+(** The ranked attribution table; the float is the total wall-clock the
+    share column is relative to. *)
+
+val pp_imbalance : imbalance Fmt.t

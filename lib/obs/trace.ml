@@ -14,7 +14,19 @@ let make_ring ~capacity =
   if capacity <= 0 then invalid_arg "Trace.make_ring: capacity must be positive";
   { slots = Array.make capacity None; next = 0; seen = 0 }
 
+(* Workers emit during parallel recovery, so delivery must be safe
+   under domains: the sequence counter is atomic, and every stateful
+   sink (ring insertion, channel output) is serialized by one mutex.
+   The [Null] fast path takes no lock — [emit] stays a load-and-branch
+   when tracing is off. *)
+let sink_mutex = Mutex.create ()
+
+let locked f =
+  Mutex.lock sink_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock sink_mutex) f
+
 let ring_events r =
+  locked @@ fun () ->
   let cap = Array.length r.slots in
   let rec go i acc =
     if i = 0 then acc
@@ -24,10 +36,10 @@ let ring_events r =
   in
   List.rev (go cap [])
 
-let ring_seen r = r.seen
+let ring_seen r = locked (fun () -> r.seen)
 
 let current = ref Null
-let seq = ref 0
+let seq = Atomic.make 0
 
 let set_sink s = current := s
 let sink () = !current
@@ -62,17 +74,19 @@ let deliver s e =
   match s with
   | Null -> ()
   | Ring r ->
-    r.slots.(r.next) <- Some e;
-    r.next <- (r.next + 1) mod Array.length r.slots;
-    r.seen <- r.seen + 1
-  | Stderr -> Fmt.epr "%a@." pp_event e
+    locked (fun () ->
+        r.slots.(r.next) <- Some e;
+        r.next <- (r.next + 1) mod Array.length r.slots;
+        r.seen <- r.seen + 1)
+  | Stderr -> locked (fun () -> Fmt.epr "%a@." pp_event e)
   | Jsonl oc ->
-    output_string oc (event_to_json e);
-    output_char oc '\n'
+    locked (fun () ->
+        output_string oc (event_to_json e);
+        output_char oc '\n')
 
 let emit name fields =
   match !current with
   | Null -> ()
   | s ->
-    incr seq;
-    deliver s { seq = !seq; name; fields }
+    let n = 1 + Atomic.fetch_and_add seq 1 in
+    deliver s { seq = n; name; fields }

@@ -40,7 +40,12 @@ val enabled : unit -> bool
     construction with this on hot paths. *)
 
 val emit : string -> (string * value) list -> unit
-(** Deliver an event to the installed sink; a no-op under {!Null}. *)
+(** Deliver an event to the installed sink; a no-op under {!Null}.
+    Safe to call from any domain: the sequence counter is atomic and
+    stateful sinks are mutex-guarded (the {!Null} path takes no lock).
+    [set_sink] itself is not synchronized — install the sink before
+    spawning emitters. *)
 
+val pp_value : value Fmt.t
 val pp_event : event Fmt.t
 val event_to_json : event -> string

@@ -1,3 +1,5 @@
+module Span = Redo_obs.Span
+
 type t = {
   mutex : Mutex.t;
   work_ready : Condition.t;  (* a task was queued, or shutdown began *)
@@ -58,10 +60,28 @@ let map t f xs =
     let done_mutex = Mutex.create () in
     let all_done = Condition.create () in
     let remaining = ref n in
+    (* When the profiler is on, each task records a [pool.task] span on
+       the domain that ran it, parented to the span open where [map]
+       was called (the coordinator side), carrying the time the task
+       sat in the queue — queue wait vs run time, per task. *)
+    let profiled = Span.enabled () in
+    let parent = if profiled then Span.current () else 0 in
     Array.iteri
       (fun i x ->
+        let submitted_ns = if profiled then Span.now_ns () else 0. in
         submit t (fun () ->
-            let r = match f x with v -> Ok v | exception e -> Error e in
+            let run () = match f x with v -> Ok v | exception e -> Error e in
+            let r =
+              if profiled then
+                Span.span ~parent "pool.task"
+                  ~attrs:
+                    [
+                      "task", Span.Int i;
+                      "wait_ns", Span.Float (Span.now_ns () -. submitted_ns);
+                    ]
+                  run
+              else run ()
+            in
             Mutex.lock done_mutex;
             results.(i) <- Some r;
             decr remaining;

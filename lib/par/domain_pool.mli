@@ -26,7 +26,13 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
     done, preserving list order. If any application raised, the first
     (in list order) such exception is re-raised after all tasks
     finished. Concurrent [map]s on one pool are safe — each tracks its
-    own completion. *)
+    own completion.
+
+    With the span profiler enabled ({!Redo_obs.Span.set_enabled}),
+    every task records a [pool.task] span on its worker domain,
+    parented to the span open at the [map] call and carrying a
+    [wait_ns] attribute — the time the task spent queued before a
+    worker picked it up, separating queue wait from run time. *)
 
 val shutdown : t -> unit
 (** Finish queued work, then join every worker. Idempotent. *)

@@ -1,6 +1,7 @@
 open Redo_methods
 module Metrics = Redo_obs.Metrics
 module Trace = Redo_obs.Trace
+module Span = Redo_obs.Span
 
 let c_kv_ops = Metrics.counter "sim.kv_ops"
 let c_crashes = Metrics.counter "sim.crashes"
@@ -80,6 +81,11 @@ let mismatch_message ~when_ expected actual =
    key-value operations whose records made it to the stable log; the
    recovered contents must equal the reference trace truncated there. *)
 let crash_recover_verify ?(rng : Random.State.t option) cfg instance reference outcome =
+  (* The root span of one crash-recovery cycle: every phase below —
+     crash scan, theory check, redo, verify — is a child, so the
+     critical-path extractor can account for the whole recovery
+     wall-clock from this one subtree. *)
+  Span.span "sim.recovery" ~attrs:[ "crash", Span.Int (!outcome.crashes + 1) ] @@ fun () ->
   (* Some crashes tear the final log frame: the stable medium lost a few
      bytes mid-append and the damaged record with them. *)
   let torn =
@@ -98,13 +104,15 @@ let crash_recover_verify ?(rng : Random.State.t option) cfg instance reference o
       ];
   (* The crash runs the pre-recovery stable-log scan (checksums, torn
      tail truncation): phase one of the recovery timeline. *)
-  Metrics.span h_crash_scan_ns (fun () ->
-      if torn then
-        Method_intf.instance_crash_torn instance
-          ~drop:(1 + Random.State.int (Option.get rng) 6)
-      else Method_intf.instance_crash instance);
+  Span.span "sim.crash_scan" (fun () ->
+      Metrics.span h_crash_scan_ns (fun () ->
+          if torn then
+            Method_intf.instance_crash_torn instance
+              ~drop:(1 + Random.State.int (Option.get rng) 6)
+          else Method_intf.instance_crash instance));
   let theory_reports =
     if cfg.verify_theory then
+      Span.span "sim.theory" @@ fun () ->
       Metrics.span h_theory_ns (fun () ->
           let report =
             Theory_check.check ~domains:cfg.domains
@@ -124,6 +132,7 @@ let crash_recover_verify ?(rng : Random.State.t option) cfg instance reference o
   (* A recovery or traversal that raises is itself a verification
      failure (injected faults corrupt state badly enough for that). *)
   let stats, recover_error =
+    Span.span "sim.redo" @@ fun () ->
     Metrics.span h_redo_ns (fun () ->
         match Method_intf.instance_recover instance with
         | stats -> stats, None
@@ -145,6 +154,7 @@ let crash_recover_verify ?(rng : Random.State.t option) cfg instance reference o
         "skipped", Trace.Int stats.Method_intf.skipped;
       ];
   let verify_failures =
+    Span.span "sim.verify" @@ fun () ->
     Metrics.span h_verify_ns (fun () ->
         let durable = Method_intf.instance_durable_ops instance in
         Reference.truncate reference durable;

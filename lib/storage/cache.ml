@@ -3,6 +3,7 @@ exception Flush_cycle of int list
 module Int_set = Set.Make (Int)
 module Metrics = Redo_obs.Metrics
 module Trace = Redo_obs.Trace
+module Span = Redo_obs.Span
 
 let c_hits = Metrics.counter "cache.hits"
 let c_misses = Metrics.counter "cache.misses"
@@ -190,6 +191,16 @@ let rec flush_with t ~forced ~visiting pid =
   | None -> ()
   | Some e when not e.dirty -> ()
   | Some e ->
+    (* Order-forced recursive flushes nest their spans under the flush
+       that demanded them, so a careful-write-order cascade is visible
+       as a tree in the trace. Disabled: one branch. *)
+    if Span.enabled () then
+      Span.span "cache.flush"
+        ~attrs:[ "page", Span.Int pid; "forced", Span.Bool forced ]
+        (fun () -> flush_entry t ~forced ~visiting pid e)
+    else flush_entry t ~forced ~visiting pid e
+
+and flush_entry t ~forced ~visiting pid e =
     let links =
       if Hashtbl.length t.orders = 0 then None else Hashtbl.find_opt t.orders pid
     in
@@ -219,7 +230,13 @@ let rec flush_with t ~forced ~visiting pid =
 
 let flush_page t pid = flush_with t ~forced:false ~visiting:[] pid
 
-let flush_all t = List.iter (flush_page t) (dirty_pages t)
+let flush_all t =
+  if Span.enabled () then
+    Span.span "cache.flush_all" (fun () ->
+        let pages = dirty_pages t in
+        Span.note [ "pages", Span.Int (List.length pages) ];
+        List.iter (flush_page t) pages)
+  else List.iter (flush_page t) (dirty_pages t)
 
 let would_force t pid = dirty_prereqs t pid
 

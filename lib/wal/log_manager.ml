@@ -1,6 +1,7 @@
 open Redo_storage
 module Metrics = Redo_obs.Metrics
 module Trace = Redo_obs.Trace
+module Span = Redo_obs.Span
 
 (* Process-wide telemetry, resolved once; recording is a field update. *)
 let c_appends = Metrics.counter "wal.appends"
@@ -77,31 +78,42 @@ let flushed_lsn t = t.flushed
 (* Number of live slots covered by the stable horizon. *)
 let stable_len t = min (Lsn.to_int t.flushed) t.len
 
+let force_run t ~upto =
+  t.stats.forces <- t.stats.forces + 1;
+  let t0 = Metrics.now_ns () in
+  let first = Lsn.to_int t.flushed and last = Lsn.to_int upto in
+  let bytes_before = Stable_log.byte_size t.medium in
+  for i = first to last - 1 do
+    ignore (Stable_log.append_record t.medium t.arr.(i))
+  done;
+  t.stats.stable_bytes <- Stable_log.byte_size t.medium;
+  t.flushed <- upto;
+  Metrics.incr c_forces;
+  Metrics.add c_records_forced (last - first);
+  Metrics.add c_bytes_written (t.stats.stable_bytes - bytes_before);
+  Metrics.observe h_records_per_force (float (last - first));
+  Metrics.observe h_force_ns (Metrics.now_ns () -. t0);
+  if Span.enabled () then
+    Span.note
+      [
+        "records", Span.Int (last - first);
+        "bytes", Span.Int (t.stats.stable_bytes - bytes_before);
+      ];
+  if Trace.enabled () then
+    Trace.emit "wal.force"
+      [
+        "upto", Trace.Int last;
+        "records", Trace.Int (last - first);
+        "bytes", Trace.Int (t.stats.stable_bytes - bytes_before);
+      ]
+
 let force t ~upto =
   let upto = if Lsn.to_int upto > t.len then last_lsn t else upto in
-  if Lsn.(t.flushed < upto) then begin
-    t.stats.forces <- t.stats.forces + 1;
-    let t0 = Metrics.now_ns () in
-    let first = Lsn.to_int t.flushed and last = Lsn.to_int upto in
-    let bytes_before = Stable_log.byte_size t.medium in
-    for i = first to last - 1 do
-      ignore (Stable_log.append_record t.medium t.arr.(i))
-    done;
-    t.stats.stable_bytes <- Stable_log.byte_size t.medium;
-    t.flushed <- upto;
-    Metrics.incr c_forces;
-    Metrics.add c_records_forced (last - first);
-    Metrics.add c_bytes_written (t.stats.stable_bytes - bytes_before);
-    Metrics.observe h_records_per_force (float (last - first));
-    Metrics.observe h_force_ns (Metrics.now_ns () -. t0);
-    if Trace.enabled () then
-      Trace.emit "wal.force"
-        [
-          "upto", Trace.Int last;
-          "records", Trace.Int (last - first);
-          "bytes", Trace.Int (t.stats.stable_bytes - bytes_before);
-        ]
-  end
+  if Lsn.(t.flushed < upto) then
+    (* [force_run] is a named function, not a closure: the disabled
+       path adds a single branch, no allocation. *)
+    if Span.enabled () then Span.span "wal.force" (fun () -> force_run t ~upto)
+    else force_run t ~upto
 
 let force_all t = force t ~upto:(last_lsn t)
 

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON file exported by the span profiler.
+
+Usage: validate_chrome_trace.py TRACE.json [REQUIRED_SPAN ...]
+
+Fails (exit 1) if the span tree is empty, any complete event is missing
+a required field, same-track events are not properly nested, or a
+REQUIRED_SPAN name never occurs.
+"""
+import json
+import sys
+
+
+def fail(msg):
+    print("chrome trace INVALID: %s" % msg)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: validate_chrome_trace.py TRACE.json [REQUIRED_SPAN ...]")
+    with open(sys.argv[1]) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("no traceEvents array")
+    xs = [e for e in events if e.get("ph") == "X"]
+    if not xs:
+        fail("span tree is empty (no complete events)")
+    for e in xs:
+        for k in ("name", "ph", "ts", "dur", "pid", "tid"):
+            if k not in e:
+                fail("event missing %s: %r" % (k, e))
+        if e["ts"] < 0 or e["dur"] < 0:
+            fail("negative timestamp or duration: %r" % e)
+    # Chrome renders one stack per tid: on each track, any two intervals
+    # must nest or be disjoint. EPS absorbs float summing of ts + dur
+    # (well below the microsecond timestamp resolution).
+    eps = 1e-3
+    by_tid = {}
+    for e in xs:
+        by_tid.setdefault(e["tid"], []).append(e)
+    for tid, evs in by_tid.items():
+        for a in evs:
+            for b in evs:
+                a0, a1 = a["ts"], a["ts"] + a["dur"]
+                b0, b1 = b["ts"], b["ts"] + b["dur"]
+                nested_or_disjoint = (
+                    a is b
+                    or a1 <= b0 + eps
+                    or b1 <= a0 + eps
+                    or (a0 >= b0 - eps and a1 <= b1 + eps)
+                    or (b0 >= a0 - eps and b1 <= a1 + eps)
+                )
+                if not nested_or_disjoint:
+                    fail(
+                        "half-overlapping events on tid %s: %s vs %s"
+                        % (tid, a["name"], b["name"])
+                    )
+    names = {e["name"] for e in xs}
+    for required in sys.argv[2:]:
+        if required not in names:
+            fail("required span %r absent (have: %s)" % (required, sorted(names)))
+    print(
+        "chrome trace OK: %d events on %d tracks, %d span names"
+        % (len(xs), len(by_tid), len(names))
+    )
+
+
+if __name__ == "__main__":
+    main()

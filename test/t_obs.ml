@@ -1,6 +1,8 @@
 (* The observability layer: metrics registry semantics (counters,
-   gauges, histogram buckets and percentiles) and the trace-event sinks
-   (ring-buffer ordering/wraparound, the null sink recording nothing). *)
+   gauges, histogram buckets and percentiles), the trace-event sinks
+   (ring-buffer ordering/wraparound, the null sink recording nothing),
+   and the multi-domain guarantees — atomic counters and a race-free
+   [Trace.emit] under concurrent emitters. *)
 
 open Redo_obs
 
@@ -96,6 +98,106 @@ let test_null_sink_records_nothing () =
   | [ e ] -> Alcotest.(check string) "the kept event" "kept" e.Trace.name
   | l -> Alcotest.failf "expected exactly one event, got %d" (List.length l)
 
+(* Four domains hammering one ring sink: every emit must land (none
+   dropped, none double-counted), sequence numbers must stay unique, and
+   the ring must still hold exactly its capacity. Exercises both the
+   atomic sequence counter and the mutex around ring delivery. *)
+let test_emit_from_many_domains () =
+  let per_domain = 500 in
+  let ring = Trace.make_ring ~capacity:64 in
+  with_sink (Trace.Ring ring) (fun () ->
+      let emitters =
+        List.init 4 (fun d ->
+            Domain.spawn (fun () ->
+                for i = 1 to per_domain do
+                  Trace.emit "tick" [ "d", Trace.Int d; "i", Trace.Int i ]
+                done))
+      in
+      List.iter Domain.join emitters);
+  Alcotest.(check int) "every emit counted exactly once" (4 * per_domain)
+    (Trace.ring_seen ring);
+  let events = Trace.ring_events ring in
+  Alcotest.(check int) "capacity retained" 64 (List.length events);
+  let seqs = List.map (fun (e : Trace.event) -> e.Trace.seq) events in
+  Alcotest.(check int) "sequence numbers unique across domains" 64
+    (List.length (List.sort_uniq compare seqs));
+  (* The sequence counter is process-global, so the absolute values
+     depend on earlier tests; the 64 survivors must still come from this
+     test's contiguous block of 4 * per_domain assignments. *)
+  let lo = List.fold_left min max_int seqs and hi = List.fold_left max 0 seqs in
+  Alcotest.(check bool) "seqs from one contiguous assignment block" true
+    (hi - lo < 4 * per_domain)
+
+let test_counter_from_many_domains () =
+  let r = Metrics.create () in
+  let c = Metrics.counter ~registry:r "par.counter" in
+  let per_domain = 25_000 in
+  let workers =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Metrics.incr c
+            done;
+            Metrics.add c per_domain))
+  in
+  List.iter Domain.join workers;
+  (* Plain mutable ints under this contention lose thousands of
+     updates; the atomic counter must lose none. *)
+  Alcotest.(check int) "no increment lost" (4 * 2 * per_domain) (Metrics.count c)
+
+(* End to end: parallel recovery's counter flushes (shard tallies
+   accumulated locally, added from the coordinator after the join) must
+   account for every operation exactly once. *)
+let test_parallel_recovery_counters_exact () =
+  let open Redo_core in
+  let ops =
+    List.init 64 (fun i ->
+        let v = Var.of_string (Printf.sprintf "x%d" (i mod 8)) in
+        Op.of_assigns ~id:(Printf.sprintf "op%02d" i) [ v, Expr.(var v + int 1) ])
+  in
+  let log = Log.of_conflict_graph (Conflict_graph.of_exec (Exec.make ops)) in
+  let before = Metrics.counter_values () in
+  let par =
+    Recovery.recover_parallel ~domains:4 Recovery.always_redo ~state:State.empty ~log
+      ~checkpoint:Digraph.Node_set.empty
+  in
+  let diff = Metrics.counter_diff ~before ~after:(Metrics.counter_values ()) in
+  let moved name = Option.value ~default:0 (List.assoc_opt name diff) in
+  Alcotest.(check int) "every op applied exactly once across shards" 64
+    (moved "recover.ops_applied");
+  Alcotest.(check int) "every record scanned exactly once" 64
+    (moved "recover.records_scanned");
+  Alcotest.(check int) "one shard-run count per shard" (List.length par.Recovery.shard_runs)
+    (moved "recover.shard.runs")
+
+let test_percentile_empty_overflow () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram ~registry:r ~bounds:[| 10.; 20. |] "test.overflow" in
+  (* Every observation inside the bounds: the overflow bucket is empty,
+     and no percentile may wander into it (a past off-by-one walked past
+     the last bucket and reported the overflow max of 0). *)
+  List.iter (Metrics.observe h) [ 5.; 15.; 15. ];
+  Alcotest.(check (float 1e-9)) "p50 in a real bucket" 20. (Metrics.percentile h 50.);
+  Alcotest.(check (float 1e-9)) "p100 with empty overflow is the last occupied bound" 20.
+    (Metrics.percentile h 100.);
+  Alcotest.(check (array int)) "overflow bucket untouched" [| 1; 2; 0 |]
+    (Metrics.bucket_counts h)
+
+let test_histogram_relookup_ignores_bounds () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram ~registry:r ~bounds:[| 1.; 2. |] "test.relookup" in
+  Metrics.observe h 1.5;
+  (* Same name, different bounds: the registry returns the existing
+     instrument; the new bounds are documented as ignored, not applied
+     (re-bucketing live tallies would corrupt them). *)
+  let h' = Metrics.histogram ~registry:r ~bounds:[| 100.; 200.; 300. |] "test.relookup" in
+  Metrics.observe h' 1.5;
+  Alcotest.(check int) "same instrument" 2 (Metrics.events h);
+  Alcotest.(check (array int)) "original bounds still in force" [| 0; 2; 0 |]
+    (Metrics.bucket_counts h');
+  Alcotest.(check (float 1e-9)) "percentiles use the original bounds" 2.
+    (Metrics.percentile h' 50.)
+
 let contains ~needle hay =
   let n = String.length needle and h = String.length hay in
   let rec at i = i + n <= h && (String.sub hay i n = needle || at (i + 1)) in
@@ -140,4 +242,11 @@ let suite =
     Alcotest.test_case "null sink records nothing" `Quick test_null_sink_records_nothing;
     Alcotest.test_case "snapshot and json" `Quick test_snapshot_and_json;
     Alcotest.test_case "counter diff" `Quick test_counter_diff;
+    Alcotest.test_case "emit from many domains" `Quick test_emit_from_many_domains;
+    Alcotest.test_case "counter from many domains" `Quick test_counter_from_many_domains;
+    Alcotest.test_case "parallel recovery counters exact" `Quick
+      test_parallel_recovery_counters_exact;
+    Alcotest.test_case "percentile with empty overflow" `Quick test_percentile_empty_overflow;
+    Alcotest.test_case "histogram re-lookup ignores new bounds" `Quick
+      test_histogram_relookup_ignores_bounds;
   ]

@@ -25,4 +25,5 @@ let () =
       "beyond the theory", T_beyond_theory.suite;
       "persistent app", T_persist.suite;
       "obs", T_obs.suite;
+      "span profiler", T_span.suite;
     ]
