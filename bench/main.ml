@@ -323,8 +323,8 @@ let e7_faults () =
 
 let perf_sizes = [ 1_000; 10_000; 100_000 ]
 
-let perf_emit_json rows =
-  let oc = open_out "BENCH_4.json" in
+let emit_json ~file rows =
+  let oc = open_out file in
   output_string oc "[\n";
   let last = List.length rows - 1 in
   List.iteri
@@ -480,8 +480,159 @@ let perf () =
             (fun () -> replay ()))
         [ 1; 2; 4 ])
     perf_sizes;
-  perf_emit_json (List.rev !rows);
+  emit_json ~file:"BENCH_4.json" (List.rev !rows);
   Fmt.pr "  rows written to BENCH_4.json (best of 5 rounds, after warm-up; %d cores online)@."
+    (Domain.recommended_domain_count ())
+
+(* ------------------------------------------------------------------ *)
+(* E12 / checkpoint: write-graph installation and per-shard horizons.  *)
+(* Two measurements, written to BENCH_5.json. (1) Install wall-clock:  *)
+(* flushing n dirty pages (careful-order chains) through the cache's   *)
+(* sequential flush_all vs the write-graph installer at 1/2/4 domains. *)
+(* (2) Post-checkpoint recovery on a skewed 8-component log: a single  *)
+(* global horizon must stop at the earliest uninstalled record — a     *)
+(* cold component's — so the hot shard replays almost everything,      *)
+(* while per-shard horizons let every shard keep its own progress      *)
+(* (Corollary 5, per component). The rows carry the replayed-op        *)
+(* counts, including the largest shard's, so the reduction is in the   *)
+(* trajectory, not just this run's stdout.                             *)
+
+(* Component 0 carries half the operations and is 90% installed;
+   components 1-7 split the rest and are 10% installed. Returns the
+   log, the global-horizon claim (the longest fully-installed log
+   prefix) and the per-shard horizon claims. *)
+let skewed_claims n =
+  let components = 8 and vars_per = 4 in
+  let cluster_var c j = Var.of_string (Printf.sprintf "c%03d_v%d" c j) in
+  let comp i = if i mod 2 = 0 then 0 else 1 + (i / 2 mod (components - 1)) in
+  let pos = Array.make components 0 in
+  let place = Array.make n (0, 0) in
+  let ops = ref [] in
+  for i = 0 to n - 1 do
+    let c = comp i in
+    let p = pos.(c) in
+    pos.(c) <- p + 1;
+    place.(i) <- (c, p);
+    let target = cluster_var c (p mod vars_per) in
+    let source = cluster_var c ((p + 1) mod vars_per) in
+    ops :=
+      Op.of_assigns
+        ~id:(Printf.sprintf "op%07d" i)
+        [ target, Expr.(var source + var target + int 1) ]
+      :: !ops
+  done;
+  let sizes = Array.copy pos in
+  let k =
+    Array.init components (fun c -> sizes.(c) * (if c = 0 then 9 else 1) / 10)
+  in
+  let sharded = Array.make components Digraph.Node_set.empty in
+  let cut = ref n in
+  for i = 0 to n - 1 do
+    let c, p = place.(i) in
+    if p < k.(c) then
+      sharded.(c) <- Digraph.Node_set.add (Printf.sprintf "op%07d" i) sharded.(c)
+    else if i < !cut then cut := i
+  done;
+  let global = ref Digraph.Node_set.empty in
+  for i = 0 to !cut - 1 do
+    global := Digraph.Node_set.add (Printf.sprintf "op%07d" i) !global
+  done;
+  let horizons =
+    List.init components (fun c ->
+        {
+          Recovery.scope = Var.Set.of_list (List.init vars_per (cluster_var c));
+          installed = sharded.(c);
+        })
+  in
+  let log = Log.of_conflict_graph (Conflict_graph.of_exec (Exec.make (List.rev !ops))) in
+  log, !global, horizons
+
+let e12_checkpoint () =
+  Bench_util.heading
+    "E12/checkpoint: write-graph install + per-shard horizons vs a global cut (Section 5)";
+  Fmt.pr "  %-26s %10s %14s %12s@." "bench" "n" "total-ms" "ns/op";
+  let rows = ref [] in
+  let record ?(domains = 1) ?(extra = []) bench n ~setup work =
+    let total_ns, counters = Bench_util.bench_ns ~setup work in
+    rows := (bench, n, domains, total_ns, counters @ extra, None) :: !rows;
+    Fmt.pr "  %-26s %10d %14.2f %12.1f@."
+      (if domains = 1 then bench else Printf.sprintf "%s (d=%d)" bench domains)
+      n (total_ns /. 1e6) (total_ns /. float n)
+  in
+  let pool_for domains =
+    if domains > 1 then Some (Redo_par.Domain_pool.shared ~domains) else None
+  in
+  List.iter
+    (fun n ->
+      (* n dirty pages in 8-page-strided careful-order chains of 16 —
+         many independent write-graph components, as a cache full of
+         mostly-unrelated B-tree splits would leave behind. *)
+      let make_cache () =
+        let disk = Redo_storage.Disk.create ~capacity:n () in
+        let cache = Redo_storage.Cache.create ~capacity:(n + 1) disk in
+        for pid = 0 to n - 1 do
+          Redo_storage.Cache.update cache pid ~lsn:(Redo_storage.Lsn.of_int (pid + 1))
+            (fun _ -> Redo_storage.Page.Bytes "payload");
+          if pid >= 8 && pid / 8 mod 16 <> 0 then
+            Redo_storage.Cache.add_flush_order cache ~first:(pid - 8) ~next:pid
+        done;
+        cache
+      in
+      record "install_flush_all" n ~setup:make_cache Redo_storage.Cache.flush_all;
+      List.iter
+        (fun domains ->
+          let pool = pool_for domains in
+          record "install_sharded" ~domains n
+            ~setup:(fun () -> make_cache (), Redo_wal.Log_manager.create ())
+            (fun (cache, log) ->
+              ignore (Redo_ckpt.Installer.install ?pool ~domains cache log)))
+        [ 1; 2; 4 ];
+      (* Post-checkpoint recovery: same redo machinery, the checkpoint
+         expressed either as one global cut or as per-shard horizons. *)
+      let log, global, horizons = skewed_claims n in
+      let shard_stats ~checkpoint ~horizons =
+        let r =
+          Recovery.recover_sharded Recovery.always_redo ~state:State.empty ~log ~checkpoint
+            ~horizons
+        in
+        ( Digraph.Node_set.cardinal r.Recovery.merged.Recovery.redo_set,
+          List.fold_left
+            (fun acc (sr : Recovery.shard_run) ->
+              max acc (Digraph.Node_set.cardinal sr.Recovery.shard_result.Recovery.redo_set))
+            0 r.Recovery.shard_runs )
+      in
+      let g_total, g_largest = shard_stats ~checkpoint:global ~horizons:[] in
+      let s_total, s_largest =
+        shard_stats ~checkpoint:Digraph.Node_set.empty ~horizons
+      in
+      Fmt.pr
+        "  n=%d: global horizon replays %d ops (largest shard %d); per-shard horizons \
+         replay %d (largest shard %d)@."
+        n g_total g_largest s_total s_largest;
+      List.iter
+        (fun domains ->
+          let pool = pool_for domains in
+          record "recover_global_ckpt" ~domains
+            ~extra:[ "replayed", g_total; "largest_shard_replay", g_largest ]
+            n
+            ~setup:(fun () -> ())
+            (fun () ->
+              ignore
+                (Recovery.recover_sharded ?pool ~domains Recovery.always_redo
+                   ~state:State.empty ~log ~checkpoint:global ~horizons:[]));
+          record "recover_shard_horizons" ~domains
+            ~extra:[ "replayed", s_total; "largest_shard_replay", s_largest ]
+            n
+            ~setup:(fun () -> ())
+            (fun () ->
+              ignore
+                (Recovery.recover_sharded ?pool ~domains Recovery.always_redo
+                   ~state:State.empty ~log ~checkpoint:Digraph.Node_set.empty ~horizons)))
+        [ 1; 2; 4 ])
+    perf_sizes;
+  emit_json ~file:"BENCH_5.json" (List.rev !rows);
+  Fmt.pr
+    "  rows written to BENCH_5.json (best of 5 rounds, after warm-up; %d cores online)@."
     (Domain.recommended_domain_count ())
 
 let micro_benchmarks () =
@@ -544,6 +695,7 @@ let experiments =
     "e5", e5_remove_write;
     "e6", e6_checkpoint;
     "e7", e7_faults;
+    "checkpoint", e12_checkpoint;
     "perf", perf;
     "micro", micro_benchmarks;
   ]

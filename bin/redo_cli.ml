@@ -51,6 +51,15 @@ let checkpoint_every_arg =
   Arg.(
     value & opt int 40 & info [ "checkpoint-every" ] ~docv:"N" ~doc:"Checkpoint every N operations.")
 
+let checkpoint_shards_arg =
+  Arg.(
+    value & flag
+    & info [ "checkpoint-shards" ]
+        ~doc:
+          "Checkpoint through the shard-parallel write-graph installer (one domain pool shared \
+           across the run), emitting a per-shard horizon record per write-graph component \
+           instead of a plain fuzzy checkpoint.")
+
 (* --- metrics plumbing --- *)
 
 let metrics_format = Arg.enum [ "pretty", `Pretty; "json", `Json ]
@@ -164,8 +173,8 @@ let graphs dir =
 
 (* --- sim --- *)
 
-let sim method_name seed ops partitions cache crash_every checkpoint_every domains metrics
-    chrome_trace =
+let sim method_name seed ops partitions cache crash_every checkpoint_every domains
+    checkpoint_shards metrics chrome_trace =
   with_metrics metrics @@ fun () ->
   with_spans chrome_trace @@ fun () ->
   let open Redo_sim in
@@ -187,6 +196,7 @@ let sim method_name seed ops partitions cache crash_every checkpoint_every domai
       crash_every = (if crash_every <= 0 then None else Some crash_every);
       checkpoint_every = (if checkpoint_every <= 0 then None else Some checkpoint_every);
       domains;
+      checkpoint_shards;
     }
   in
   let instance = make ~cache_capacity:cache ~partitions () in
@@ -393,7 +403,7 @@ let stats method_name seed ops partitions cache crash_every checkpoint_every for
    where does recovery wall-clock go (the critical path through each
    sim.recovery root) and how lopsided are the shard replays. *)
 let profile method_name seed ops partitions cache crash_every checkpoint_every domains
-    chrome_trace =
+    checkpoint_shards chrome_trace =
   let open Redo_sim in
   let module Span = Redo_obs.Span in
   let module Profile = Redo_obs.Profile in
@@ -415,6 +425,7 @@ let profile method_name seed ops partitions cache crash_every checkpoint_every d
       crash_every = (if crash_every <= 0 then None else Some crash_every);
       checkpoint_every = (if checkpoint_every <= 0 then None else Some checkpoint_every);
       domains;
+      checkpoint_shards;
     }
   in
   Span.reset ();
@@ -440,6 +451,25 @@ let profile method_name seed ops partitions cache crash_every checkpoint_every d
   Fmt.pr "accounted: %a of %a measured (%.1f%%)@." Profile.pp_ms accounted Profile.pp_ms
     measured_ns
     (if measured_ns > 0. then 100. *. accounted /. measured_ns else 0.);
+  (* The install phase lives outside the sim.recovery roots (checkpoints
+     happen mid-workload), so it gets its own attribution: install
+     wall-clock vs replay wall-clock is exactly the trade the per-shard
+     horizons buy. *)
+  (let install_roots = Profile.roots ~name:"ckpt.install" spans in
+   if install_roots <> [] then begin
+     let install_ns =
+       List.fold_left (fun acc r -> acc +. Span.duration_ns r) 0. install_roots
+     in
+     Fmt.pr "@.checkpoint install wall-clock (%d installs): %a@." (List.length install_roots)
+       Profile.pp_ms install_ns;
+     let entries =
+       List.concat_map (fun r -> Profile.critical_path spans ~root:r) install_roots
+     in
+     Fmt.pr "install critical path:@.%a@." Profile.pp_rows
+       (Profile.attribute entries, install_ns)
+   end
+   else if checkpoint_shards then
+     Fmt.epr "no ckpt.install spans were recorded despite --checkpoint-shards@.");
   (match Profile.shard_imbalance spans with
   | Some imb -> Fmt.pr "@.%a@." Profile.pp_imbalance imb
   | None ->
@@ -468,7 +498,8 @@ let sim_cmd =
     (Cmd.info "sim" ~doc:"Run a crash-recovery simulation with content and theory verification")
     Term.(
       const sim $ method_arg $ seed_arg $ ops_arg $ partitions_arg $ cache_arg $ crash_every_arg
-      $ checkpoint_every_arg $ domains_arg $ metrics_arg $ chrome_trace_arg)
+      $ checkpoint_every_arg $ domains_arg $ checkpoint_shards_arg $ metrics_arg
+      $ chrome_trace_arg)
 
 let torture_cmd =
   let seeds = Arg.(value & opt int 5 & info [ "seeds" ] ~docv:"N" ~doc:"Seeds per method.") in
@@ -510,7 +541,8 @@ let profile_cmd =
           optional Chrome trace")
     Term.(
       const profile $ method_arg $ seed_arg $ ops_arg $ partitions_arg $ cache_arg
-      $ crash_every_arg $ checkpoint_every_arg $ domains_arg $ chrome_trace_arg)
+      $ crash_every_arg $ checkpoint_every_arg $ domains_arg $ checkpoint_shards_arg
+      $ chrome_trace_arg)
 
 let faults_cmd =
   let seeds = Arg.(value & opt int 8 & info [ "seeds" ] ~docv:"N" ~doc:"Seeds per variant.") in

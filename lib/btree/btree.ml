@@ -293,6 +293,20 @@ let checkpoint t =
   in
   Log_manager.force t.log ~upto:lsn
 
+(* Sharded install: the careful-order edges the splits registered ARE
+   the write graph, so the planner reconstructs exactly the components
+   split logging created (with [careful_order:false] every page is its
+   own singleton — the injected fault changes the plan, not the
+   installer). The fuzzy record that follows sees an all-clean cache. *)
+let checkpoint_sharded ?pool ~domains t =
+  let report =
+    Redo_ckpt.Installer.install ?pool ~domains
+      ~before_install:(fun upto -> Log_manager.force t.log ~upto)
+      ~note:(strategy_name t.strategy) t.cache t.log
+  in
+  checkpoint t;
+  report.Redo_ckpt.Installer.components, report.Redo_ckpt.Installer.pages_installed
+
 let flush_some t rng =
   match Cache.dirty_pages t.cache with
   | [] -> ()
@@ -336,7 +350,20 @@ let stable_universe t =
 let recover t =
   t.next_page <- List.fold_left max root_pid (stable_universe t) + 1;
   let scanned = ref 0 and redone = ref 0 and skipped = ref 0 in
+  (* A stable per-shard horizon proves the record installed without
+     fetching the page. Perf-only for an LSN-tested method — the page's
+     LSN is at least the covered record's, so the test below would skip
+     it anyway. *)
+  let horizons = Log_manager.stable_shard_horizons t.log in
+  let covered pid lsn =
+    match List.assoc_opt pid horizons with Some h -> Lsn.(lsn <= h) | None -> false
+  in
   let redo_page pid lsn apply =
+    if covered pid lsn then begin
+      incr skipped;
+      false
+    end
+    else
     let page = Cache.read t.cache pid in
     if Lsn.(Page.lsn page < lsn) then begin
       Cache.update t.cache pid ~lsn apply;
@@ -363,7 +390,7 @@ let recover t =
            order so a crash during/after recovery stays safe. *)
         if redone_now then
           List.iter (fun src -> add_order t ~first:dst ~next:src) (Multi_op.reads mop)
-      | Record.Checkpoint _ -> ()
+      | Record.Checkpoint _ | Record.Shard_checkpoint _ -> ()
       | Record.Physical _ | Record.Logical _ | Record.App_op _ ->
         invalid_arg "Btree recovery: unexpected record kind")
     (Log_manager.records_from t.log ~from:(scan_start t));

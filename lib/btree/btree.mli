@@ -62,6 +62,13 @@ val checkpoint : t -> unit
 (** Fuzzy checkpoint: log the dirty-page table, force the log; no page
     writes. *)
 
+val checkpoint_sharded : ?pool:Redo_par.Domain_pool.t -> domains:int -> t -> int * int
+(** Install the live write graph shard-parallel
+    ({!Redo_ckpt.Installer.install} — the careful-order edges the
+    splits registered are the graph's edges), then take the fuzzy
+    {!checkpoint} over the now-clean cache. Returns
+    [(components, pages_installed)]. *)
+
 val flush_some : t -> Random.State.t -> unit
 (** Flush one random dirty page (respecting WAL and write order). *)
 

@@ -11,6 +11,7 @@ let c_skipped = Metrics.counter "recover.ops_skipped"
 let c_analyze_calls = Metrics.counter "recover.analyze_calls"
 let h_run_ns = Metrics.histogram "recover.run_ns"
 let c_parallel_runs = Metrics.counter "recover.parallel.runs"
+let c_sharded_runs = Metrics.counter "recover.sharded.runs"
 let c_shard_runs = Metrics.counter "recover.shard.runs"
 let c_shard_applied = Metrics.counter "recover.shard.ops_applied"
 let c_shard_skipped = Metrics.counter "recover.shard.ops_skipped"
@@ -199,7 +200,70 @@ type parallel_result = {
    operation accesses, analyses over the unrecovered set) is confined to
    the component by construction, which is what makes the restriction
    faithful. *)
-let recover_parallel ?(trace = false) ?(domains = 2) spec ~state ~log ~checkpoint =
+(* Replay a partition plan's shards (on a pool when [domains > 1]) and
+   merge. [shard_sinks] aligns with [plan.shards]; a shard's sink runs
+   on whatever domain replays the shard, so it must be confined to that
+   shard (the streaming auditors are: {!Explain} and the conflict graph
+   are immutable once built). *)
+let replay_plan ~trace ~pool ~domains ~shard_sinks spec ~state ~log ~(plan : Partition.plan) =
+  (* Shard spans run on worker domains, so the parent cannot come off
+     their (empty) stacks: capture the coordinator's open span here
+     and hand it into the task closures. Each shard span carries its
+     size; the recording domain is the span's [domain] field. *)
+  let parallel_span = Span.current () in
+  let tasks =
+    List.map2
+      (fun (s : Partition.shard) sink () ->
+        let replay () =
+          let stats = fresh_stats () in
+          let r =
+            run_loop ~trace ~sink ~stats spec ~records:s.Partition.records ~state ~log
+              ~unrecovered:s.Partition.ops
+          in
+          s, r, stats
+        in
+        if Span.enabled () then
+          Span.span ~parent:parallel_span "recover.shard"
+            ~attrs:[ "ops", Span.Int (Digraph.Node_set.cardinal s.Partition.ops) ]
+            replay
+        else replay ())
+      plan.Partition.shards shard_sinks
+  in
+  let domains_used = min domains (max 1 (List.length tasks)) in
+  let runs = Domain_pool.run ?pool ~domains:domains_used tasks in
+  let final, redo_set, iterations =
+    Span.span "recover.merge" @@ fun () ->
+    let final =
+      List.fold_left
+        (fun acc (s, r, _) ->
+          State.set_many acc (State.bindings (State.restrict r.final s.Partition.vars)))
+        state runs
+    in
+    let redo_set =
+      List.fold_left
+        (fun acc (_, r, _) -> Digraph.Node_set.union r.redo_set acc)
+        Digraph.Node_set.empty runs
+    in
+    let iterations =
+      if trace then List.concat_map (fun (_, r, _) -> r.iterations) runs else []
+    in
+    final, redo_set, iterations
+  in
+  List.iter
+    (fun ((s : Partition.shard), _, stats) ->
+      flush_stats stats;
+      Metrics.incr c_shard_runs;
+      Metrics.add c_shard_applied stats.s_applied;
+      Metrics.add c_shard_skipped stats.s_skipped;
+      Metrics.observe h_shard_ops (float (Digraph.Node_set.cardinal s.Partition.ops)))
+    runs;
+  {
+    merged = { final; redo_set; iterations };
+    shard_runs = List.map (fun (s, r, _) -> { shard = s; shard_result = r }) runs;
+    domains_used;
+  }
+
+let recover_parallel ?(trace = false) ?(domains = 2) ?pool spec ~state ~log ~checkpoint =
   if domains <= 1 then
     { merged = recover ~trace spec ~state ~log ~checkpoint; shard_runs = []; domains_used = 1 }
   else begin
@@ -207,64 +271,48 @@ let recover_parallel ?(trace = false) ?(domains = 2) spec ~state ~log ~checkpoin
     Span.span "recover.parallel" @@ fun () ->
     let t0 = Metrics.now_ns () in
     let plan = Span.span "recover.plan" (fun () -> Partition.plan ~log ~checkpoint) in
-    (* Shard spans run on worker domains, so the parent cannot come off
-       their (empty) stacks: capture the coordinator's open span here
-       and hand it into the task closures. Each shard span carries its
-       size; the recording domain is the span's [domain] field. *)
-    let parallel_span = Span.current () in
-    let tasks =
-      List.map
-        (fun (s : Partition.shard) () ->
-          let replay () =
-            let stats = fresh_stats () in
-            let r =
-              run_loop ~trace ~sink:None ~stats spec ~records:s.Partition.records ~state ~log
-                ~unrecovered:s.Partition.ops
-            in
-            s, r, stats
-          in
-          if Span.enabled () then
-            Span.span ~parent:parallel_span "recover.shard"
-              ~attrs:[ "ops", Span.Int (Digraph.Node_set.cardinal s.Partition.ops) ]
-              replay
-          else replay ())
-        plan.Partition.shards
-    in
-    let domains_used = min domains (max 1 (List.length tasks)) in
-    let runs = Domain_pool.run ~domains:domains_used tasks in
-    let final, redo_set, iterations =
-      Span.span "recover.merge" @@ fun () ->
-      let final =
-        List.fold_left
-          (fun acc (s, r, _) ->
-            State.set_many acc (State.bindings (State.restrict r.final s.Partition.vars)))
-          state runs
-      in
-      let redo_set =
-        List.fold_left
-          (fun acc (_, r, _) -> Digraph.Node_set.union r.redo_set acc)
-          Digraph.Node_set.empty runs
-      in
-      let iterations =
-        if trace then List.concat_map (fun (_, r, _) -> r.iterations) runs else []
-      in
-      final, redo_set, iterations
-    in
-    List.iter
-      (fun ((s : Partition.shard), _, stats) ->
-        flush_stats stats;
-        Metrics.incr c_shard_runs;
-        Metrics.add c_shard_applied stats.s_applied;
-        Metrics.add c_shard_skipped stats.s_skipped;
-        Metrics.observe h_shard_ops (float (Digraph.Node_set.cardinal s.Partition.ops)))
-      runs;
+    let shard_sinks = List.map (fun _ -> None) plan.Partition.shards in
+    let result = replay_plan ~trace ~pool ~domains ~shard_sinks spec ~state ~log ~plan in
     Metrics.observe h_par_run_ns (Metrics.now_ns () -. t0);
-    {
-      merged = { final; redo_set; iterations };
-      shard_runs = List.map (fun (s, r, _) -> { shard = s; shard_result = r }) runs;
-      domains_used;
-    }
+    result
   end
+
+(* ---- per-shard checkpoint horizons -------------------------------- *)
+
+type horizon = {
+  scope : Var.Set.t;
+  installed : Digraph.Node_set.t;
+}
+
+let checkpoint_of_horizons horizons =
+  ignore
+    (List.fold_left
+       (fun seen h ->
+         if not (Var.Set.is_empty (Var.Set.inter seen h.scope)) then
+           invalid_arg "Recovery.checkpoint_of_horizons: horizon scopes overlap";
+         Var.Set.union seen h.scope)
+       Var.Set.empty horizons);
+  List.fold_left
+    (fun acc h -> Digraph.Node_set.union acc h.installed)
+    Digraph.Node_set.empty horizons
+
+let recover_sharded ?(trace = false) ?(domains = 1) ?pool ?shard_sink spec ~state ~log
+    ~checkpoint ~horizons =
+  Metrics.incr c_sharded_runs;
+  Span.span "recover.sharded" @@ fun () ->
+  let t0 = Metrics.now_ns () in
+  let checkpoint = Digraph.Node_set.union checkpoint (checkpoint_of_horizons horizons) in
+  let plan = Span.span "recover.plan" (fun () -> Partition.plan ~log ~checkpoint) in
+  (* Sinks are constructed on the coordinator, one per shard, before any
+     worker runs — each closure is then confined to its own shard. *)
+  let shard_sinks =
+    match shard_sink with
+    | None -> List.map (fun _ -> None) plan.Partition.shards
+    | Some f -> List.map f plan.Partition.shards
+  in
+  let result = replay_plan ~trace ~pool ~domains ~shard_sinks spec ~state ~log ~plan in
+  Metrics.observe h_par_run_ns (Metrics.now_ns () -. t0);
+  result
 
 let succeeded ?universe ~log result =
   let cg = Log.conflict_graph log in

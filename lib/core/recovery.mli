@@ -104,18 +104,67 @@ type parallel_result = {
 val recover_parallel :
   ?trace:bool ->
   ?domains:int ->
+  ?pool:Redo_par.Domain_pool.t ->
   'a spec ->
   state:State.t ->
   log:Log.t ->
   checkpoint:Digraph.Node_set.t ->
   parallel_result
 (** Plan shards and replay them on a pool of [domains] (default 2)
-    worker domains. [~domains:1] (or less) is exactly {!recover} — no
+    worker domains — [?pool] reuses an existing pool (e.g.
+    {!Redo_par.Domain_pool.shared}) instead of spawning a throwaway one
+    per call. [~domains:1] (or less) is exactly {!recover} — no
     planning, no pool, no overhead. Per-shard tallies are aggregated
     into the [recover.shard.*] counters and the [recover.shard.ops]
     histogram after the join; [~sink] is deliberately absent — a
     streaming observer would race across domains (audit a shard's
     [shard_result.iterations] post hoc instead, with [~trace:true]). *)
+
+(** {1 Per-shard checkpoint horizons}
+
+    A sharded checkpoint (the write-graph installer) promises
+    installation per component, not as one global prefix: each
+    {!horizon} says "within [scope], the operations in [installed] need
+    not be redone". Corollary 5 makes every such per-component claim a
+    potentially recoverable prefix on its own, and disjoint scopes make
+    their union one. *)
+
+type horizon = {
+  scope : Var.Set.t;  (** The shard's variables. *)
+  installed : Digraph.Node_set.t;
+      (** Operations the horizon lets recovery ignore; must only touch
+          [scope]. *)
+}
+
+val checkpoint_of_horizons : horizon list -> Digraph.Node_set.t
+(** Union of the horizons' installed sets — the checkpoint the horizons
+    jointly express.
+    @raise Invalid_argument if two horizon scopes overlap (components
+    are disjoint by construction; overlap means the caller mixed
+    horizons from different write graphs). *)
+
+val recover_sharded :
+  ?trace:bool ->
+  ?domains:int ->
+  ?pool:Redo_par.Domain_pool.t ->
+  ?shard_sink:(Partition.shard -> (iteration -> unit) option) ->
+  'a spec ->
+  state:State.t ->
+  log:Log.t ->
+  checkpoint:Digraph.Node_set.t ->
+  horizons:horizon list ->
+  parallel_result
+(** Recovery from a sharded checkpoint: the effective checkpoint is
+    [checkpoint ∪ checkpoint_of_horizons horizons], and each plan shard
+    starts from its own horizon instead of a global prefix. Unlike
+    {!recover_parallel}, the replay is per-shard even at [~domains:1]
+    (default — the shards then replay inline, in plan order), so a
+    [?shard_sink] always observes shard-local replays: it is consulted
+    once per shard on the calling domain and may return a streaming
+    observer for that shard, which runs on whatever domain replays the
+    shard and must be confined to it (a per-shard {!auditor} with
+    [~universe:shard.vars] is — the conflict graph and {!Explain} are
+    immutable once built). *)
 
 val succeeded : ?universe:Var.Set.t -> log:Log.t -> result -> bool
 (** Did recovery terminate in the state determined by the conflict

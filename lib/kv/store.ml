@@ -73,6 +73,14 @@ let checkpoint t =
   t.checkpoints <- t.checkpoints + 1;
   Method_intf.instance_checkpoint t.instance
 
+let checkpoint_sharded ?(domains = 1) t =
+  t.checkpoints <- t.checkpoints + 1;
+  let pool =
+    if domains > 1 then Some (Redo_par.Domain_pool.shared ~domains) else None
+  in
+  let s = Method_intf.instance_checkpoint_sharded ?pool ~domains t.instance in
+  s.Method_intf.ckpt_components, s.Method_intf.ckpt_pages
+
 let sync t = Method_intf.instance_sync t.instance
 
 let crash t = Method_intf.instance_crash t.instance
@@ -101,7 +109,14 @@ let log_bytes t =
   (Method_intf.instance_log_stats t.instance).Redo_wal.Log_manager.appended_bytes
 
 let verify_recovery_invariant ?domains t =
-  let report = Theory_check.check ?domains (Method_intf.instance_projection t.instance) in
+  let pool =
+    match domains with
+    | Some d when d > 1 -> Some (Redo_par.Domain_pool.shared ~domains:d)
+    | _ -> None
+  in
+  let report =
+    Theory_check.check ?domains ?pool (Method_intf.instance_projection t.instance)
+  in
   match report.Theory_check.failure with
   | None -> Ok report
   | Some msg -> Error msg

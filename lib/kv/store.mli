@@ -44,6 +44,15 @@ val delete : t -> string -> unit
 val dump : t -> (string * string) list
 
 val checkpoint : t -> unit
+
+val checkpoint_sharded : ?domains:int -> t -> int * int
+(** Checkpoint by installing the live write graph through the
+    shard-parallel installer ({!Redo_ckpt.Installer}), emitting one
+    per-shard horizon record per component before the fuzzy checkpoint.
+    [domains] (default 1) sizes the shared installation pool. Returns
+    [(components, pages_installed)] — [(0, 0)] for methods whose
+    checkpoints install nothing (logical). *)
+
 val sync : t -> unit
 (** Make everything logged so far durable. *)
 

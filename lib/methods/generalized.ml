@@ -21,6 +21,10 @@ let put = Redo_btree.Btree.insert
 let get = Redo_btree.Btree.lookup
 let delete = Redo_btree.Btree.delete
 let checkpoint = Redo_btree.Btree.checkpoint
+
+let checkpoint_sharded ?pool ~domains t =
+  let components, pages = Redo_btree.Btree.checkpoint_sharded ?pool ~domains t in
+  { Method_intf.ckpt_components = components; ckpt_pages = pages }
 let sync = Redo_btree.Btree.sync
 let flush_some = Redo_btree.Btree.flush_some
 let crash = Redo_btree.Btree.crash

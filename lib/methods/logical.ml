@@ -69,6 +69,14 @@ let checkpoint t =
   if t.checkpoint_forces then Log_manager.force t.log ~upto:ckpt;
   t.stable_db <- staging
 
+(* System R installs by one atomic pointer swing — there is no live
+   write graph to shard (the staging writes are invisible until the
+   swing, so no careful order constrains them). Degrade to the global
+   checkpoint and report zero components. *)
+let checkpoint_sharded ?pool:_ ~domains:_ t =
+  checkpoint t;
+  { Method_intf.ckpt_components = 0; ckpt_pages = 0 }
+
 let flush_some _ _ = ()
 
 let sync t = Log_manager.force_all t.log
@@ -115,7 +123,7 @@ let recover t =
         | Record.Db_put (k, _) | Record.Db_del k -> Hashtbl.replace t.touched (locate t k) ());
         apply_db_op t.volatile db_op;
         incr redone
-      | Record.Checkpoint _ -> ()
+      | Record.Checkpoint _ | Record.Shard_checkpoint _ -> ()
       | payload ->
         invalid_arg (Fmt.str "logical recovery: unexpected record %a" Record.pp_payload payload))
     (Log_manager.records_from t.log ~from:(scan_start t));

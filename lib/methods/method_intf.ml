@@ -1,5 +1,12 @@
 open Redo_wal
 
+type ckpt_stats = {
+  ckpt_components : int;
+      (** Write-graph components installed (0 when the method has no
+          write graph to shard, e.g. the System R pointer swing). *)
+  ckpt_pages : int;  (** Pages installed across all components. *)
+}
+
 type recovery_stats = {
   scanned : int;  (** Log records examined by the redo scan. *)
   redone : int;  (** Records whose redo test returned true. *)
@@ -25,6 +32,15 @@ module type S = sig
   val checkpoint : t -> unit
   (** Take a checkpoint in this method's style (Section 6): quiesce and
       swing the pointer, flush-all, or fuzzy dirty-page-table. *)
+
+  val checkpoint_sharded : ?pool:Redo_par.Domain_pool.t -> domains:int -> t -> ckpt_stats
+  (** Like {!checkpoint}, but the install side runs through the
+      write-graph planner ({!Redo_ckpt.Installer}): connected components
+      of the live write graph are installed concurrently on [domains]
+      domains (or [pool]), each checkpointed at its own per-shard
+      horizon before the method's usual global checkpoint record is
+      appended. Methods with no page cache (or whose checkpoint installs
+      nothing) degrade to {!checkpoint} and report zero components. *)
 
   val sync : t -> unit
   (** Force the whole log to stable storage (advances the durability
@@ -66,6 +82,9 @@ let instance_put (Instance ((module M), t)) k v = M.put t k v
 let instance_get (Instance ((module M), t)) k = M.get t k
 let instance_delete (Instance ((module M), t)) k = M.delete t k
 let instance_checkpoint (Instance ((module M), t)) = M.checkpoint t
+
+let instance_checkpoint_sharded ?pool ~domains (Instance ((module M), t)) =
+  M.checkpoint_sharded ?pool ~domains t
 let instance_sync (Instance ((module M), t)) = M.sync t
 let instance_flush_some (Instance ((module M), t)) rng = M.flush_some t rng
 let instance_crash (Instance ((module M), t)) = M.crash t

@@ -60,6 +60,24 @@ let checkpoint t =
   let lsn = Log_manager.append t.log (Record.Checkpoint { dirty_pages = []; note = name }) in
   Log_manager.force t.log ~upto:lsn
 
+(* Sharded install, same promise: every write-graph component lands (in
+   parallel), each under its own horizon record, before the global cut.
+   The no-flush fault skips the install exactly as it skips the
+   flush-all — the log is still cut, the bug still injected. *)
+let checkpoint_sharded ?pool ~domains t =
+  let report =
+    if t.checkpoint_flushes then
+      Redo_ckpt.Installer.install ?pool ~domains
+        ~before_install:(fun upto -> Log_manager.force t.log ~upto)
+        ~note:name t.cache t.log
+    else { Redo_ckpt.Installer.components = 0; pages_installed = 0; records = [] }
+  in
+  checkpoint t;
+  {
+    Method_intf.ckpt_components = report.Redo_ckpt.Installer.components;
+    ckpt_pages = report.Redo_ckpt.Installer.pages_installed;
+  }
+
 let flush_some t rng =
   match Cache.dirty_pages t.cache with
   | [] -> ()
@@ -87,16 +105,33 @@ let scan_start t =
   | Some (lsn, _) -> Lsn.next lsn
   | None -> Lsn.of_int 1
 
+(* Is [lsn]'s effect on [pid] already claimed installed by a stable
+   per-shard horizon? Physical redo is blind, so this is the only thing
+   standing between a surviving shard record and a full-prefix replay
+   when the global checkpoint's record was torn off. Sound because
+   physical operations are single-page and write-only: the installed
+   image is the newest record's after-image for that page, and any
+   later (uncovered) record overwrites it wholesale. *)
+let horizon_covers horizons pid lsn =
+  match List.assoc_opt pid horizons with
+  | Some h -> Lsn.(lsn <= h)
+  | None -> false
+
 let recover t =
+  let horizons = Log_manager.stable_shard_horizons t.log in
   let stats = ref { Method_intf.scanned = 0; redone = 0; skipped = 0; analysis_scanned = 0 } in
   List.iter
     (fun r ->
       stats := { !stats with Method_intf.scanned = !stats.Method_intf.scanned + 1 };
       match Record.payload r with
       | Record.Physical { pid; image } ->
-        Cache.set_page t.cache pid (Page.make ~lsn:(Record.lsn r) image);
-        stats := { !stats with Method_intf.redone = !stats.Method_intf.redone + 1 }
-      | Record.Checkpoint _ -> ()
+        if horizon_covers horizons pid (Record.lsn r) then
+          stats := { !stats with Method_intf.skipped = !stats.Method_intf.skipped + 1 }
+        else begin
+          Cache.set_page t.cache pid (Page.make ~lsn:(Record.lsn r) image);
+          stats := { !stats with Method_intf.redone = !stats.Method_intf.redone + 1 }
+        end
+      | Record.Checkpoint _ | Record.Shard_checkpoint _ -> ()
       | payload ->
         invalid_arg (Fmt.str "physical recovery: unexpected record %a" Record.pp_payload payload))
     (Log_manager.records_from t.log ~from:(scan_start t));
@@ -116,6 +151,10 @@ let log_stats t = Log_manager.stats t.log
 let projection t =
   let universe = Kv_layout.universe ~partitions:t.partitions in
   let start = scan_start t in
+  (* The redo set must mirror the actual scan, including its per-shard
+     horizon skips — a blind-redo method's projection is only honest if
+     every skip the scan performs is declared here. *)
+  let horizons = Log_manager.stable_shard_horizons t.log in
   let ops, redo_ids =
     List.fold_left
       (fun (ops, redo) r ->
@@ -123,7 +162,10 @@ let projection t =
         | Record.Physical { pid; image } ->
           let op = Projection.physical_op ~lsn:(Record.lsn r) ~pid image in
           let redo =
-            if Lsn.(start <= Record.lsn r) then Projection.op_id (Record.lsn r) :: redo
+            if
+              Lsn.(start <= Record.lsn r)
+              && not (horizon_covers horizons pid (Record.lsn r))
+            then Projection.op_id (Record.lsn r) :: redo
             else redo
           in
           op :: ops, redo

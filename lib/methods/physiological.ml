@@ -8,6 +8,7 @@ type t = {
   cache : Cache.t;
   log : Log_manager.t;
   partitions : int;
+  wal : bool;
   mutable op_first_lsns : Lsn.t list;
 }
 
@@ -16,7 +17,7 @@ let make ~wal ~cache_capacity ~partitions =
   let log = Log_manager.create () in
   let before_flush page = if wal then Log_manager.force log ~upto:(Page.lsn page) in
   let cache = Cache.create ~capacity:cache_capacity ~before_flush disk in
-  { disk; cache; log; partitions; op_first_lsns = [] }
+  { disk; cache; log; partitions; wal; op_first_lsns = [] }
 
 let create ?(cache_capacity = 64) ?(partitions = 8) () =
   make ~wal:true ~cache_capacity ~partitions
@@ -58,6 +59,21 @@ let checkpoint t =
   in
   let lsn = Log_manager.append t.log (Record.Checkpoint { dirty_pages; note = name }) in
   Log_manager.force t.log ~upto:lsn
+
+(* Sharded install before the fuzzy record: components land in parallel
+   under per-shard horizons, so the summary checkpoint that follows
+   carries an empty dirty-page table (the best fuzzy checkpoint there
+   is). The no-wal fault omits the write-ahead force exactly as it does
+   on the flush path — installed pages can then outrun the stable log,
+   which the theory checker catches. *)
+let checkpoint_sharded ?pool ~domains t =
+  let before_install upto = if t.wal then Log_manager.force t.log ~upto in
+  let report = Redo_ckpt.Installer.install ?pool ~domains ~before_install ~note:name t.cache t.log in
+  checkpoint t;
+  {
+    Method_intf.ckpt_components = report.Redo_ckpt.Installer.components;
+    ckpt_pages = report.Redo_ckpt.Installer.pages_installed;
+  }
 
 let flush_some t rng =
   match Cache.dirty_pages t.cache with
@@ -121,6 +137,11 @@ let analysis t =
    pass skip records without even fetching the page. *)
 let recover t =
   let dpt, redo_start, analysis_scanned = analysis t in
+  (* Per-shard horizons give a second "surely on disk" witness, ahead of
+     even fetching the page. Perf-only for an LSN-tested method: a
+     covered record's page carries a page LSN at least as high, so the
+     LSN test would skip it anyway — the horizon just saves the read. *)
+  let horizons = Log_manager.stable_shard_horizons t.log in
   let scanned = ref 0 and redone = ref 0 and skipped = ref 0 in
   List.iter
     (fun r ->
@@ -128,6 +149,10 @@ let recover t =
       match Record.payload r with
       | Record.Physiological { pid; op } ->
         let surely_on_disk =
+          (match List.assoc_opt pid horizons with
+          | Some h -> Lsn.(Record.lsn r <= h)
+          | None -> false)
+          ||
           match Hashtbl.find_opt dpt pid with
           | None -> true (* clean at the crash: all its updates were flushed *)
           | Some rec_lsn -> Lsn.(Record.lsn r < rec_lsn)
@@ -141,7 +166,7 @@ let recover t =
           end
           else incr skipped
         end
-      | Record.Checkpoint _ -> ()
+      | Record.Checkpoint _ | Record.Shard_checkpoint _ -> ()
       | payload ->
         invalid_arg
           (Fmt.str "physiological recovery: unexpected record %a" Record.pp_payload payload))

@@ -1,6 +1,7 @@
 open Redo_core
 open Redo_storage
 module Span = Redo_obs.Span
+module Trace = Redo_obs.Trace
 
 type report = {
   method_name : string;
@@ -13,14 +14,16 @@ type report = {
   recovery_succeeds : bool;
   invariant_held : bool;
   parallel_agrees : bool;
+  sharded_agrees : bool;
   audited_iterations : int;
+  sharded_audited : int;
   failure : string option;
   diagnosis : string list;
 }
 
 let ok r =
   r.installed_is_prefix && r.state_explained && r.recovery_succeeds && r.invariant_held
-  && r.parallel_agrees
+  && r.parallel_agrees && r.sharded_agrees
 
 let fail_report ~method_name ~op_count msg =
   {
@@ -34,7 +37,9 @@ let fail_report ~method_name ~op_count msg =
     recovery_succeeds = false;
     invariant_held = false;
     parallel_agrees = false;
+    sharded_agrees = false;
     audited_iterations = 0;
+    sharded_audited = 0;
     failure = Some msg;
     diagnosis = [];
   }
@@ -79,7 +84,7 @@ let diagnose cg ~installed ~stable ~universe =
    explains the stable state; (3) the abstract Figure 6 procedure, run
    with exactly this redo set, rebuilds the final state while keeping
    the invariant at every iteration. *)
-let check ?(domains = 2) (p : Projection.t) =
+let check ?(domains = 2) ?pool (p : Projection.t) =
   let method_name = p.Projection.method_name in
   let op_count = List.length p.Projection.ops in
   Span.span "theory.check" ~attrs:[ "method", Span.String method_name ] @@ fun () ->
@@ -130,7 +135,7 @@ let check ?(domains = 2) (p : Projection.t) =
         else
           Span.span "theory.parallel" @@ fun () ->
           let par =
-            Recovery.recover_parallel ~domains spec ~state:p.Projection.stable ~log
+            Recovery.recover_parallel ~domains ?pool spec ~state:p.Projection.stable ~log
               ~checkpoint:installed
           in
           let shards_disjoint =
@@ -148,6 +153,87 @@ let check ?(domains = 2) (p : Projection.t) =
             && Digraph.Node_set.equal par.Recovery.merged.Recovery.redo_set
                  result.Recovery.redo_set )
       in
+      (* The sharded-horizon leg: express the same installed set as
+         per-shard checkpoint horizons — one horizon per component of
+         the FULL conflict graph, claiming exactly the installed
+         operations inside that component — and recover through the
+         horizon code path. The union of the horizons is the global
+         checkpoint, so the redo set and final state must be identical;
+         each shard's replay is streamed through its own invariant
+         auditor (restricted to the shard's variables), so the Recovery
+         Invariant is audited DURING the sharded installation-order
+         replay, on whatever domain runs the shard. Runs on every
+         check, even at [domains = 1] (the shards then replay inline). *)
+      let sharded_agrees, sharded_audited, sharded_failure =
+        Span.span "theory.sharded" @@ fun () ->
+        match
+          let full_plan = Partition.plan ~log ~checkpoint:Digraph.Node_set.empty in
+          let horizons =
+            List.map
+              (fun (s : Partition.shard) ->
+                {
+                  Recovery.scope = s.Partition.vars;
+                  installed = Digraph.Node_set.inter installed s.Partition.ops;
+                })
+              full_plan.Partition.shards
+          in
+          let auditors = Hashtbl.create 8 in
+          let shard_sink (s : Partition.shard) =
+            let a =
+              Recovery.auditor
+                ~universe:(Var.Set.inter universe s.Partition.vars)
+                ~log ~redo_set ()
+            in
+            Hashtbl.replace auditors s.Partition.index a;
+            Some (Recovery.audit_observe a)
+          in
+          let sh =
+            Recovery.recover_sharded ~domains ?pool ~shard_sink spec
+              ~state:p.Projection.stable ~log ~checkpoint:Digraph.Node_set.empty ~horizons
+          in
+          let audits =
+            List.map
+              (fun (sr : Recovery.shard_run) ->
+                Recovery.audit_finish
+                  (Hashtbl.find auditors sr.Recovery.shard.Partition.index)
+                  ~final:sr.Recovery.shard_result.Recovery.final)
+              sh.Recovery.shard_runs
+          in
+          sh, audits
+        with
+        | exception e -> false, 0, Some (Printexc.to_string e)
+        | sh, audits ->
+          let audited =
+            List.fold_left (fun acc a -> acc + a.Recovery.iterations_checked) 0 audits
+          in
+          let first_violation =
+            List.find_map (fun a -> a.Recovery.violation) audits
+          in
+          let same_final =
+            State.equal_on universe sh.Recovery.merged.Recovery.final result.Recovery.final
+          in
+          let same_redo =
+            Digraph.Node_set.equal sh.Recovery.merged.Recovery.redo_set
+              result.Recovery.redo_set
+          in
+          let failure =
+            match first_violation with
+            | Some v ->
+              Some (Fmt.str "sharded-horizon replay: %a" Recovery.pp_violation v)
+            | None ->
+              if not same_final then
+                Some "sharded-horizon recovery diverged from global: different final state"
+              else if not same_redo then
+                Some "sharded-horizon recovery diverged from global: different redo set"
+              else None
+          in
+          (match failure with
+          | Some msg when Trace.enabled () ->
+            Trace.emit "theory.sharded_divergence"
+              [ "method", Trace.String method_name; "reason", Trace.String msg ]
+          | _ -> ());
+          failure = None, audited, failure
+      in
       let failure =
         if not installed_is_prefix then
           Some "installed operations do not form an installation-graph prefix"
@@ -158,6 +244,7 @@ let check ?(domains = 2) (p : Projection.t) =
           Some
             (Fmt.str "parallel recovery (%d shards, %d domains) diverged from sequential"
                shard_count domains)
+        else if not sharded_agrees then sharded_failure
         else Option.map (Fmt.str "%a" Recovery.pp_violation) violation
       in
       let diagnosis =
@@ -175,7 +262,9 @@ let check ?(domains = 2) (p : Projection.t) =
         recovery_succeeds;
         invariant_held = violation = None;
         parallel_agrees;
+        sharded_agrees;
         audited_iterations = audit.Recovery.iterations_checked;
+        sharded_audited;
         failure;
         diagnosis;
       }

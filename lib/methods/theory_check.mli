@@ -33,11 +33,22 @@ type report = {
           final state and redo set as the sequential pass — Theorem 3's
           commutation of conflict-free components, checked on this very
           workload. Trivially true with [~domains:1]. *)
+  sharded_agrees : bool;
+      (** Recovery from {e per-shard checkpoint horizons} (the installed
+          set expressed as one horizon per conflict component, replayed
+          through {!Redo_core.Recovery.recover_sharded}) produced the
+          same final state and redo set as the global checkpoint, with
+          the Recovery Invariant audited clean during every shard's
+          replay. Runs on every check, even [~domains:1] (the shards
+          then replay inline). *)
   audited_iterations : int;
       (** Recovery iterations the streaming auditor actually checked;
           the final state is always checked on top. A passing report
           with a low count is a weaker guarantee (see
           {!Redo_core.Recovery.audit_report}). *)
+  sharded_audited : int;
+      (** Iterations audited across the sharded-horizon leg's per-shard
+          streaming auditors. *)
   failure : string option;  (** [None] iff everything holds. *)
   diagnosis : string list;
       (** When the state is unexplained: one line per exposed variable
@@ -47,9 +58,12 @@ type report = {
 
 val ok : report -> bool
 
-val check : ?domains:int -> Projection.t -> report
+val check : ?domains:int -> ?pool:Redo_par.Domain_pool.t -> Projection.t -> report
 (** [domains] (default 2) sizes the domain pool for the
     parallel-equivalence leg of the check; [~domains:1] skips it (and
-    reports [parallel_agrees = true], [shard_count = 0]). *)
+    reports [parallel_agrees = true], [shard_count = 0]). The
+    sharded-horizon leg always runs. [?pool] reuses an existing pool
+    for both legs instead of spawning one per call (crash-torture loops
+    pass {!Redo_par.Domain_pool.shared}). *)
 
 val pp_report : report Fmt.t

@@ -110,9 +110,42 @@ let shutdown t =
   Mutex.unlock t.mutex;
   if not was_closing then Array.iter Domain.join t.workers
 
-let run ~domains thunks =
+(* Process-lifetime pools, one per size, handed out by [shared]. They
+   must be shut down before the process exits: a domain blocked in
+   [Condition.wait] keeps the runtime alive, so an un-joined pool turns
+   a clean exit into a hang. *)
+let shared_mutex = Mutex.create ()
+let shared_pools : (int, t) Hashtbl.t = Hashtbl.create 4
+let shared_at_exit = ref false
+
+let shared ~domains =
+  let domains = max 1 domains in
+  Mutex.lock shared_mutex;
+  let t =
+    match Hashtbl.find_opt shared_pools domains with
+    | Some t when not t.closing -> t
+    | _ ->
+      let t = create ~domains in
+      Hashtbl.replace shared_pools domains t;
+      if not !shared_at_exit then begin
+        shared_at_exit := true;
+        at_exit (fun () ->
+            Mutex.lock shared_mutex;
+            let pools = Hashtbl.fold (fun _ p acc -> p :: acc) shared_pools [] in
+            Hashtbl.reset shared_pools;
+            Mutex.unlock shared_mutex;
+            List.iter shutdown pools)
+      end;
+      t
+  in
+  Mutex.unlock shared_mutex;
+  t
+
+let run ?pool ~domains thunks =
   if domains <= 1 then List.map (fun f -> f ()) thunks
-  else begin
-    let t = create ~domains:(min domains (List.length thunks)) in
-    Fun.protect ~finally:(fun () -> shutdown t) (fun () -> map t (fun f -> f ()) thunks)
-  end
+  else
+    match pool with
+    | Some t -> map t (fun f -> f ()) thunks
+    | None ->
+      let t = create ~domains:(min domains (List.length thunks)) in
+      Fun.protect ~finally:(fun () -> shutdown t) (fun () -> map t (fun f -> f ()) thunks)

@@ -37,8 +37,16 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
 val shutdown : t -> unit
 (** Finish queued work, then join every worker. Idempotent. *)
 
-val run : domains:int -> (unit -> 'a) list -> 'a list
-(** [map] of the thunks on a throwaway pool: create, run, shutdown
-    (also on exception). With [domains <= 1] the thunks run in the
-    calling domain, in order, with no pool at all — the sequential
-    special case costs nothing. *)
+val shared : domains:int -> t
+(** The process-lifetime pool with [max 1 domains] workers — created on
+    first request, cached per size, and shut down by an [at_exit] hook
+    (a worker blocked in [Condition.wait] would otherwise keep the
+    runtime from exiting). Amortizes domain-spawn cost across the many
+    recoveries of a crash-torture loop. Do not [shutdown] a shared pool
+    yourself unless the process is done with that size for good. *)
+
+val run : ?pool:t -> domains:int -> (unit -> 'a) list -> 'a list
+(** [map] of the thunks on [pool] when given, else on a throwaway pool:
+    create, run, shutdown (also on exception). With [domains <= 1] the
+    thunks run in the calling domain, in order, with no pool at all —
+    the sequential special case costs nothing. *)

@@ -37,6 +37,7 @@ type config = {
   cache_capacity : int;
   verify_theory : bool;
   domains : int;
+  checkpoint_shards : bool;
 }
 
 let default_config =
@@ -54,12 +55,14 @@ let default_config =
     cache_capacity = 16;
     verify_theory = true;
     domains = 2;
+    checkpoint_shards = false;
   }
 
 type outcome = {
   kv_ops : int;
   crashes : int;
   checkpoints : int;
+  ckpt_shards : int;  (* write-graph components installed across all checkpoints *)
   scanned : int;
   redone : int;
   skipped : int;
@@ -80,7 +83,7 @@ let mismatch_message ~when_ expected actual =
 (* Crash, recover, verify. The durable horizon is the number of
    key-value operations whose records made it to the stable log; the
    recovered contents must equal the reference trace truncated there. *)
-let crash_recover_verify ?(rng : Random.State.t option) cfg instance reference outcome =
+let crash_recover_verify ?(rng : Random.State.t option) ?pool cfg instance reference outcome =
   (* The root span of one crash-recovery cycle: every phase below —
      crash scan, theory check, redo, verify — is a child, so the
      critical-path extractor can account for the whole recovery
@@ -115,7 +118,7 @@ let crash_recover_verify ?(rng : Random.State.t option) cfg instance reference o
       Span.span "sim.theory" @@ fun () ->
       Metrics.span h_theory_ns (fun () ->
           let report =
-            Theory_check.check ~domains:cfg.domains
+            Theory_check.check ~domains:cfg.domains ?pool
               (Method_intf.instance_projection instance)
           in
           Metrics.incr (if Theory_check.ok report then c_theory_ok else c_theory_fail);
@@ -203,12 +206,19 @@ let crash_recover_verify ?(rng : Random.State.t option) cfg instance reference o
 let run cfg instance =
   let rng = Random.State.make [| cfg.seed; 0xbeef |] in
   let reference = Reference.create () in
+  (* One process-lifetime pool per size, shared across every recovery,
+     theory check and sharded checkpoint of the run — crash-torture
+     loops stopped paying a domain spawn per call. *)
+  let pool =
+    if cfg.domains > 1 then Some (Redo_par.Domain_pool.shared ~domains:cfg.domains) else None
+  in
   let outcome =
     ref
       {
         kv_ops = 0;
         crashes = 0;
         checkpoints = 0;
+        ckpt_shards = 0;
         scanned = 0;
         redone = 0;
         skipped = 0;
@@ -250,10 +260,27 @@ let run cfg instance =
           if Random.State.float rng 1.0 < cfg.sync_prob then Method_intf.instance_sync instance;
           match cfg.checkpoint_every with
           | Some n when i mod n = 0 ->
-            Method_intf.instance_checkpoint instance;
-            outcome := { !outcome with checkpoints = !outcome.checkpoints + 1 };
+            let shards =
+              if cfg.checkpoint_shards then begin
+                let stats =
+                  Method_intf.instance_checkpoint_sharded ?pool ~domains:cfg.domains instance
+                in
+                stats.Method_intf.ckpt_components
+              end
+              else begin
+                Method_intf.instance_checkpoint instance;
+                0
+              end
+            in
+            outcome :=
+              {
+                !outcome with
+                checkpoints = !outcome.checkpoints + 1;
+                ckpt_shards = !outcome.ckpt_shards + shards;
+              };
             Metrics.incr c_checkpoints;
-            if Trace.enabled () then Trace.emit "sim.checkpoint" [ "op", Trace.Int i ]
+            if Trace.enabled () then
+              Trace.emit "sim.checkpoint" [ "op", Trace.Int i; "shards", Trace.Int shards ]
           | _ -> ()
         with
        | Exit -> raise Exit
@@ -272,20 +299,20 @@ let run cfg instance =
           with
          | Exit -> raise Exit
          | e -> abort (Printf.sprintf "pre-crash flush %d" i) e);
-         crash_recover_verify ~rng cfg instance reference outcome
+         crash_recover_verify ~rng ?pool cfg instance reference outcome
        | _ -> ()
      done;
      (* Final: make everything durable, crash, recover, verify the full
         contents survive. *)
      Method_intf.instance_sync instance;
-     crash_recover_verify cfg instance reference outcome
+     crash_recover_verify ?pool cfg instance reference outcome
    with Exit -> ());
   !outcome
 
 let pp_outcome ppf o =
   Fmt.pf ppf
-    "@[<v>ops=%d crashes=%d checkpoints=%d scanned=%d redone=%d skipped=%d verify_failures=%d \
-     theory_failures=%d@]"
-    o.kv_ops o.crashes o.checkpoints o.scanned o.redone o.skipped
+    "@[<v>ops=%d crashes=%d checkpoints=%d ckpt_shards=%d scanned=%d redone=%d skipped=%d \
+     verify_failures=%d theory_failures=%d@]"
+    o.kv_ops o.crashes o.checkpoints o.ckpt_shards o.scanned o.redone o.skipped
     (List.length o.verify_failures)
     (List.length (List.filter (fun r -> not (Theory_check.ok r)) o.theory_reports))

@@ -32,6 +32,12 @@ type config = {
       (** Worker domains for the theory check's parallel-equivalence
           leg ({!Redo_methods.Theory_check.check}); [1] keeps every
           crash's check sequential. *)
+  checkpoint_shards : bool;
+      (** Route periodic checkpoints through the shard-parallel
+          write-graph installer
+          ({!Redo_methods.Method_intf.S.checkpoint_sharded}) instead of
+          the plain fuzzy checkpoint, emitting per-shard horizon
+          records. *)
 }
 
 val default_config : config
@@ -40,6 +46,9 @@ type outcome = {
   kv_ops : int;
   crashes : int;
   checkpoints : int;
+  ckpt_shards : int;
+      (** Write-graph components installed across all sharded
+          checkpoints; [0] unless [checkpoint_shards] was set. *)
   scanned : int;  (** Total log records examined across recoveries. *)
   redone : int;
   skipped : int;

@@ -334,6 +334,29 @@ let entry t pid =
 
 let read t pid = (entry t pid).page
 
+(* Observation only: no stats, no LRU movement, no disk fault-in. The
+   checkpoint planner uses this to capture dirty page images without
+   disturbing recency or hit rates. *)
+let peek t pid =
+  match Hashtbl.find_opt t.entries pid with Some e -> Some e.page | None -> None
+
+(* The page's current image reached the disk by other means (the
+   shard-parallel installer writes it directly): account the flush and
+   discharge write-order constraints exactly as [flush_entry] would,
+   without re-writing the page. *)
+let note_installed t pid =
+  match Hashtbl.find_opt t.entries pid with
+  | Some e when e.dirty ->
+    q_unlink t.dirty_q e;
+    e.dirty <- false;
+    q_push_front t.clean e;
+    t.stats.flushes <- t.stats.flushes + 1;
+    Metrics.incr c_flushes;
+    (match Hashtbl.find_opt t.orders pid with
+    | Some l -> retire_constraints t pid l
+    | None -> ())
+  | _ -> ()
+
 let mark_dirty t e =
   if not e.dirty then begin
     q_unlink t.clean e;

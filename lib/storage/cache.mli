@@ -35,6 +35,10 @@ val read : t -> int -> Page.t
 (** Read through the cache (fetches from disk on a miss, possibly
     evicting — dirty victims are flushed first). *)
 
+val peek : t -> int -> Page.t option
+(** The cached page, if cached — no stats, no recency movement, no disk
+    fault-in. The checkpoint planner snapshots dirty images with this. *)
+
 val update : t -> int -> lsn:Lsn.t -> (Page.data -> Page.data) -> unit
 (** Apply a transformation to the cached page and stamp it with the
     operation's LSN; the page becomes dirty. [rec_lsn] records the first
@@ -55,6 +59,13 @@ val flush_page : t -> int -> unit
     @raise Flush_cycle on cyclic order constraints. *)
 
 val flush_all : t -> unit
+
+val note_installed : t -> int -> unit
+(** The page's current image reached the disk outside the cache (the
+    shard-parallel installer writes page batches directly): mark it
+    clean, count the flush, and discharge the write-order constraints
+    its flush satisfies — the write-graph {e collapse} of Section 5
+    without a second disk write. No-op on clean/uncached pages. *)
 
 val would_force : t -> int -> int list
 (** Dirty prerequisites a flush of this page would drag along. *)

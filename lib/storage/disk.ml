@@ -2,30 +2,48 @@ type t = {
   pages : (int, Page.t) Hashtbl.t;
   mutable writes : int;
   mutable reads : int;
+  lock : Mutex.t;
 }
 
-let create ?(capacity = 64) () = { pages = Hashtbl.create (max 64 capacity); writes = 0; reads = 0 }
+let create ?(capacity = 64) () =
+  { pages = Hashtbl.create (max 64 capacity); writes = 0; reads = 0; lock = Mutex.create () }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+    Mutex.unlock t.lock;
+    v
+  | exception e ->
+    Mutex.unlock t.lock;
+    raise e
 
 let read t pid =
-  t.reads <- t.reads + 1;
-  match Hashtbl.find_opt t.pages pid with
-  | Some page -> page
-  | None -> Page.empty
+  with_lock t (fun () ->
+      t.reads <- t.reads + 1;
+      match Hashtbl.find_opt t.pages pid with
+      | Some page -> page
+      | None -> Page.empty)
 
-let peek t pid = Hashtbl.find_opt t.pages pid
+let peek t pid = with_lock t (fun () -> Hashtbl.find_opt t.pages pid)
 
 let write t pid page =
-  t.writes <- t.writes + 1;
-  Hashtbl.replace t.pages pid page
+  with_lock t (fun () ->
+      t.writes <- t.writes + 1;
+      Hashtbl.replace t.pages pid page)
 
 let page_ids t =
-  Hashtbl.fold (fun pid _ acc -> pid :: acc) t.pages [] |> List.sort compare
+  with_lock t (fun () -> Hashtbl.fold (fun pid _ acc -> pid :: acc) t.pages [])
+  |> List.sort compare
 
-let write_count t = t.writes
-let read_count t = t.reads
+let write_count t = with_lock t (fun () -> t.writes)
+let read_count t = with_lock t (fun () -> t.reads)
 
-let copy t = { pages = Hashtbl.copy t.pages; writes = t.writes; reads = t.reads }
+let copy t =
+  with_lock t (fun () ->
+      { pages = Hashtbl.copy t.pages; writes = t.writes; reads = t.reads; lock = Mutex.create () })
 
+(* Composes [page_ids] and [read]; the lock is never held across [f]. *)
 let iter f t = List.iter (fun pid -> f pid (read t pid)) (page_ids t)
 
 let pp ppf t =

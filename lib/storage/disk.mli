@@ -3,7 +3,13 @@
     Single-page atomicity is the hardware contract every recovery method
     in Section 6 builds on (multi-page atomicity has to be {e
     constructed}, e.g. by a checkpoint pointer swing or by write-graph
-    collapse). Unwritten pages read as {!Page.empty}. *)
+    collapse). Unwritten pages read as {!Page.empty}.
+
+    Every operation takes an internal mutex — the literal form of the
+    single-page-atomicity contract — so independent write-graph
+    components may be installed from concurrent domains. The mutex is
+    never held across user callbacks ({!iter} composes {!page_ids} and
+    {!read}). *)
 
 type t
 

@@ -136,6 +136,13 @@ let put_payload buf (payload : Record.payload) =
         put_i64 buf (Lsn.to_int lsn))
       dirty_pages;
     put_string buf note
+  | Record.Shard_checkpoint { shard_pages; horizon; shard_index; shard_total; shard_note } ->
+    put_u8 buf 7;
+    put_ints buf shard_pages;
+    put_i64 buf (Lsn.to_int horizon);
+    put_u32 buf shard_index;
+    put_u32 buf shard_total;
+    put_string buf shard_note
 
 let encode_record (r : Record.t) =
   let buf = Buffer.create 64 in
@@ -201,6 +208,8 @@ let size_payload (payload : Record.payload) =
   | Record.App_op { tag; body } -> size_u8 + size_string tag + size_string body
   | Record.Checkpoint { dirty_pages; note } ->
     size_u8 + size_u32 + (2 * size_i64 * List.length dirty_pages) + size_string note
+  | Record.Shard_checkpoint { shard_pages; shard_note; _ } ->
+    size_u8 + size_ints shard_pages + size_i64 + size_u32 + size_u32 + size_string shard_note
 
 let encoded_size r = size_i64 + size_payload (Record.payload r)
 
@@ -324,6 +333,12 @@ let get_payload c : Record.payload =
   | 6 ->
     let tag = get_string c in
     Record.App_op { tag; body = get_string c }
+  | 7 ->
+    let shard_pages = get_ints c in
+    let horizon = Lsn.of_int (get_i64 c) in
+    let shard_index = get_u32 c in
+    let shard_total = get_u32 c in
+    Record.Shard_checkpoint { shard_pages; horizon; shard_index; shard_total; shard_note = get_string c }
   | tag -> fail "unknown record tag %d" tag
 
 let decode_record data =

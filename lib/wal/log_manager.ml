@@ -63,7 +63,9 @@ let push t r =
 let append t payload =
   let lsn = Lsn.of_int (t.len + 1) in
   let r = Record.make ~lsn payload in
-  (match payload with Record.Checkpoint _ -> t.ckpts <- t.len :: t.ckpts | _ -> ());
+  (match payload with
+  | Record.Checkpoint _ | Record.Shard_checkpoint _ -> t.ckpts <- t.len :: t.ckpts
+  | _ -> ());
   push t r;
   let framed = Codec.encoded_size r + 8 in
   t.stats.appended_bytes <- t.stats.appended_bytes + framed;
@@ -176,6 +178,33 @@ let last_stable_checkpoint t =
         | _ -> go rest)
   in
   go t.ckpts
+
+let stable_shard_checkpoints t =
+  let stable = stable_len t in
+  (* t.ckpts is newest-first, so the fold preserves newest-first. *)
+  List.fold_left
+    (fun acc i ->
+      if i >= stable then acc
+      else
+        match Record.payload t.arr.(i) with
+        | Record.Shard_checkpoint sc -> (Record.lsn t.arr.(i), sc) :: acc
+        | _ -> acc)
+    []
+    (List.rev t.ckpts)
+
+let stable_shard_horizons t =
+  (* Newest-first + first-wins: each page's horizon is the newest stable
+     shard record that claims it. *)
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (_, (sc : Record.shard_ckpt)) ->
+      List.iter
+        (fun pid ->
+          if not (Hashtbl.mem tbl pid) then Hashtbl.add tbl pid sc.Record.horizon)
+        sc.Record.shard_pages)
+    (stable_shard_checkpoints t);
+  Hashtbl.fold (fun pid h acc -> (pid, h) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let length t = t.len
 

@@ -70,5 +70,18 @@ val all_records : t -> Record.t list
 val last_stable_checkpoint : t -> (Lsn.t * Record.checkpoint) option
 (** The newest stable checkpoint record, if any (the analysis pass). *)
 
+val stable_shard_checkpoints : t -> (Lsn.t * Record.shard_ckpt) list
+(** All stable per-shard checkpoint records, newest first. A crash can
+    tear off the trailing records of a sharded checkpoint (and its
+    global summary) while earlier shard records survive — recovery then
+    degrades gracefully, shard by shard. *)
+
+val stable_shard_horizons : t -> (int * Lsn.t) list
+(** Per-page install horizons from the stable shard records: for each
+    page claimed by any stable {!Record.Shard_checkpoint}, the horizon
+    of the newest record claiming it. Sorted by page id. Sound because
+    page LSNs are monotone: a later flush only extends the installed
+    prefix a horizon promises. *)
+
 val length : t -> int
 val pp : t Fmt.t

@@ -9,6 +9,21 @@ type checkpoint = {
   note : string;
 }
 
+(* One connected component of the write graph, installed and
+   checkpointed at its own horizon: every record with LSN <= [horizon]
+   whose effects live on [shard_pages] is on the disk. The record is
+   appended (and forced) only after the component's pages are written,
+   so a stable shard record's claim always holds — and because the
+   stable log is a prefix, [horizon] (captured before the record's own
+   LSN) can never name a lost-and-recycled LSN. *)
+type shard_ckpt = {
+  shard_pages : int list;  (* the component's pages, sorted *)
+  horizon : Lsn.t;
+  shard_index : int;  (* position in the hottest-first install order *)
+  shard_total : int;  (* components in the checkpoint this belongs to *)
+  shard_note : string;
+}
+
 type payload =
   | Physical of { pid : int; image : Page.data }
   | Physiological of { pid : int; op : Page_op.t }
@@ -16,6 +31,7 @@ type payload =
   | Logical of db_op
   | App_op of { tag : string; body : string }
   | Checkpoint of checkpoint
+  | Shard_checkpoint of shard_ckpt
 
 type t = {
   lsn : Lsn.t;
@@ -27,7 +43,8 @@ let make ~lsn payload = { lsn; payload }
 let lsn r = r.lsn
 let payload r = r.payload
 
-let is_checkpoint r = match r.payload with Checkpoint _ -> true | _ -> false
+let is_checkpoint r =
+  match r.payload with Checkpoint _ | Shard_checkpoint _ -> true | _ -> false
 
 let db_op_size = function
   | Db_put (k, v) -> 8 + String.length k + String.length v
@@ -40,6 +57,8 @@ let payload_size = function
   | Multi op -> 8 + Multi_op.logged_size op
   | Logical op -> 8 + db_op_size op
   | Checkpoint { dirty_pages; note } -> 16 + (12 * List.length dirty_pages) + String.length note
+  | Shard_checkpoint { shard_pages; shard_note; _ } ->
+    24 + (8 * List.length shard_pages) + String.length shard_note
 
 let byte_size r = 8 + payload_size r.payload
 
@@ -55,5 +74,8 @@ let pp_payload ppf = function
   | App_op { tag; body } -> Fmt.pf ppf "app(%s)[%d]" tag (String.length body)
   | Checkpoint { dirty_pages; note } ->
     Fmt.pf ppf "checkpoint(%s, %d dirty)" note (List.length dirty_pages)
+  | Shard_checkpoint { shard_pages; horizon; shard_index; shard_total; shard_note } ->
+    Fmt.pf ppf "shard-checkpoint(%s, shard %d/%d, %d pages, horizon %a)" shard_note
+      shard_index shard_total (List.length shard_pages) Lsn.pp horizon
 
 let pp ppf r = Fmt.pf ppf "%a %a" Lsn.pp r.lsn pp_payload r.payload

@@ -9,7 +9,10 @@
       {e different} pages (Section 6.4);
     - [Logical]: a database-level operation (System R style);
     - [Checkpoint]: identifies operations recovery may ignore
-      (Section 4.2); carries a dirty-page table for fuzzy checkpoints.
+      (Section 4.2); carries a dirty-page table for fuzzy checkpoints;
+    - [Shard_checkpoint]: one write-graph component installed at its own
+      horizon (Section 5 / Corollary 5) — recovery may ignore any record
+      on the shard's pages with LSN at or below the horizon.
 
     [byte_size] approximates the record's stable-log footprint; the E3
     experiment compares split-logging strategies with it. *)
@@ -25,6 +28,18 @@ type checkpoint = {
   note : string;
 }
 
+type shard_ckpt = {
+  shard_pages : int list;  (** The component's pages, sorted. *)
+  horizon : Lsn.t;
+      (** Every record with LSN ≤ [horizon] touching [shard_pages] is
+          installed. Captured before the record's own LSN, so a stable
+          shard record (the stable log is a prefix) only ever covers
+          stable records — no lost-and-recycled LSN can be claimed. *)
+  shard_index : int;  (** Position in the hottest-first install order. *)
+  shard_total : int;  (** Components in the checkpoint this belongs to. *)
+  shard_note : string;
+}
+
 type payload =
   | Physical of { pid : int; image : Page.data }
   | Physiological of { pid : int; op : Page_op.t }
@@ -35,6 +50,7 @@ type payload =
           applications direction): [tag] names the operation kind, [body]
           is its application-encoded argument. *)
   | Checkpoint of checkpoint
+  | Shard_checkpoint of shard_ckpt
 
 type t = {
   lsn : Lsn.t;

@@ -105,6 +105,46 @@ let prop_sim_torture name seed =
   o.Simulator.verify_failures = []
   && List.for_all Theory_check.ok o.Simulator.theory_reports
 
+(* Sharded checkpoints at every config: the same workload must verify
+   (contents and theory) whether checkpoints go through the
+   shard-parallel installer, the plain fuzzy path, or not at all —
+   transitively, the three recover identical contents — at 1, 2 and 4
+   domains. *)
+let prop_sharded_checkpoint_equivalence name seed =
+  List.for_all
+    (fun domains ->
+      List.for_all
+        (fun (checkpoint_shards, checkpoint_every) ->
+          let config =
+            {
+              short_config with
+              Simulator.checkpoint_shards;
+              checkpoint_every;
+              domains;
+            }
+          in
+          let o = run_method ~config name seed in
+          o.Simulator.verify_failures = []
+          && List.for_all Theory_check.ok o.Simulator.theory_reports)
+        [ true, Some 25; false, Some 25; false, None ])
+    [ 1; 2; 4 ]
+
+let test_sharded_checkpoint_installs () =
+  (* The installing methods actually install components through the
+     sharded path (logical's checkpoint has nothing to install). *)
+  let config = { short_config with Simulator.checkpoint_shards = true } in
+  List.iter
+    (fun name ->
+      let o = run_method ~config name 7 in
+      check_outcome name o;
+      Alcotest.(check bool)
+        (name ^ ": sharded checkpoints installed components")
+        true (o.Simulator.ckpt_shards > 0))
+    [ "physical"; "physiological"; "generalized" ];
+  let logical = run_method ~config "logical" 7 in
+  check_outcome "logical" logical;
+  Alcotest.(check int) "logical installs no components" 0 logical.Simulator.ckpt_shards
+
 let suite =
   [
     Alcotest.test_case "basic api (all methods)" `Quick test_basic_api;
@@ -120,4 +160,14 @@ let suite =
     Util.qtest ~count:15 "sim torture: generalized" (prop_sim_torture "generalized");
     Util.qtest ~count:10 "sim torture: physical" (prop_sim_torture "physical");
     Util.qtest ~count:10 "sim torture: logical" (prop_sim_torture "logical");
+    Alcotest.test_case "sharded checkpoints install (all methods)" `Quick
+      test_sharded_checkpoint_installs;
+    Util.qtest ~count:4 "sharded = global = no checkpoint: physiological"
+      (prop_sharded_checkpoint_equivalence "physiological");
+    Util.qtest ~count:4 "sharded = global = no checkpoint: generalized"
+      (prop_sharded_checkpoint_equivalence "generalized");
+    Util.qtest ~count:3 "sharded = global = no checkpoint: physical"
+      (prop_sharded_checkpoint_equivalence "physical");
+    Util.qtest ~count:3 "sharded = global = no checkpoint: logical"
+      (prop_sharded_checkpoint_equivalence "logical");
   ]

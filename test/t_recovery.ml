@@ -192,6 +192,53 @@ let prop_final_state_needs_no_redo seed =
   in
   Recovery.succeeded ~log result && Recovery.check_invariant ~log result = None
 
+(* Per-shard checkpoint horizons are only a representation change: a
+   random installation prefix, expressed as one horizon per conflict
+   component, must recover exactly like the same prefix as a global
+   checkpoint — same final state, same redo set — at 1, 2 and 4
+   domains. The no-checkpoint runs (empty horizons vs empty global
+   checkpoint) must agree the same way. *)
+let prop_sharded_horizons_equal_global seed =
+  let exec = Redo_workload.Op_gen.exec seed in
+  let cg = Conflict_graph.of_exec exec in
+  let log = Log.of_conflict_graph cg in
+  let universe = Exec.vars exec in
+  let rng = Random.State.make [| seed; 0x5a4d |] in
+  let prefix = Redo_workload.Op_gen.random_installation_prefix rng cg in
+  let state =
+    State.scramble
+      (Explain.state_determined_by_prefix cg ~prefix)
+      (Exposed.unexposed_vars cg ~installed:prefix)
+  in
+  let global = Recovery.recover Recovery.always_redo ~state ~log ~checkpoint:prefix in
+  let no_ckpt =
+    Recovery.recover Recovery.always_redo ~state ~log ~checkpoint:Digraph.Node_set.empty
+  in
+  let full_plan = Partition.plan ~log ~checkpoint:Digraph.Node_set.empty in
+  let horizons =
+    List.map
+      (fun (s : Partition.shard) ->
+        {
+          Recovery.scope = s.Partition.vars;
+          installed = Digraph.Node_set.inter prefix s.Partition.ops;
+        })
+      full_plan.Partition.shards
+  in
+  Digraph.Node_set.equal (Recovery.checkpoint_of_horizons horizons) prefix
+  && List.for_all
+       (fun domains ->
+         let agrees (expected : Recovery.result) horizons =
+           let sh =
+             Recovery.recover_sharded ~domains Recovery.always_redo ~state ~log
+               ~checkpoint:Digraph.Node_set.empty ~horizons
+           in
+           State.equal_on universe sh.Recovery.merged.Recovery.final expected.Recovery.final
+           && Digraph.Node_set.equal sh.Recovery.merged.Recovery.redo_set
+                expected.Recovery.redo_set
+         in
+         agrees global horizons && agrees no_ckpt [])
+       [ 1; 2; 4 ]
+
 let suite =
   [
     Alcotest.test_case "log consistency" `Quick test_log_consistency;
@@ -211,4 +258,6 @@ let suite =
     Alcotest.test_case "installed_at" `Quick test_installed_at;
     Util.qtest ~count:200 "corollary 4 (recovery correctness)" prop_corollary4;
     Util.qtest "final state needs no redo" prop_final_state_needs_no_redo;
+    Util.qtest ~count:100 "sharded horizons = global checkpoint = none (1/2/4 domains)"
+      prop_sharded_horizons_equal_global;
   ]

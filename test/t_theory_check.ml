@@ -105,6 +105,35 @@ let test_report_counts () =
   Alcotest.(check int) "installed" 0 report.Theory_check.installed_count;
   Alcotest.(check int) "redo" 3 report.Theory_check.redo_count
 
+let test_sharded_leg_runs () =
+  (* The sharded-horizon leg runs on every check — even sequential ones
+     — and audits the per-shard replays it drives. *)
+  let check_at domains =
+    let report =
+      Theory_check.check ~domains
+        (projection
+           ~stable:
+             (State.set (stable_after_none ()) (Var.page 0) (page 1 (Page.Kv [ "a", "1" ])))
+           ~redo_ids:[ "op000002"; "op000003" ])
+    in
+    Alcotest.(check (option string)) "ok" None report.Theory_check.failure;
+    Alcotest.(check bool) "sharded leg agrees" true report.Theory_check.sharded_agrees;
+    (* Ops 2 and 3 replay, each inside an audited shard. *)
+    Alcotest.(check int) "sharded iterations audited" 2 report.Theory_check.sharded_audited
+  in
+  check_at 1;
+  check_at 2
+
+let test_sharded_leg_in_failed_reports () =
+  (* A rejected projection fails before (or regardless of) the sharded
+     leg; the report's sharded fields must still be coherent. *)
+  let stable =
+    State.set (stable_after_none ()) (Var.page 0) (page 2 (Page.Kv [ "b", "2" ]))
+  in
+  let report = Theory_check.check (projection ~stable ~redo_ids:[ "op000001"; "op000003" ]) in
+  Alcotest.(check bool) "rejected" true (report.Theory_check.failure <> None);
+  Alcotest.(check bool) "not ok" false (Theory_check.ok report)
+
 let suite =
   [
     Alcotest.test_case "accepts redo-everything" `Quick test_accepts_redo_everything;
@@ -116,4 +145,7 @@ let suite =
     Alcotest.test_case "rejects garbage in exposed page" `Quick
       test_rejects_garbage_in_exposed_page;
     Alcotest.test_case "report counts" `Quick test_report_counts;
+    Alcotest.test_case "sharded-horizon leg runs every check" `Quick test_sharded_leg_runs;
+    Alcotest.test_case "sharded fields coherent on failure" `Quick
+      test_sharded_leg_in_failed_reports;
   ]

@@ -15,6 +15,7 @@ let () =
       "storage", T_storage.suite;
       "wal", T_wal.suite;
       "codec/stable log", T_codec.suite;
+      "checkpoint installer", T_ckpt.suite;
       "btree", T_btree.suite;
       "methods", T_methods.suite;
       "workload", T_workload.suite;
