@@ -635,6 +635,108 @@ let e12_checkpoint () =
     "  rows written to BENCH_5.json (best of 5 rounds, after warm-up; %d cores online)@."
     (Domain.recommended_domain_count ())
 
+(* ------------------------------------------------------------------ *)
+(* E13 / group_commit: batched asynchronous WAL force. Two claims,     *)
+(* written to BENCH_6.json. (1) Multi-writer coalescing: k durable     *)
+(* commits per committer at 1/2/4/8 concurrent committers through one  *)
+(* Background committer — total commits grow linearly with committers, *)
+(* the force count must not (each batch serves every waiter at or      *)
+(* below the new horizon). (2) Piggybacked checkpoint records: the     *)
+(* BENCH_5 64-shard install scenario re-run, where each shard record   *)
+(* used to buy its own synchronous force (64 of them) and now rides    *)
+(* the next group force. Every row carries the measured round's        *)
+(* "forces" and "records_per_force" deltas, so the forces-saved claim  *)
+(* is machine-checkable against the trajectory, not prose.             *)
+
+let e13_group_commit () =
+  Bench_util.heading
+    "E13/group_commit: batched WAL forces - multi-writer coalescing + piggybacked shard records";
+  Fmt.pr "  %-26s %10s %14s %12s %9s %10s@." "bench" "commits" "total-ms" "ns/commit" "forces"
+    "recs/force";
+  let rows = ref [] in
+  (* Force accounting comes from the measured round's counter deltas —
+     [bench_ns] already snapshots the registry around the best round. *)
+  let record ?(domains = 1) ?(extra = []) bench n ~setup work =
+    let total_ns, counters = Bench_util.bench_ns ~setup work in
+    let delta name = Option.value ~default:0 (List.assoc_opt name counters) in
+    let forces = delta "wal.forces" in
+    let records_per_force =
+      if forces = 0 then 0 else delta "wal.records_forced" / forces
+    in
+    let derived = [ "forces", forces; "records_per_force", records_per_force ] in
+    rows := (bench, n, domains, total_ns, counters @ derived @ extra, None) :: !rows;
+    Fmt.pr "  %-26s %10d %14.2f %12.1f %9d %10d@."
+      (if domains = 1 then bench else Printf.sprintf "%s (c=%d)" bench domains)
+      n (total_ns /. 1e6) (total_ns /. float n) forces records_per_force
+  in
+  let payload i =
+    Redo_wal.Record.Logical (Redo_wal.Record.Db_put (Printf.sprintf "key%07d" i, "value"))
+  in
+  (* (1) Multi-writer force-count curve: k commits per committer. *)
+  let k = 500 in
+  record "commit_sync" k
+    ~setup:(fun () -> Redo_wal.Log_manager.create ~capacity:k ())
+    (fun log ->
+      (* The ungrouped baseline: every commit pays its own force. *)
+      for i = 1 to k do
+        let lsn = Redo_wal.Log_manager.append log (payload i) in
+        Redo_wal.Log_manager.force log ~upto:lsn
+      done);
+  List.iter
+    (fun committers ->
+      let total = committers * k in
+      record "commit_group" ~domains:committers ~extra:[ "committers", committers ] total
+        ~setup:(fun () -> Redo_wal.Log_manager.create ~capacity:total ())
+        (fun log ->
+          (* Domain spawn/join and committer teardown stay inside the
+             clock: the honest cost of standing the writers up. *)
+          let gc =
+            Redo_wal.Group_commit.create ~mode:Redo_wal.Group_commit.Background log
+          in
+          let workers =
+            List.init committers (fun w ->
+                Domain.spawn (fun () ->
+                    for i = 1 to k do
+                      ignore (Redo_wal.Group_commit.commit gc (payload ((w * k) + i)))
+                    done))
+          in
+          List.iter Domain.join workers;
+          Redo_wal.Group_commit.detach gc))
+    [ 1; 2; 4; 8 ];
+  (* (2) The BENCH_5 64-shard install, with and without piggybacking:
+     n=1024 dirty pages in 8-page-strided careful-order chains of 16 —
+     64 write-graph components, one shard record each. *)
+  let n = 1024 in
+  let make_cache () =
+    let disk = Redo_storage.Disk.create ~capacity:n () in
+    let cache = Redo_storage.Cache.create ~capacity:(n + 1) disk in
+    for pid = 0 to n - 1 do
+      Redo_storage.Cache.update cache pid ~lsn:(Redo_storage.Lsn.of_int (pid + 1)) (fun _ ->
+          Redo_storage.Page.Bytes "payload");
+      if pid >= 8 && pid / 8 mod 16 <> 0 then
+        Redo_storage.Cache.add_flush_order cache ~first:(pid - 8) ~next:pid
+    done;
+    cache
+  in
+  record "install_sync_forces" n
+    ~setup:(fun () -> make_cache (), Redo_wal.Log_manager.create ())
+    (fun (cache, log) ->
+      (* No committer: [force_async] degrades to one force per shard. *)
+      ignore (Redo_ckpt.Installer.install cache log));
+  record "install_group_commit" n
+    ~setup:(fun () -> make_cache (), Redo_wal.Log_manager.create ())
+    (fun (cache, log) ->
+      (* Inline committer: the 64 shard records stage and ride one
+         force at the closing flush. *)
+      let gc = Redo_wal.Group_commit.create log in
+      ignore (Redo_ckpt.Installer.install cache log);
+      Redo_wal.Group_commit.flush gc;
+      Redo_wal.Group_commit.detach gc);
+  emit_json ~file:"BENCH_6.json" (List.rev !rows);
+  Fmt.pr
+    "  rows written to BENCH_6.json (best of 5 rounds, after warm-up; %d cores online)@."
+    (Domain.recommended_domain_count ())
+
 let micro_benchmarks () =
   Bench_util.heading "Micro-benchmarks (Bechamel, OLS estimate per run)";
   let open Bechamel in
@@ -696,6 +798,7 @@ let experiments =
     "e6", e6_checkpoint;
     "e7", e7_faults;
     "checkpoint", e12_checkpoint;
+    "group_commit", e13_group_commit;
     "perf", perf;
     "micro", micro_benchmarks;
   ]

@@ -60,6 +60,15 @@ let checkpoint_shards_arg =
            across the run), emitting a per-shard horizon record per write-graph component \
            instead of a plain fuzzy checkpoint.")
 
+let group_commit_arg =
+  Arg.(
+    value & flag
+    & info [ "group-commit" ]
+        ~doc:
+          "Batch WAL forces through a group committer: concurrent force requests coalesce into \
+           one medium write and checkpoint shard records piggyback on the next batch. Durability \
+           semantics are unchanged.")
+
 (* --- metrics plumbing --- *)
 
 let metrics_format = Arg.enum [ "pretty", `Pretty; "json", `Json ]
@@ -174,7 +183,7 @@ let graphs dir =
 (* --- sim --- *)
 
 let sim method_name seed ops partitions cache crash_every checkpoint_every domains
-    checkpoint_shards metrics chrome_trace =
+    checkpoint_shards group_commit metrics chrome_trace =
   with_metrics metrics @@ fun () ->
   with_spans chrome_trace @@ fun () ->
   let open Redo_sim in
@@ -197,6 +206,7 @@ let sim method_name seed ops partitions cache crash_every checkpoint_every domai
       checkpoint_every = (if checkpoint_every <= 0 then None else Some checkpoint_every);
       domains;
       checkpoint_shards;
+      group_commit;
     }
   in
   let instance = make ~cache_capacity:cache ~partitions () in
@@ -214,7 +224,7 @@ let sim method_name seed ops partitions cache crash_every checkpoint_every domai
 
 (* --- torture --- *)
 
-let torture seeds ops domains metrics chrome_trace =
+let torture seeds ops domains group_commit metrics chrome_trace =
   with_metrics metrics @@ fun () ->
   with_spans chrome_trace @@ fun () ->
   let open Redo_sim in
@@ -236,6 +246,7 @@ let torture seeds ops domains metrics chrome_trace =
             cache_capacity = 8;
             partitions = 6;
             domains;
+            group_commit;
           }
         in
         let instance = make ~cache_capacity:8 ~partitions:6 () in
@@ -310,7 +321,7 @@ let faults seeds =
 
 (* --- check --- *)
 
-let check method_name seed ops partitions cache domains metrics chrome_trace =
+let check method_name seed ops partitions cache domains group_commit metrics chrome_trace =
   with_metrics metrics @@ fun () ->
   with_spans chrome_trace @@ fun () ->
   let store_method =
@@ -324,6 +335,7 @@ let check method_name seed ops partitions cache domains metrics chrome_trace =
       exit 2
   in
   let store = Redo_kv.Store.create ~cache_capacity:cache ~partitions store_method in
+  if group_commit then Redo_kv.Store.set_group_commit store true;
   let rng = Random.State.make [| seed |] in
   for i = 1 to ops do
     let key = Printf.sprintf "k%04d" (Random.State.int rng 50) in
@@ -498,20 +510,22 @@ let sim_cmd =
     (Cmd.info "sim" ~doc:"Run a crash-recovery simulation with content and theory verification")
     Term.(
       const sim $ method_arg $ seed_arg $ ops_arg $ partitions_arg $ cache_arg $ crash_every_arg
-      $ checkpoint_every_arg $ domains_arg $ checkpoint_shards_arg $ metrics_arg
-      $ chrome_trace_arg)
+      $ checkpoint_every_arg $ domains_arg $ checkpoint_shards_arg $ group_commit_arg
+      $ metrics_arg $ chrome_trace_arg)
 
 let torture_cmd =
   let seeds = Arg.(value & opt int 5 & info [ "seeds" ] ~docv:"N" ~doc:"Seeds per method.") in
   Cmd.v (Cmd.info "torture" ~doc:"Torture all methods across many seeds")
-    Term.(const torture $ seeds $ ops_arg $ domains_arg $ metrics_arg $ chrome_trace_arg)
+    Term.(
+      const torture $ seeds $ ops_arg $ domains_arg $ group_commit_arg $ metrics_arg
+      $ chrome_trace_arg)
 
 let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc:"Run a workload, crash, and print the Recovery Invariant report")
     Term.(
       const check $ method_arg $ seed_arg $ ops_arg $ partitions_arg $ cache_arg $ domains_arg
-      $ metrics_arg $ chrome_trace_arg)
+      $ group_commit_arg $ metrics_arg $ chrome_trace_arg)
 
 let stats_cmd =
   let format =

@@ -209,7 +209,13 @@ let install_run ?pool ~domains ?before_install ~note cache log =
              shard_note = note;
            })
     in
-    Log_manager.force log ~upto:lsn;
+    (* Eventual durability is enough here: graded durability means an
+       unforced shard record is simply invisible to
+       [stable_shard_checkpoints], never claimed. With a group committer
+       attached the record piggybacks on the next batch (one force for
+       the whole install instead of one per shard); without one this is
+       the old synchronous force. *)
+    ignore (Log_manager.force_async log ~upto:lsn);
     records := lsn :: !records;
     Metrics.incr c_shard_records;
     if Trace.enabled () then

@@ -13,9 +13,16 @@
     their collapses a potentially recoverable state.
 
     As each component lands, a {!Redo_wal.Record.Shard_checkpoint}
-    record is appended and forced — the component's private checkpoint
-    horizon. A crash between components keeps the horizons already
-    forced: graded checkpoint durability, shard by shard. *)
+    record is appended and staged for durability with
+    {!Redo_wal.Log_manager.force_async} — the component's private
+    checkpoint horizon. With a group committer attached the shard
+    records piggyback on the next batched force (one force per install
+    instead of one per shard); without one each stages-and-forces
+    synchronously, the original behaviour. Either way the ordering
+    guarantee is graded: an unforced shard record is invisible to
+    [stable_shard_checkpoints], so no torn-crash claim is ever made
+    about a record before it is stable. A crash between components
+    keeps the horizons already forced, shard by shard. *)
 
 open Redo_storage
 open Redo_wal

@@ -83,6 +83,15 @@ let checkpoint_sharded ?(domains = 1) t =
 
 let sync t = Method_intf.instance_sync t.instance
 
+let set_group_commit t enabled =
+  (* Inline mode: batching without a flusher domain — the store is a
+     single-domain facade, so the win is piggybacking (checkpoint shard
+     records, force_async callers), not cross-domain coalescing. *)
+  Redo_wal.Group_commit.set ~enabled (Method_intf.instance_log t.instance)
+
+let group_commit_enabled t =
+  Redo_wal.Log_manager.group_attached (Method_intf.instance_log t.instance)
+
 let crash t = Method_intf.instance_crash t.instance
 
 let recover t =

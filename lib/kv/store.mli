@@ -56,6 +56,15 @@ val checkpoint_sharded : ?domains:int -> t -> int * int
 val sync : t -> unit
 (** Make everything logged so far durable. *)
 
+val set_group_commit : t -> bool -> unit
+(** Toggle group commit on the store's log: forces coalesce into
+    batches and checkpoint shard records piggyback on the next batch
+    ({!Redo_wal.Group_commit}, Inline mode). Idempotent. Durability
+    semantics are unchanged — {!sync} still returns only once the log
+    is stable. *)
+
+val group_commit_enabled : t -> bool
+
 val crash : t -> unit
 (** Lose all volatile state (cache, unforced log tail). *)
 

@@ -37,6 +37,7 @@ let recover t =
 let dump = Redo_btree.Btree.dump
 let durable_ops = Redo_btree.Btree.durable_ops
 let log_stats = Redo_btree.Btree.log_stats
+let log = Redo_btree.Btree.log
 
 let of_btree (t : Redo_btree.Btree.t) : t = t
 let to_btree (t : t) : Redo_btree.Btree.t = t

@@ -138,6 +138,7 @@ let durable_ops t =
   List.length (List.filter (fun l -> Lsn.(l <= flushed)) t.op_first_lsns)
 
 let log_stats t = Log_manager.stats t.log
+let log t = t.log
 
 let projection t =
   let universe = Kv_layout.universe ~partitions:t.partitions in

@@ -72,6 +72,12 @@ module type S = sig
       durability horizon the simulator verifies against. *)
 
   val log_stats : t -> Log_manager.stats
+
+  val log : t -> Log_manager.t
+  (** The method's write-ahead log, exposed so a
+      {!Redo_wal.Group_commit} committer can attach to it (batched
+      forces with piggybacked checkpoint records). *)
+
   val projection : t -> Projection.t
 end
 
@@ -93,4 +99,5 @@ let instance_recover (Instance ((module M), t)) = M.recover t
 let instance_dump (Instance ((module M), t)) = M.dump t
 let instance_durable_ops (Instance ((module M), t)) = M.durable_ops t
 let instance_log_stats (Instance ((module M), t)) = M.log_stats t
+let instance_log (Instance ((module M), t)) = M.log t
 let instance_projection (Instance ((module M), t)) = M.projection t

@@ -38,6 +38,7 @@ type config = {
   verify_theory : bool;
   domains : int;
   checkpoint_shards : bool;
+  group_commit : bool;
 }
 
 let default_config =
@@ -56,6 +57,7 @@ let default_config =
     verify_theory = true;
     domains = 2;
     checkpoint_shards = false;
+    group_commit = false;
   }
 
 type outcome = {
@@ -212,6 +214,20 @@ let run cfg instance =
   let pool =
     if cfg.domains > 1 then Some (Redo_par.Domain_pool.shared ~domains:cfg.domains) else None
   in
+  (* Route every durability edge of the run — commit syncs, the WAL
+     hook's barriers, the installer's shard records — through a group
+     committer. Background (a flusher domain) when the run is
+     multi-domain, Inline otherwise; detached in [finally] so a
+     Background flusher never outlives the run. *)
+  if cfg.group_commit then
+    Redo_wal.Group_commit.set ~enabled:true
+      ~mode:(if cfg.domains > 1 then Redo_wal.Group_commit.Background else Redo_wal.Group_commit.Inline)
+      (Method_intf.instance_log instance);
+  Fun.protect
+    ~finally:(fun () ->
+      if cfg.group_commit then
+        Redo_wal.Group_commit.set ~enabled:false (Method_intf.instance_log instance))
+  @@ fun () ->
   let outcome =
     ref
       {

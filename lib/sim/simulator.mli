@@ -38,6 +38,12 @@ type config = {
           ({!Redo_methods.Method_intf.S.checkpoint_sharded}) instead of
           the plain fuzzy checkpoint, emitting per-shard horizon
           records. *)
+  group_commit : bool;
+      (** Attach a {!Redo_wal.Group_commit} committer to the method's
+          log for the whole run: forces coalesce into batches and the
+          installer's shard records piggyback on them. Background mode
+          (a dedicated flusher domain) when [domains > 1], Inline
+          otherwise; detached before [run] returns. *)
 }
 
 val default_config : config

@@ -1,0 +1,66 @@
+(** Group commit: batched WAL forces with piggybacked records.
+
+    A committer attaches to a {!Log_manager.t} and becomes its
+    serialization point: concurrent committers stage force requests by
+    LSN, a single flusher forces once up to the highest staged LSN, and
+    every waiter at or below the new stable horizon completes. Callers
+    that only need {e eventual} durability ({!Log_manager.force_async} —
+    notably the sharded checkpoint installer's per-shard records)
+    enqueue without waiting and ride the next batch for free.
+
+    Durability is unchanged, only batched: {!Log_manager.force} still
+    returns only once the horizon covers its [upto], and a crash mid-
+    batch behaves exactly like a torn final force — no waiter was
+    completed, so nothing observable claimed the torn frames.
+
+    Two modes:
+    - {!Inline} — no extra domain. Barriers force in the caller's
+      domain, but still sweep every staged request into the same write,
+      so async records piggyback. The right mode for single-domain
+      runs and for attaching around a burst (e.g. a checkpoint install)
+      followed by {!flush}.
+    - {!Background} — a dedicated flusher domain wakes on staged work,
+      forces once for the whole batch, and broadcasts the new horizon to
+      waiting committers. The right mode when several domains commit
+      concurrently. Call {!detach} (or
+      {!Log_manager.detach_group}) when done: the flusher drains staged
+      work and exits; leaking it keeps the process alive. *)
+
+type mode = Inline | Background
+
+type stats = {
+  batches : int;  (** group forces actually performed *)
+  requests : int;  (** force requests staged (sync + async) *)
+  forces_saved : int;
+      (** requests served by a batch they did not pay for:
+          Σ (requests per batch − 1) *)
+  piggybacked : int;  (** async requests that rode someone else's force *)
+}
+
+type t
+
+val create : ?mode:mode -> Log_manager.t -> t
+(** Attach a committer (default {!Inline}) to the log's group hooks.
+    @raise Invalid_argument if one is already attached. *)
+
+val set : ?mode:mode -> enabled:bool -> Log_manager.t -> unit
+(** Idempotent toggle: [enabled:true] attaches a fresh committer if none
+    is attached; [enabled:false] detaches the current one, if any. *)
+
+val commit : t -> Record.payload -> Redo_storage.Lsn.t
+(** Append + barrier: returns once the record is stable. Safe to call
+    from concurrent domains; each caller's force coalesces with its
+    contemporaries into one medium write. *)
+
+val flush : t -> unit
+(** Barrier on everything staged so far (a no-op if nothing is
+    pending). Use before reading stable state after async requests. *)
+
+val detach : t -> unit
+(** Drain staged requests, stop the flusher domain (Background), and
+    unhook from the log. Idempotent; the log's direct force paths are
+    restored. *)
+
+val stats : t -> stats
+val mode : t -> mode
+val log : t -> Log_manager.t

@@ -14,10 +14,30 @@ let h_records_per_force = Metrics.histogram ~bounds:Metrics.count_bounds "wal.re
 let h_force_ns = Metrics.histogram "wal.force_ns"
 
 type stats = {
-  mutable appended_bytes : int;
-  mutable stable_bytes : int;
-  mutable forces : int;
-  mutable appended_records : int;
+  appended_bytes : int;
+  stable_bytes : int;
+  forces : int;
+  appended_records : int;
+}
+
+(* The cells behind [stats]. Writers are serialized (single domain, or
+   the group mutex), but readers snapshot from any domain — Atomics make
+   that well-defined without widening the lock. *)
+type counters = {
+  a_appended_bytes : int Atomic.t;
+  a_stable_bytes : int Atomic.t;
+  a_forces : int Atomic.t;
+  a_appended_records : int Atomic.t;
+}
+
+(* Hooks installed by [Group_commit]; see the .mli. *)
+type group = {
+  g_mutex : Mutex.t;
+  g_stage : Lsn.t -> unit;
+  g_barrier : Lsn.t -> unit;
+  g_barrier_all : unit -> unit;
+  g_crash : unit -> unit;
+  g_detach : unit -> unit;
 }
 
 (* LSNs are dense (1, 2, 3, ...) and survivors of a crash are always a
@@ -32,8 +52,11 @@ type t = {
   mutable flushed : Lsn.t;  (* records with lsn <= flushed are stable *)
   mutable ckpts : int list;  (* slot indices of checkpoint records, newest first *)
   medium : Stable_log.t;  (* the crash-surviving frames *)
-  stats : stats;
+  counters : counters;
+  mutable group : group option;
 }
+
+type ticket = { tk_log : t; tk_upto : Lsn.t }
 
 let create ?(capacity = 16) () =
   {
@@ -45,10 +68,24 @@ let create ?(capacity = 16) () =
     (* ~48 stable bytes per record covers the common logical/
        physiological payloads; oversizing only costs slack. *)
     medium = Stable_log.create ~capacity:(max 1024 (capacity * 48)) ();
-    stats = { appended_bytes = 0; stable_bytes = 0; forces = 0; appended_records = 0 };
+    counters =
+      {
+        a_appended_bytes = Atomic.make 0;
+        a_stable_bytes = Atomic.make 0;
+        a_forces = Atomic.make 0;
+        a_appended_records = Atomic.make 0;
+      };
+    group = None;
   }
 
-let stats t = t.stats
+let stats t =
+  {
+    appended_bytes = Atomic.get t.counters.a_appended_bytes;
+    stable_bytes = Atomic.get t.counters.a_stable_bytes;
+    forces = Atomic.get t.counters.a_forces;
+    appended_records = Atomic.get t.counters.a_appended_records;
+  }
+
 let medium t = t.medium
 
 let push t r =
@@ -60,7 +97,7 @@ let push t r =
   t.arr.(t.len) <- r;
   t.len <- t.len + 1
 
-let append t payload =
+let append_unlocked t payload =
   let lsn = Lsn.of_int (t.len + 1) in
   let r = Record.make ~lsn payload in
   (match payload with
@@ -68,11 +105,21 @@ let append t payload =
   | _ -> ());
   push t r;
   let framed = Codec.encoded_size r + 8 in
-  t.stats.appended_bytes <- t.stats.appended_bytes + framed;
-  t.stats.appended_records <- t.stats.appended_records + 1;
+  Atomic.fetch_and_add t.counters.a_appended_bytes framed |> ignore;
+  Atomic.incr t.counters.a_appended_records;
   Metrics.incr c_appends;
   Metrics.add c_bytes_staged framed;
   lsn
+
+let append t payload =
+  match t.group with
+  | None -> append_unlocked t payload
+  | Some g ->
+    (* Concurrent committers share the array; the committer's mutex is
+       the serialization point for both appends and its forces. *)
+    Mutex.lock g.g_mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock g.g_mutex) (fun () ->
+        append_unlocked t payload)
 
 let last_lsn t = Lsn.of_int t.len
 let flushed_lsn t = t.flushed
@@ -81,35 +128,36 @@ let flushed_lsn t = t.flushed
 let stable_len t = min (Lsn.to_int t.flushed) t.len
 
 let force_run t ~upto =
-  t.stats.forces <- t.stats.forces + 1;
+  Atomic.incr t.counters.a_forces;
   let t0 = Metrics.now_ns () in
   let first = Lsn.to_int t.flushed and last = Lsn.to_int upto in
   let bytes_before = Stable_log.byte_size t.medium in
   for i = first to last - 1 do
     ignore (Stable_log.append_record t.medium t.arr.(i))
   done;
-  t.stats.stable_bytes <- Stable_log.byte_size t.medium;
+  let stable_bytes = Stable_log.byte_size t.medium in
+  Atomic.set t.counters.a_stable_bytes stable_bytes;
   t.flushed <- upto;
   Metrics.incr c_forces;
   Metrics.add c_records_forced (last - first);
-  Metrics.add c_bytes_written (t.stats.stable_bytes - bytes_before);
+  Metrics.add c_bytes_written (stable_bytes - bytes_before);
   Metrics.observe h_records_per_force (float (last - first));
   Metrics.observe h_force_ns (Metrics.now_ns () -. t0);
   if Span.enabled () then
     Span.note
       [
         "records", Span.Int (last - first);
-        "bytes", Span.Int (t.stats.stable_bytes - bytes_before);
+        "bytes", Span.Int (stable_bytes - bytes_before);
       ];
   if Trace.enabled () then
     Trace.emit "wal.force"
       [
         "upto", Trace.Int last;
         "records", Trace.Int (last - first);
-        "bytes", Trace.Int (t.stats.stable_bytes - bytes_before);
+        "bytes", Trace.Int (stable_bytes - bytes_before);
       ]
 
-let force t ~upto =
+let force_direct t ~upto =
   let upto = if Lsn.to_int upto > t.len then last_lsn t else upto in
   if Lsn.(t.flushed < upto) then
     (* [force_run] is a named function, not a closure: the disabled
@@ -117,7 +165,41 @@ let force t ~upto =
     if Span.enabled () then Span.span "wal.force" (fun () -> force_run t ~upto)
     else force_run t ~upto
 
-let force_all t = force t ~upto:(last_lsn t)
+let force t ~upto =
+  match t.group with
+  | None -> force_direct t ~upto
+  | Some g -> g.g_barrier upto
+
+let force_all t =
+  match t.group with
+  | None -> force_direct t ~upto:(last_lsn t)
+  | Some g ->
+    (* The committer captures [last_lsn] under its mutex — the same
+       consistency point as the force — so a concurrent append cannot
+       widen the promised range mid-call. *)
+    g.g_barrier_all ()
+
+let force_async t ~upto =
+  (match t.group with
+  | None ->
+    (* No committer: eventual durability degrades to immediate. *)
+    force_direct t ~upto
+  | Some g -> g.g_stage upto);
+  { tk_log = t; tk_upto = upto }
+
+let await tk =
+  if Lsn.(tk.tk_log.flushed < tk.tk_upto) then force tk.tk_log ~upto:tk.tk_upto
+
+let ticket_lsn tk = tk.tk_upto
+let ticket_stable tk = Lsn.(tk.tk_upto <= tk.tk_log.flushed)
+
+let set_group t g = t.group <- g
+let group_attached t = t.group <> None
+
+let detach_group t =
+  match t.group with
+  | None -> ()
+  | Some g -> g.g_detach ()
 
 let rebuild_from_records t records =
   t.arr <- Array.of_list records;
@@ -133,19 +215,36 @@ let restore_from_medium t =
      survive (and checksum) are the log. *)
   let survivors = Stable_log.truncate_torn t.medium in
   rebuild_from_records t survivors;
-  t.stats.stable_bytes <- Stable_log.byte_size t.medium;
+  Atomic.set t.counters.a_stable_bytes (Stable_log.byte_size t.medium);
   Metrics.incr c_restores;
   if Trace.enabled () then
     Trace.emit "wal.restore"
-      [ "records", Trace.Int t.len; "bytes", Trace.Int t.stats.stable_bytes ]
+      [
+        "records", Trace.Int t.len;
+        "bytes", Trace.Int (Stable_log.byte_size t.medium);
+      ]
 
-let crash t = restore_from_medium t
+(* A crash discards group-staged async requests: staged-but-unflushed
+   work is lost, never completed. Acquiring the committer's mutex inside
+   [g_crash] also guarantees no group force is mid-flight while the
+   medium is truncated. *)
+let notify_group_crash t =
+  match t.group with
+  | None -> ()
+  | Some g -> g.g_crash ()
+
+let crash t =
+  notify_group_crash t;
+  restore_from_medium t
 
 let crash_torn t ~drop =
   (* A final force was racing the crash: it managed to write the whole
      unforced tail except the last [drop] bytes, leaving a torn frame.
      Already-forced bytes are never touched — anything WAL-gated (page
-     flushes) only ever waited on completed forces. *)
+     flushes) only ever waited on completed forces. Under group commit
+     this models the batch racing the crash: its waiters were never
+     completed, so nothing observable claimed the torn frames. *)
+  notify_group_crash t;
   let buf = Buffer.create 256 in
   for i = Lsn.to_int t.flushed to t.len - 1 do
     Stable_log.encode_frame buf (Codec.encode_record t.arr.(i))

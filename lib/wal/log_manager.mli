@@ -5,16 +5,28 @@
     crash-survivable only once {!force}d — the half of the write-ahead
     log protocol the {!Redo_storage.Cache} [before_flush] hook invokes:
     an operation's record must be stable before the operation's effects
-    reach the disk. *)
+    reach the disk.
+
+    {2 Group commit}
+
+    A {!Group_commit.t} attaches itself through {!set_group}. While a
+    committer is attached, {!append}, {!force}, {!force_all} and
+    {!force_async} route through its hooks so concurrent committers are
+    serialized and their forces coalesce into batches. With no committer
+    attached every entry point takes the original single-threaded path —
+    one [option] match of overhead, no locks, no allocation. *)
 
 open Redo_storage
 
 type stats = {
-  mutable appended_bytes : int;
-  mutable stable_bytes : int;
-  mutable forces : int;
-  mutable appended_records : int;
+  appended_bytes : int;
+  stable_bytes : int;
+  forces : int;
+  appended_records : int;
 }
+(** An immutable snapshot; take a fresh one to observe progress. The
+    cells behind it are {!Atomic}s, so snapshots are safe to take from
+    any domain while committers run. *)
 
 type t
 
@@ -31,7 +43,9 @@ val stats : t -> stats
 
 val append : t -> Record.payload -> Lsn.t
 (** Append to the volatile tail; returns the record's LSN. Amortized
-    O(1): the volatile view is an array indexed by LSN, not a list. *)
+    O(1): the volatile view is an array indexed by LSN, not a list.
+    Domain-safe while a group committer is attached (serialized under
+    its mutex); single-domain only otherwise. *)
 
 val last_lsn : t -> Lsn.t
 val flushed_lsn : t -> Lsn.t
@@ -39,21 +53,63 @@ val flushed_lsn : t -> Lsn.t
 val force : t -> upto:Lsn.t -> unit
 (** Make all records with LSN ≤ [upto] stable. Idempotent, and
     O(newly-flushed records): only the slice above the previous stable
-    horizon is framed out to the medium. *)
+    horizon is framed out to the medium. Under a group committer this is
+    the {e barrier}: it returns only once the stable horizon covers
+    [upto], but the force itself may be performed once for a whole batch
+    of concurrent callers. *)
 
 val force_all : t -> unit
+(** [force] up to [last_lsn]. The horizon is captured at the same
+    consistency point as the force itself (under the group mutex when a
+    committer is attached), so a concurrent append cannot widen the
+    promised range mid-call. *)
+
+(** {2 Asynchronous (eventual) durability} *)
+
+type ticket
+(** A claim check for an asynchronous force: proof that the records up
+    to some LSN have been {e staged} for the next group force, not that
+    they are stable. Tickets do not survive {!crash}: staged-but-
+    unflushed requests are discarded, exactly like any other unforced
+    tail state. *)
+
+val force_async : t -> upto:Lsn.t -> ticket
+(** Request eventual durability of all records with LSN ≤ [upto]. With a
+    group committer attached this stages the request and returns
+    immediately — the records ride the next group force (piggybacking).
+    With no committer it degrades to a synchronous {!force}, so callers
+    need not know whether batching is on. *)
+
+val await : ticket -> unit
+(** Block until the ticket's records are stable. Equivalent to [force]
+    up to the ticket's LSN: cheap if a group force already covered it,
+    a barrier otherwise. *)
+
+val ticket_lsn : ticket -> Lsn.t
+
+val ticket_stable : ticket -> bool
+(** Whether the stable horizon has reached the ticket's LSN. Monotone
+    (never reverts to [false]) except across a {!crash}/{!crash_torn},
+    which discards staged requests along with the volatile tail. *)
+
+(** {2 Crash model} *)
 
 val crash : t -> unit
 (** Lose the volatile tail; the stable prefix survives. The surviving
     records are re-read from the framed medium ({!Stable_log.scan}), so
-    only frames that checksum cleanly count. *)
+    only frames that checksum cleanly count. Any group-staged async
+    requests are discarded first — a crash loses staged-but-unflushed
+    work, never completes it. *)
 
 val crash_torn : t -> drop:int -> unit
 (** Crash while a final force of the whole unforced tail was in flight:
     all but its last [drop] bytes reached the medium, so the tail's
     frames survive except a torn final one, which the scan discards.
     Previously-forced bytes are never affected (page flushes only ever
-    waited on completed forces, so WAL consistency is preserved). *)
+    waited on completed forces, so WAL consistency is preserved). Under
+    group commit the "final force" models the batch that was racing the
+    crash: its waiters had not yet been completed, so none of them were
+    told their frames were stable. *)
 
 val medium : t -> Stable_log.t
 (** The underlying framed byte log (for fault injection and forensics). *)
@@ -85,3 +141,32 @@ val stable_shard_horizons : t -> (int * Lsn.t) list
 
 val length : t -> int
 val pp : t Fmt.t
+
+(** {2 Group-committer plumbing}
+
+    Used by {!Group_commit}; not intended for other callers. *)
+
+type group = {
+  g_mutex : Mutex.t;
+      (** Serializes [append] against the committer's own force. *)
+  g_stage : Lsn.t -> unit;  (** [force_async]: register, don't wait. *)
+  g_barrier : Lsn.t -> unit;  (** [force]: wait for the horizon. *)
+  g_barrier_all : unit -> unit;
+      (** [force_all]: capture [last_lsn] and wait, one critical
+          section. *)
+  g_crash : unit -> unit;  (** Discard staged requests before restore. *)
+  g_detach : unit -> unit;  (** Drain and unhook (idempotent). *)
+}
+
+val set_group : t -> group option -> unit
+val group_attached : t -> bool
+
+val detach_group : t -> unit
+(** Invoke the attached committer's [g_detach], if any: flush staged
+    requests, stop its flusher domain and restore the direct paths. *)
+
+val force_direct : t -> upto:Lsn.t -> unit
+(** The raw single-threaded force, bypassing group hooks — the group
+    flusher's entry point (calling {!force} from the flusher would
+    re-enter its own barrier). Caller must hold [g_mutex] if a committer
+    is attached. *)

@@ -162,6 +162,39 @@ let test_note_installed () =
   Cache.note_installed cache 99;
   Alcotest.(check (list int)) "only 2 remains dirty" [ 2 ] (Cache.dirty_pages cache)
 
+let test_install_piggybacked_records () =
+  (* With a group committer attached, the shard records stage through
+     force_async instead of buying one force each: zero forces during
+     the install, one batched force at the flush — and until that flush
+     the records are invisible to [stable_shard_checkpoints] (graded
+     durability: no claim is ever made about an unstable record). *)
+  let log = Log_manager.create () in
+  let gc = Group_commit.create log in
+  let _, cache =
+    make_cache
+      [ 1, 1; 2, 2; 5, 3; 7, 4; 8, 5; 9, 6 ]
+      [ 1, 2; 7, 8; 8, 9 ]
+  in
+  let forces () = (Log_manager.stats log).Log_manager.forces in
+  let report =
+    Installer.install ~before_install:(fun upto -> Log_manager.force log ~upto) cache log
+  in
+  Alcotest.(check int) "three shard records appended" 3
+    (List.length report.Installer.records);
+  (* The before_install hook found an empty log (pages carry LSNs, the
+     log does not hold their records in this fixture), so no force at
+     all has happened yet. *)
+  Alcotest.(check int) "no forces during the install" 0 (forces ());
+  Alcotest.(check int) "records staged, not claimed" 0
+    (List.length (Log_manager.stable_shard_checkpoints log));
+  Group_commit.flush gc;
+  Alcotest.(check int) "one batched force for all shards" 1 (forces ());
+  Alcotest.(check int) "all shard records stable after the flush" 3
+    (List.length (Log_manager.stable_shard_checkpoints log));
+  let s = Group_commit.stats gc in
+  Alcotest.(check int) "all three piggybacked" 3 s.Group_commit.piggybacked;
+  Group_commit.detach gc
+
 let test_install_reports_worker_error () =
   (* A worker exception must surface on the caller, after all components
      have drained (no deadlock, no silent swallow). The before_flush
@@ -187,6 +220,8 @@ let suite =
     Alcotest.test_case "install: parallel = sequential" `Quick
       test_install_parallel_matches_sequential;
     Alcotest.test_case "install: nothing dirty" `Quick test_install_nothing_dirty;
+    Alcotest.test_case "install: shard records piggyback on group commit" `Quick
+      test_install_piggybacked_records;
     Alcotest.test_case "note_installed collapses write graph" `Quick test_note_installed;
     Alcotest.test_case "install: planner error propagates" `Quick
       test_install_reports_worker_error;

@@ -1,0 +1,264 @@
+(* Group commit: batched forces, piggybacked async requests, the
+   barrier contract under concurrent committers, and the torn-crash
+   story for a batch serving many waiters. *)
+
+open Redo_storage
+open Redo_wal
+
+let payload i = Record.Logical (Record.Db_put (Printf.sprintf "k%04d" i, "v"))
+let forces log = (Log_manager.stats log).Log_manager.forces
+
+let test_async_without_committer () =
+  (* No committer attached: force_async degrades to an immediate
+     synchronous force, so callers need not know whether batching is
+     on. *)
+  let log = Log_manager.create () in
+  let l1 = Log_manager.append log (payload 1) in
+  let tk = Log_manager.force_async log ~upto:l1 in
+  Alcotest.(check bool) "immediately stable" true (Log_manager.ticket_stable tk);
+  Alcotest.(check int) "flushed" 1 (Lsn.to_int (Log_manager.flushed_lsn log));
+  Alcotest.(check int) "one force" 1 (forces log);
+  Log_manager.await tk;
+  Alcotest.(check int) "await is a no-op" 1 (forces log)
+
+let test_inline_piggyback () =
+  (* Five async requests stage without forcing; the first barrier sweeps
+     them all into one write. *)
+  let log = Log_manager.create () in
+  let gc = Group_commit.create log in
+  let tickets =
+    List.init 5 (fun i ->
+        let lsn = Log_manager.append log (payload i) in
+        Log_manager.force_async log ~upto:lsn)
+  in
+  Alcotest.(check int) "nothing forced yet" 0 (forces log);
+  Alcotest.(check bool) "tickets pending" true
+    (List.for_all (fun tk -> not (Log_manager.ticket_stable tk)) tickets);
+  let l6 = Log_manager.append log (payload 6) in
+  Log_manager.force log ~upto:l6;
+  Alcotest.(check int) "one batched force" 1 (forces log);
+  Alcotest.(check int) "all six stable" 6 (Lsn.to_int (Log_manager.flushed_lsn log));
+  Alcotest.(check bool) "tickets redeemed" true
+    (List.for_all Log_manager.ticket_stable tickets);
+  let s = Group_commit.stats gc in
+  Alcotest.(check int) "one batch" 1 s.Group_commit.batches;
+  Alcotest.(check int) "six requests" 6 s.Group_commit.requests;
+  Alcotest.(check int) "five forces saved" 5 s.Group_commit.forces_saved;
+  Alcotest.(check int) "five piggybacked" 5 s.Group_commit.piggybacked;
+  Group_commit.detach gc;
+  Alcotest.(check bool) "detached" false (Log_manager.group_attached log)
+
+let test_inline_barrier_scope () =
+  (* A barrier only promises its own LSN: it must not force the tail
+     beyond the highest staged request. *)
+  let log = Log_manager.create () in
+  let gc = Group_commit.create log in
+  let l1 = Log_manager.append log (payload 1) in
+  let _ = Log_manager.append log (payload 2) in
+  let _ = Log_manager.append log (payload 3) in
+  Log_manager.force log ~upto:l1;
+  Alcotest.(check int) "only the requested prefix" 1
+    (Lsn.to_int (Log_manager.flushed_lsn log));
+  Log_manager.force_all log;
+  Alcotest.(check int) "force_all takes the rest" 3
+    (Lsn.to_int (Log_manager.flushed_lsn log));
+  Alcotest.(check int) "two forces" 2 (forces log);
+  Group_commit.detach gc
+
+let test_detach_flushes_staged () =
+  (* Detaching keeps the eventual-durability promise of staged
+     requests; afterwards the direct paths work again. *)
+  let log = Log_manager.create () in
+  Group_commit.set ~enabled:true log;
+  let tickets =
+    List.init 3 (fun i ->
+        let lsn = Log_manager.append log (payload i) in
+        Log_manager.force_async log ~upto:lsn)
+  in
+  Alcotest.(check int) "staged, not forced" 0 (forces log);
+  Group_commit.set ~enabled:false log;
+  Alcotest.(check bool) "unhooked" false (Log_manager.group_attached log);
+  Alcotest.(check bool) "drained on detach" true
+    (List.for_all Log_manager.ticket_stable tickets);
+  let l4 = Log_manager.append log (payload 4) in
+  Log_manager.force log ~upto:l4;
+  Alcotest.(check int) "direct force works after detach" 4
+    (Lsn.to_int (Log_manager.flushed_lsn log))
+
+let test_crash_discards_staged () =
+  (* A crash loses staged-but-unflushed async requests, exactly like
+     any other unforced tail state; tickets revert to pending. *)
+  let log = Log_manager.create () in
+  let gc = Group_commit.create log in
+  let l1 = Log_manager.append log (payload 1) in
+  Log_manager.force log ~upto:l1;
+  let tk =
+    let lsn = Log_manager.append log (payload 2) in
+    Log_manager.force_async log ~upto:lsn
+  in
+  Log_manager.crash log;
+  Alcotest.(check int) "survivors: the forced prefix" 1 (Log_manager.length log);
+  Alcotest.(check bool) "staged request lost" false (Log_manager.ticket_stable tk);
+  (* The committer is still attached and functional after the crash. *)
+  let l2 = Log_manager.append log (payload 3) in
+  Log_manager.force log ~upto:l2;
+  Alcotest.(check int) "commits work after the crash" 2
+    (Lsn.to_int (Log_manager.flushed_lsn log));
+  Group_commit.detach gc
+
+let test_torn_group_force () =
+  (* A batch serving N waiters tears mid-write. Completed barriers
+     (waiters that were told "stable") must survive any tear; async
+     waiters that were never completed may lose their frames — but a
+     ticket claims stability if and only if its frames actually
+     survived. *)
+  let barriered = 2 and staged = 4 in
+  let run ~drop =
+    let log = Log_manager.create () in
+    let gc = Group_commit.create log in
+    (* Two commits whose barriers completed: stability was claimed. *)
+    for i = 1 to barriered do
+      ignore (Group_commit.commit gc (payload i))
+    done;
+    (* Four async requests staged into the next batch — the batch that
+       will be racing the crash. *)
+    let tickets =
+      List.init staged (fun i ->
+          let lsn = Log_manager.append log (payload (barriered + i)) in
+          Log_manager.force_async log ~upto:lsn)
+    in
+    Log_manager.crash_torn log ~drop;
+    let flushed = Lsn.to_int (Log_manager.flushed_lsn log) in
+    Alcotest.(check bool)
+      (Printf.sprintf "drop=%d: claimed commits survive" drop)
+      true (flushed >= barriered);
+    Alcotest.(check int)
+      (Printf.sprintf "drop=%d: survivors are exactly the stable records" drop)
+      flushed
+      (List.length (Log_manager.stable_records log));
+    (* No waiter whose frames were lost claims stability, and no waiter
+       whose frames survived is denied it. *)
+    List.iter
+      (fun tk ->
+        Alcotest.(check bool)
+          (Printf.sprintf "drop=%d: ticket lsn=%d claims iff stable" drop
+             (Lsn.to_int (Log_manager.ticket_lsn tk)))
+          (Lsn.to_int (Log_manager.ticket_lsn tk) <= flushed)
+          (Log_manager.ticket_stable tk))
+      tickets;
+    Group_commit.detach gc;
+    flushed
+  in
+  (* drop=0: the racing batch completed; every staged frame survives. *)
+  Alcotest.(check int) "no tear: all survive" (barriered + staged) (run ~drop:0);
+  (* A byte short: the last staged frame is torn off. *)
+  Alcotest.(check int) "tear in the last frame" (barriered + staged - 1) (run ~drop:1);
+  (* Large tears walk back through the batch, never past the barriers. *)
+  ignore (run ~drop:40);
+  Alcotest.(check int) "whole batch torn off" barriered (run ~drop:10_000)
+
+let test_background_concurrent_commits () =
+  (* Four committer domains, each certain its commit was durable at
+     return; the flusher coalesces their forces. *)
+  let committers = 4 and per = 30 in
+  let log = Log_manager.create () in
+  let gc = Group_commit.create ~mode:Group_commit.Background log in
+  let premature = Atomic.make 0 in
+  let workers =
+    List.init committers (fun w ->
+        Domain.spawn (fun () ->
+            for i = 1 to per do
+              let lsn = Group_commit.commit gc (payload ((w * per) + i)) in
+              (* The barrier contract: stable before return. The read
+                 races later forces, but the horizon is monotone, so a
+                 violation here is a real one. *)
+              if not Lsn.(lsn <= Log_manager.flushed_lsn log) then
+                Atomic.incr premature
+            done))
+  in
+  List.iter Domain.join workers;
+  Group_commit.detach gc;
+  let total = committers * per in
+  Alcotest.(check int) "no premature completion" 0 (Atomic.get premature);
+  Alcotest.(check int) "all commits durable" total
+    (Lsn.to_int (Log_manager.flushed_lsn log));
+  Alcotest.(check int) "all records stable" total
+    (List.length (Log_manager.stable_records log));
+  Alcotest.(check bool)
+    (Printf.sprintf "forces (%d) <= commits (%d)" (forces log) total)
+    true
+    (forces log <= total);
+  (* Everything survives an ordinary crash. *)
+  Log_manager.crash log;
+  Alcotest.(check int) "all survive the crash" total (Log_manager.length log)
+
+let test_force_all_consistency () =
+  (* force_all under a concurrent appender: each call must capture
+     last_lsn and force at one consistency point — it can never observe
+     a flushed horizon beyond the records actually written, and the
+     final barrier covers everything. *)
+  let n = 400 in
+  let log = Log_manager.create () in
+  let gc = Group_commit.create ~mode:Group_commit.Background log in
+  let appender =
+    Domain.spawn (fun () ->
+        for i = 1 to n do
+          ignore (Log_manager.append log (payload i))
+        done)
+  in
+  for _ = 1 to 50 do
+    Log_manager.force_all log;
+    let flushed = Lsn.to_int (Log_manager.flushed_lsn log) in
+    let stable = List.length (Log_manager.stable_records log) in
+    Alcotest.(check bool)
+      (Printf.sprintf "stable prefix intact (flushed=%d stable=%d)" flushed stable)
+      true (stable >= flushed)
+  done;
+  Domain.join appender;
+  Log_manager.force_all log;
+  Group_commit.detach gc;
+  Alcotest.(check int) "final horizon covers every append" n
+    (Lsn.to_int (Log_manager.flushed_lsn log));
+  Alcotest.(check int) "all records stable" n (List.length (Log_manager.stable_records log))
+
+let test_stats_snapshot () =
+  (* The stats snapshot is immutable and reflects the atomic cells. *)
+  let log = Log_manager.create () in
+  for i = 1 to 3 do
+    ignore (Log_manager.append log (payload i))
+  done;
+  Log_manager.force_all log;
+  let s = Log_manager.stats log in
+  Alcotest.(check int) "appended records" 3 s.Log_manager.appended_records;
+  Alcotest.(check int) "forces" 1 s.Log_manager.forces;
+  Alcotest.(check bool) "stable bytes counted" true (s.Log_manager.stable_bytes > 0);
+  Alcotest.(check int) "snapshot does not drift" s.Log_manager.appended_records
+    (Log_manager.stats log).Log_manager.appended_records
+
+let test_double_attach_rejected () =
+  let log = Log_manager.create () in
+  let gc = Group_commit.create log in
+  Alcotest.check_raises "second committer rejected"
+    (Invalid_argument "Group_commit.create: a committer is already attached to this log")
+    (fun () -> ignore (Group_commit.create log));
+  (* set is idempotent where create is not. *)
+  Group_commit.set ~enabled:true log;
+  Alcotest.(check bool) "still attached" true (Log_manager.group_attached log);
+  Group_commit.detach gc;
+  Group_commit.detach gc;
+  Alcotest.(check bool) "double detach is fine" false (Log_manager.group_attached log)
+
+let suite =
+  [
+    Alcotest.test_case "force_async without committer" `Quick test_async_without_committer;
+    Alcotest.test_case "inline piggyback" `Quick test_inline_piggyback;
+    Alcotest.test_case "inline barrier scope" `Quick test_inline_barrier_scope;
+    Alcotest.test_case "detach flushes staged" `Quick test_detach_flushes_staged;
+    Alcotest.test_case "crash discards staged" `Quick test_crash_discards_staged;
+    Alcotest.test_case "torn crash during a group force" `Quick test_torn_group_force;
+    Alcotest.test_case "background concurrent commits" `Quick
+      test_background_concurrent_commits;
+    Alcotest.test_case "force_all consistency point" `Quick test_force_all_consistency;
+    Alcotest.test_case "stats snapshot" `Quick test_stats_snapshot;
+    Alcotest.test_case "double attach rejected" `Quick test_double_attach_rejected;
+  ]

@@ -129,6 +129,32 @@ let prop_sharded_checkpoint_equivalence name seed =
         [ true, Some 25; false, Some 25; false, None ])
     [ 1; 2; 4 ]
 
+(* Group commit must be invisible to crash-equivalence: the same
+   workload verifies (contents and theory, at every crash, torn or not)
+   with batched forces on and off, at 1, 2 and 4 domains — multi-domain
+   runs exercise the Background flusher, domains=1 the Inline path —
+   and with the sharded installer piggybacking its records on the
+   batches. *)
+let prop_group_commit_equivalence name seed =
+  List.for_all
+    (fun domains ->
+      List.for_all
+        (fun checkpoint_shards ->
+          let config =
+            { short_config with Simulator.group_commit = true; checkpoint_shards; domains }
+          in
+          let o = run_method ~config name seed in
+          o.Simulator.verify_failures = []
+          && List.for_all Theory_check.ok o.Simulator.theory_reports)
+        [ false; true ])
+    [ 1; 2; 4 ]
+
+let test_group_commit_all_methods () =
+  let config = { short_config with Simulator.group_commit = true; checkpoint_shards = true } in
+  List.iter
+    (fun (name, _) -> check_outcome name (run_method ~config name 7))
+    Registry.all
+
 let test_sharded_checkpoint_installs () =
   (* The installing methods actually install components through the
      sharded path (logical's checkpoint has nothing to install). *)
@@ -170,4 +196,14 @@ let suite =
       (prop_sharded_checkpoint_equivalence "physical");
     Util.qtest ~count:3 "sharded = global = no checkpoint: logical"
       (prop_sharded_checkpoint_equivalence "logical");
+    Alcotest.test_case "group commit: sim across all methods" `Quick
+      test_group_commit_all_methods;
+    Util.qtest ~count:4 "group commit = direct forces: physiological"
+      (prop_group_commit_equivalence "physiological");
+    Util.qtest ~count:4 "group commit = direct forces: generalized"
+      (prop_group_commit_equivalence "generalized");
+    Util.qtest ~count:3 "group commit = direct forces: physical"
+      (prop_group_commit_equivalence "physical");
+    Util.qtest ~count:3 "group commit = direct forces: logical"
+      (prop_group_commit_equivalence "logical");
   ]

@@ -14,6 +14,7 @@ let () =
       "write graph", T_write_graph.suite;
       "storage", T_storage.suite;
       "wal", T_wal.suite;
+      "group commit", T_group_commit.suite;
       "codec/stable log", T_codec.suite;
       "checkpoint installer", T_ckpt.suite;
       "btree", T_btree.suite;
