@@ -737,6 +737,107 @@ let e13_group_commit () =
     "  rows written to BENCH_6.json (best of 5 rounds, after warm-up; %d cores online)@."
     (Domain.recommended_domain_count ())
 
+(* ------------------------------------------------------------------ *)
+(* E14 / flight: crash-surviving flight recorder overhead, written to  *)
+(* BENCH_7.json. Each scenario runs twice — recorder disabled, then    *)
+(* enabled with the default 4 x 64 KiB ring — and the enabled row      *)
+(* carries the off/on delta as "overhead_bp" (basis points, 1/100 of a *)
+(* percent; negative = noise) so the <= 5% acceptance bound is machine *)
+(* checkable. The append-heavy row is the acceptance row: the recorder *)
+(* frames forces, not appends, so 100k appends emit ~1.6k frames and   *)
+(* the per-append cost is one predicted-false branch. The commit-heavy *)
+(* row is the honest worst case: an Inline committer forces every      *)
+(* commit, so every op emits force+batch+commit frames and the ring    *)
+(* rotates — the bounded-ring cost shows up here, not in the append    *)
+(* path.                                                               *)
+
+let e14_flight () =
+  let module Flight = Redo_obs.Flight in
+  Bench_util.heading
+    "E14/flight: flight recorder overhead - recorder off vs on, append-heavy and commit-heavy";
+  Fmt.pr "  %-26s %10s %14s %12s %10s@." "bench" "n" "total-ms" "ns/op" "frames";
+  let rows = ref [] in
+  let emit_row bench n (total_ns, counters) =
+    let frames = Option.value ~default:0 (List.assoc_opt "flight.frames" counters) in
+    rows := (bench, n, 1, total_ns, counters, None) :: !rows;
+    Fmt.pr "  %-26s %10d %14.2f %12.1f %10d@." bench n (total_ns /. 1e6)
+      (total_ns /. float n) frames;
+    total_ns
+  in
+  (* The measured pair differs only in the recorder switch; the off/on
+     delta lands on the enabled row just recorded. *)
+  let add_overhead ~off_ns ~on_ns =
+    let bp = int_of_float (Float.round ((on_ns -. off_ns) /. off_ns *. 10_000.)) in
+    (match !rows with
+    | (b, n, d, t, c, p) :: rest -> rows := (b, n, d, t, c @ [ "overhead_bp", bp ], p) :: rest
+    | [] -> ());
+    float bp /. 100.
+  in
+  let payload i =
+    Redo_wal.Record.Logical (Redo_wal.Record.Db_put (Printf.sprintf "key%07d" i, "value"))
+  in
+  let setup_off ~capacity () =
+    Flight.set_enabled false;
+    Redo_wal.Log_manager.create ~capacity ()
+  in
+  let setup_on ~capacity () =
+    (* Per round (bench_ns re-runs setup): fresh default ring, recorder
+       on. Disabled again once the pair's rows are in. *)
+    Flight.reset ();
+    Flight.configure ();
+    Flight.set_enabled true;
+    Redo_wal.Log_manager.create ~capacity ()
+  in
+  (* Interleaved measurement: off and on alternate three times and each
+     config keeps its fastest best-of-5 (15 rounds per config, never
+     more than one best-of-5 apart in time), so clock drift on a busy
+     single-core box lands on both sides of the delta equally — the
+     delta we are after is single-digit ms and a one-sided cold block
+     would swamp it. *)
+  let measure_pair base n ~capacity work =
+    let best cell m =
+      cell := Some (match !cell with Some b when fst b <= fst m -> b | _ -> m)
+    in
+    let off = ref None and on = ref None in
+    for _ = 1 to 3 do
+      best off (Bench_util.bench_ns ~setup:(setup_off ~capacity) work);
+      best on (Bench_util.bench_ns ~setup:(setup_on ~capacity) work)
+    done;
+    Flight.set_enabled false;
+    Flight.reset ();
+    let off_ns = emit_row (base ^ "_off") n (Option.get !off) in
+    let on_ns = emit_row (base ^ "_on") n (Option.get !on) in
+    add_overhead ~off_ns ~on_ns
+  in
+  (* (1) Append-heavy — the BENCH_4 wal_append_force workload: n appends,
+     group force every 64. This is the acceptance row. *)
+  let n = 100_000 in
+  let append_work wal =
+    for i = 1 to n do
+      ignore (Redo_wal.Log_manager.append wal (payload i));
+      if i mod 64 = 0 then Redo_wal.Log_manager.force_all wal
+    done;
+    Redo_wal.Log_manager.force_all wal
+  in
+  let append_pct = measure_pair "append_heavy" n ~capacity:n append_work in
+  (* (2) Commit-heavy — every op is an Inline durable commit, so every
+     op forces and emits frames; the ring wraps many times over. *)
+  let k = 5_000 in
+  let commit_work log =
+    let gc = Redo_wal.Group_commit.create log in
+    for i = 1 to k do
+      ignore (Redo_wal.Group_commit.commit gc (payload i))
+    done;
+    Redo_wal.Group_commit.detach gc
+  in
+  let commit_pct = measure_pair "commit_heavy" k ~capacity:k commit_work in
+  Fmt.pr "  recorder overhead: append-heavy %+.2f%% (acceptance <= 5%%), commit-heavy %+.2f%%@."
+    append_pct commit_pct;
+  emit_json ~file:"BENCH_7.json" (List.rev !rows);
+  Fmt.pr
+    "  rows written to BENCH_7.json (best of 5 rounds, after warm-up; %d cores online)@."
+    (Domain.recommended_domain_count ())
+
 let micro_benchmarks () =
   Bench_util.heading "Micro-benchmarks (Bechamel, OLS estimate per run)";
   let open Bechamel in
@@ -799,6 +900,7 @@ let experiments =
     "e7", e7_faults;
     "checkpoint", e12_checkpoint;
     "group_commit", e13_group_commit;
+    "flight", e14_flight;
     "perf", perf;
     "micro", micro_benchmarks;
   ]

@@ -492,6 +492,146 @@ let profile method_name seed ops partitions cache crash_every checkpoint_every d
   if roots = [] then Fmt.epr "no sim.recovery spans were recorded@.";
   if o.Simulator.verify_failures = [] && theory_ok && roots <> [] then 0 else 1
 
+(* --- triage --- *)
+
+(* Post-crash diagnosis with no live process state: build a torn
+   mid-batch crash (staged group-commit tickets racing the final batch,
+   shard checkpoint records still piggybacking), let the crash reach
+   both the WAL medium and the flight recorder's segments, then run
+   Triage over what survived. The in-process tickets are held across
+   the crash purely to audit the tool: triage's per-ticket survival
+   verdicts must match Log_manager.ticket_stable exactly. *)
+let triage method_name seed ops partitions cache staged drop segments segment_bytes json
+    report_json flight_dump chrome_trace from_dump =
+  let module Flight = Redo_obs.Flight in
+  let module Triage = Redo_obs.Triage in
+  match from_dump with
+  | Some file ->
+    (* Offline mode: just the reconstructed timeline from a saved dump. *)
+    let scan = Flight.load file in
+    if json then begin
+      let frames = List.map Flight.frame_to_json scan.Flight.frames |> String.concat ", " in
+      Fmt.pr
+        "{\"frames\": %d, \"segments_used\": %d, \"torn_segments\": %d, \"dropped_frames\": \
+         %d, \"timeline\": [%s]}@."
+        (List.length scan.Flight.frames)
+        scan.Flight.segments_used scan.Flight.torn_segments scan.Flight.dropped_frames frames
+    end
+    else begin
+      Fmt.pr "flight dump %s: %d frames in %d segments (%d torn tails, %d dropped by ring)@."
+        file
+        (List.length scan.Flight.frames)
+        scan.Flight.segments_used scan.Flight.torn_segments scan.Flight.dropped_frames;
+      List.iter (fun f -> Fmt.pr "  %a@." Flight.pp_frame f) scan.Flight.frames
+    end;
+    if scan.Flight.frames = [] then 1 else 0
+  | None ->
+    let open Redo_sim in
+    let make =
+      match List.assoc_opt method_name Redo_methods.Registry.all with
+      | Some make -> make
+      | None ->
+        Fmt.epr "unknown method %S (available: %s)@." method_name
+          (String.concat ", " method_names);
+        exit 2
+    in
+    Flight.configure ~segments ~segment_bytes ();
+    Flight.set_enabled true;
+    Fun.protect ~finally:(fun () -> Flight.set_enabled false) @@ fun () ->
+    let instance = make ~cache_capacity:cache ~partitions () in
+    let log = Redo_methods.Method_intf.instance_log instance in
+    (* Inline group commit: forces batch, shard records piggyback, and
+       force_async gives us real staged tickets to race the crash. *)
+    Redo_wal.Group_commit.set ~enabled:true log;
+    let rng = Random.State.make [| seed; 0xf17 |] in
+    for i = 1 to ops do
+      let key = Printf.sprintf "k%04d" (Random.State.int rng 40) in
+      if Random.State.float rng 1.0 < 0.15 then
+        Redo_methods.Method_intf.instance_delete instance key
+      else Redo_methods.Method_intf.instance_put instance key (Printf.sprintf "v%d" i);
+      if Random.State.float rng 1.0 < 0.25 then
+        Redo_methods.Method_intf.instance_flush_some instance rng;
+      if i mod 20 = 0 then Redo_methods.Method_intf.instance_sync instance
+    done;
+    Redo_methods.Method_intf.instance_sync instance;
+    (* A sharded checkpoint whose shard records stay staged (they
+       piggyback on the next batch — which never comes), then [staged]
+       async commits: the mid-batch state the crash will tear. *)
+    ignore (Redo_methods.Method_intf.instance_checkpoint_sharded ~domains:1 instance);
+    let tickets =
+      List.init staged (fun i ->
+          Redo_methods.Method_intf.instance_put instance
+            (Printf.sprintf "tail%02d" i)
+            (Printf.sprintf "t%d" i);
+          Redo_wal.Log_manager.force_async log ~upto:(Redo_wal.Log_manager.last_lsn log))
+    in
+    let torn_drop = if drop <= 0 then None else Some drop in
+    Simulator.crash_instance ~crash_no:1 ?torn_drop instance;
+    (* Everything below uses only what survived: recorder segments and
+       the restored stable log. *)
+    let scan = Flight.scan () in
+    let report =
+      Triage.analyze ~flight:scan ~log:(Simulator.triage_log_summary log)
+    in
+    Option.iter
+      (fun file ->
+        Flight.save file;
+        Fmt.pr "wrote flight-recorder dump to %s@." file)
+      flight_dump;
+    Option.iter
+      (fun file ->
+        let oc = open_out file in
+        output_string oc (Triage.to_json report);
+        close_out oc;
+        Fmt.pr "wrote triage report JSON to %s@." file)
+      report_json;
+    Option.iter
+      (fun file ->
+        let oc = open_out file in
+        output_string oc (Triage.chrome_json report);
+        close_out oc;
+        Fmt.pr "wrote flight timeline Chrome trace to %s@." file)
+      chrome_trace;
+    if json then print_endline (Triage.to_json report)
+    else Fmt.pr "%a@." (Triage.pp ?timeline:None) report;
+    (* The audit: triage, reading only crash survivors, must reach the
+       same per-ticket verdicts as the in-process tickets. *)
+    let verdicts = Triage.staged_verdicts report in
+    let observed, unobserved =
+      List.partition
+        (fun tk ->
+          List.mem_assoc
+            (Redo_storage.Lsn.to_int (Redo_wal.Log_manager.ticket_lsn tk))
+            verdicts)
+        tickets
+    in
+    let mismatches =
+      List.filter
+        (fun tk ->
+          let lsn = Redo_storage.Lsn.to_int (Redo_wal.Log_manager.ticket_lsn tk) in
+          List.assoc lsn verdicts <> Redo_wal.Log_manager.ticket_stable tk)
+        observed
+    in
+    Fmt.pr "triage vs in-process: %d/%d staged ticket verdicts agree@."
+      (List.length observed - List.length mismatches)
+      (List.length observed);
+    (* A ticket whose Stage frame the tear destroyed is unobservable,
+       not misjudged: the recorder lost those bytes the same way the
+       WAL did. Reported, but not a triage failure. *)
+    List.iter
+      (fun tk ->
+        Fmt.pr "unobserved: ticket lsn=%d torn out of the recorder (in-process stable=%b)@."
+          (Redo_storage.Lsn.to_int (Redo_wal.Log_manager.ticket_lsn tk))
+          (Redo_wal.Log_manager.ticket_stable tk))
+      unobserved;
+    List.iter
+      (fun tk ->
+        Fmt.pr "MISMATCH: ticket lsn=%d in-process stable=%b@."
+          (Redo_storage.Lsn.to_int (Redo_wal.Log_manager.ticket_lsn tk))
+          (Redo_wal.Log_manager.ticket_stable tk))
+      mismatches;
+    if mismatches = [] && Triage.ok report then 0 else 1
+
 (* --- command wiring --- *)
 
 let demo_cmd =
@@ -558,6 +698,66 @@ let profile_cmd =
       $ crash_every_arg $ checkpoint_every_arg $ domains_arg $ checkpoint_shards_arg
       $ chrome_trace_arg)
 
+let triage_cmd =
+  let staged =
+    Arg.(
+      value & opt int 4
+      & info [ "stage" ] ~docv:"N"
+          ~doc:"Async commits staged into the batch the crash will race.")
+  in
+  let drop =
+    Arg.(
+      value & opt int 3
+      & info [ "drop" ] ~docv:"BYTES"
+          ~doc:
+            "Bytes torn off both the stable log's and the flight recorder's final write; 0 \
+             crashes cleanly.")
+  in
+  let segments =
+    Arg.(
+      value & opt int 4
+      & info [ "segments" ] ~docv:"N" ~doc:"Stable recorder segments in the ring.")
+  in
+  let segment_bytes =
+    Arg.(
+      value & opt int 65536
+      & info [ "segment-bytes" ] ~docv:"BYTES" ~doc:"Bytes per recorder segment.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the triage report as JSON.")
+  in
+  let report_json =
+    Arg.(
+      value & opt (some string) None
+      & info [ "report-json" ] ~docv:"FILE" ~doc:"Also write the triage report JSON to $(docv).")
+  in
+  let flight_dump =
+    Arg.(
+      value & opt (some string) None
+      & info [ "flight-dump" ] ~docv:"FILE"
+          ~doc:
+            "Save the surviving recorder segments to $(docv) (readable later with \
+             $(b,--from-dump)).")
+  in
+  let from_dump =
+    Arg.(
+      value & opt (some string) None
+      & info [ "from-dump" ] ~docv:"FILE"
+          ~doc:
+            "Skip the crash scenario: reconstruct the timeline from a saved flight-recorder \
+             dump.")
+  in
+  Cmd.v
+    (Cmd.info "triage"
+       ~doc:
+         "Crash a torn mid-batch workload and diagnose it post-mortem from the flight \
+          recorder + stable log: stable vs staged LSNs, per-ticket survival, shard horizons \
+          vs the recovery plan, reconstructed timeline")
+    Term.(
+      const triage $ method_arg $ seed_arg $ ops_arg $ partitions_arg $ cache_arg $ staged
+      $ drop $ segments $ segment_bytes $ json $ report_json $ flight_dump $ chrome_trace_arg
+      $ from_dump)
+
 let faults_cmd =
   let seeds = Arg.(value & opt int 8 & info [ "seeds" ] ~docv:"N" ~doc:"Seeds per variant.") in
   Cmd.v
@@ -568,6 +768,16 @@ let faults_cmd =
 let main_cmd =
   let doc = "A Theory of Redo Recovery (Lomet & Tuttle, SIGMOD 2003), executable" in
   Cmd.group (Cmd.info "redo" ~version:"1.0.0" ~doc)
-    [ demo_cmd; graphs_cmd; sim_cmd; torture_cmd; check_cmd; faults_cmd; stats_cmd; profile_cmd ]
+    [
+      demo_cmd;
+      graphs_cmd;
+      sim_cmd;
+      torture_cmd;
+      check_cmd;
+      faults_cmd;
+      stats_cmd;
+      profile_cmd;
+      triage_cmd;
+    ]
 
 let () = exit (Cmd.eval' main_cmd)

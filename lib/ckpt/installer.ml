@@ -4,6 +4,7 @@ module Domain_pool = Redo_par.Domain_pool
 module Metrics = Redo_obs.Metrics
 module Trace = Redo_obs.Trace
 module Span = Redo_obs.Span
+module Flight = Redo_obs.Flight
 module Int_set = Set.Make (Int)
 
 let c_installs = Metrics.counter "ckpt.installs"
@@ -218,6 +219,18 @@ let install_run ?pool ~domains ?before_install ~note cache log =
     ignore (Log_manager.force_async log ~upto:lsn);
     records := lsn :: !records;
     Metrics.incr c_shard_records;
+    (* The pages list rides along so post-crash triage can check the
+       surviving record set against the plan recover_sharded computes. *)
+    if Flight.enabled () then
+      Flight.emit
+        (Flight.Shard_ckpt
+           {
+             lsn = Lsn.to_int lsn;
+             shard = idx;
+             total;
+             horizon = Lsn.to_int horizon;
+             pages = comp.pages;
+           });
     if Trace.enabled () then
       Trace.emit "ckpt.shard_installed"
         [

@@ -1,4 +1,5 @@
 open Redo_methods
+module Flight = Redo_obs.Flight
 
 type recovery_method =
   | Logical
@@ -92,9 +93,20 @@ let set_group_commit t enabled =
 let group_commit_enabled t =
   Redo_wal.Log_manager.group_attached (Method_intf.instance_log t.instance)
 
-let crash t = Method_intf.instance_crash t.instance
+let crash t =
+  (* Same discipline as the simulator's crash gate: seal the recorder's
+     epoch (clean tear here — the store facade models a plain process
+     kill), then stamp the crash marker into the fresh segment before
+     volatile state is discarded. *)
+  if Flight.enabled () then begin
+    Flight.crash ();
+    Flight.emit (Flight.Crash { crash = t.recoveries + 1; torn = false })
+  end;
+  Method_intf.instance_crash t.instance
 
 let recover t =
+  if Flight.enabled () then
+    Flight.emit (Flight.Phase { name = "store.recover"; crash = t.recoveries + 1 });
   let s = Method_intf.instance_recover t.instance in
   t.recoveries <- t.recoveries + 1;
   t.scanned <- t.scanned + s.Method_intf.scanned;

@@ -1,7 +1,6 @@
-(** CRC-32 (IEEE) for stable-log frame integrity: a torn or corrupted
-    frame fails its checksum and ends the pre-recovery log scan. The
-    implementation lives in {!Redo_obs.Checksum} (shared with the flight
-    recorder's segment framing); this module re-exports it. *)
+(** CRC-32 (IEEE), implemented from scratch, for stable-log frame
+    integrity: a torn or corrupted frame fails its checksum and ends the
+    pre-recovery log scan. *)
 
 val update : int -> Bytes.t -> pos:int -> len:int -> int
 (** Incremental update: feed a chunk into a running CRC (start from 0). *)

@@ -64,6 +64,22 @@ let duration_bounds_ns =
 let count_bounds =
   [| 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256.; 512.; 1024.; 4096.; 16384.; 65536. |]
 
+(* Log-spaced bounds: [per_decade] buckets per factor of 10, from [lo]
+   up to exactly [hi]. Fixed linear (or hand-picked) bucket arrays clip
+   whichever tail the workload actually has — Background-mode group
+   commit produces wait times spanning five orders of magnitude — so
+   tail-heavy histograms should generate their bounds instead. *)
+let log_scale ?(per_decade = 3) ~lo ~hi () =
+  if not (lo > 0. && hi > lo) then invalid_arg "Metrics.log_scale: need 0 < lo < hi";
+  if per_decade < 1 then invalid_arg "Metrics.log_scale: per_decade must be >= 1";
+  let ratio = 10. ** (1. /. float per_decade) in
+  let bounds = ref [ lo ] and v = ref lo in
+  while !v *. ratio < hi do
+    v := !v *. ratio;
+    bounds := !v :: !bounds
+  done;
+  Array.of_list (List.rev (hi :: !bounds))
+
 let histogram ?(registry = default) ?(bounds = duration_bounds_ns) name =
   match Hashtbl.find_opt registry.histograms name with
   | Some h -> h
@@ -212,6 +228,12 @@ let pp ppf s =
 
 (* %.17g round-trips any float; plain integers render without an
    exponent for the common case. *)
+(* Namespaced alias so call sites can spell the generator
+   [Metrics.Histogram.log_scale ~lo ~hi ()]. *)
+module Histogram = struct
+  let log_scale = log_scale
+end
+
 let json_float v =
   if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
   else Printf.sprintf "%.17g" v

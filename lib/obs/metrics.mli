@@ -60,6 +60,19 @@ val count_bounds : float array
 (** Log-spaced bounds for event counts (1 .. 65536), e.g. records per
     force. *)
 
+val log_scale : ?per_decade:int -> lo:float -> hi:float -> unit -> float array
+(** Generated log-spaced bounds: [per_decade] buckets (default 3) per
+    factor of 10, from [lo] up to exactly [hi]. Prefer this over fixed
+    arrays for tail-heavy distributions (wait times, batch sizes under
+    contention), whose spread a linear or hand-picked array clips.
+    Raises [Invalid_argument] unless [0 < lo < hi] and
+    [per_decade >= 1]. *)
+
+(** Alias namespace: [Histogram.log_scale ~lo ~hi ()]. *)
+module Histogram : sig
+  val log_scale : ?per_decade:int -> lo:float -> hi:float -> unit -> float array
+end
+
 val histogram : ?registry:t -> ?bounds:float array -> string -> histogram
 (** [bounds] (default {!duration_bounds_ns}) must be strictly
     increasing; it is fixed at first creation and ignored on later

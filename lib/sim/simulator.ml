@@ -2,6 +2,7 @@ open Redo_methods
 module Metrics = Redo_obs.Metrics
 module Trace = Redo_obs.Trace
 module Span = Redo_obs.Span
+module Flight = Redo_obs.Flight
 
 let c_kv_ops = Metrics.counter "sim.kv_ops"
 let c_crashes = Metrics.counter "sim.crashes"
@@ -74,6 +75,49 @@ type outcome = {
   recovery_seconds : float;
 }
 
+(* The one gate every crash goes through. Before volatile state is
+   discarded, the flight recorder's own medium takes the crash too: the
+   Crash frame is emitted, the same byte tear is applied to the
+   recorder's active segment (possibly chopping that very frame — torn
+   crashes must exercise the recorder's torn-tail scan exactly like the
+   WAL's), and the epoch is sealed so post-crash frames land in a fresh
+   segment. Only then does the instance crash. *)
+let crash_instance ?torn_drop ~crash_no instance =
+  if Flight.enabled () then begin
+    (* The tear hits whatever frames were in flight — the recorder's
+       medium suffers the same [drop] the WAL's does — and the seal
+       closes the epoch. Only then does the crash gate stamp its death
+       certificate into the fresh segment: nobody records their own
+       crash mid-flight, so the marker is the gate's bookkeeping and
+       must survive every tear for triage's epoch scoping to hold. *)
+    Flight.crash ?drop:torn_drop ();
+    Flight.emit (Flight.Crash { crash = crash_no; torn = torn_drop <> None })
+  end;
+  match torn_drop with
+  | Some drop -> Method_intf.instance_crash_torn instance ~drop
+  | None -> Method_intf.instance_crash instance
+
+let flight_phase name ~crash_no =
+  if Flight.enabled () then Flight.emit (Flight.Phase { name; crash = crash_no })
+
+(* Plain-data view of the post-crash stable log for [Triage.analyze]:
+   triage itself lives in lib/obs, below lib/wal, so callers hand it
+   the summary rather than the log. *)
+let triage_log_summary log =
+  let open Redo_wal in
+  let module Lsn = Redo_storage.Lsn in
+  {
+    Redo_obs.Triage.stable_lsn = Lsn.to_int (Log_manager.flushed_lsn log);
+    stable_records = List.length (Log_manager.stable_records log);
+    stable_bytes = (Log_manager.stats log).Log_manager.stable_bytes;
+    checkpoint_lsn =
+      Option.map (fun (lsn, _) -> Lsn.to_int lsn) (Log_manager.last_stable_checkpoint log);
+    shard_horizons =
+      List.map
+        (fun (pid, h) -> (pid, Lsn.to_int h))
+        (Log_manager.stable_shard_horizons log);
+  }
+
 let mismatch_message ~when_ expected actual =
   let pp_kv ppf (k, v) = Fmt.pf ppf "%s=%s" k v in
   Fmt.str "%s: expected %a, got %a" when_
@@ -111,12 +155,13 @@ let crash_recover_verify ?(rng : Random.State.t option) ?pool cfg instance refer
      tail truncation): phase one of the recovery timeline. *)
   Span.span "sim.crash_scan" (fun () ->
       Metrics.span h_crash_scan_ns (fun () ->
-          if torn then
-            Method_intf.instance_crash_torn instance
-              ~drop:(1 + Random.State.int (Option.get rng) 6)
-          else Method_intf.instance_crash instance));
+          crash_instance instance
+            ~crash_no:(!outcome.crashes + 1)
+            ?torn_drop:
+              (if torn then Some (1 + Random.State.int (Option.get rng) 6) else None)));
   let theory_reports =
-    if cfg.verify_theory then
+    if cfg.verify_theory then begin
+      flight_phase "sim.theory" ~crash_no:(!outcome.crashes + 1);
       Span.span "sim.theory" @@ fun () ->
       Metrics.span h_theory_ns (fun () ->
           let report =
@@ -131,9 +176,11 @@ let crash_recover_verify ?(rng : Random.State.t option) ?pool cfg instance refer
                 "report", Trace.String (Fmt.str "%a" Theory_check.pp_report report);
               ];
           report :: !outcome.theory_reports)
+    end
     else !outcome.theory_reports
   in
   let t0 = Sys.time () in
+  flight_phase "sim.redo" ~crash_no:(!outcome.crashes + 1);
   (* A recovery or traversal that raises is itself a verification
      failure (injected faults corrupt state badly enough for that). *)
   let stats, recover_error =
@@ -158,6 +205,7 @@ let crash_recover_verify ?(rng : Random.State.t option) ?pool cfg instance refer
         "redone", Trace.Int stats.Method_intf.redone;
         "skipped", Trace.Int stats.Method_intf.skipped;
       ];
+  flight_phase "sim.verify" ~crash_no:(!outcome.crashes + 1);
   let verify_failures =
     Span.span "sim.verify" @@ fun () ->
     Metrics.span h_verify_ns (fun () ->

@@ -4,6 +4,7 @@ module Int_set = Set.Make (Int)
 module Metrics = Redo_obs.Metrics
 module Trace = Redo_obs.Trace
 module Span = Redo_obs.Span
+module Flight = Redo_obs.Flight
 
 let c_hits = Metrics.counter "cache.hits"
 let c_misses = Metrics.counter "cache.misses"
@@ -218,7 +219,6 @@ and flush_entry t ~forced ~visiting pid e =
             flush_with t ~forced:true ~visiting:(pid :: visiting) first
           end)
         l.pre);
-    ignore forced;
     t.before_flush e.page;
     Disk.write t.disk pid e.page;
     q_unlink t.dirty_q e;
@@ -226,6 +226,9 @@ and flush_entry t ~forced ~visiting pid e =
     q_push_front t.clean e;
     t.stats.flushes <- t.stats.flushes + 1;
     Metrics.incr c_flushes;
+    (* Recorded after the disk write: the flight recorder's account of
+       which pages reached disk survives the crash with the segments. *)
+    if Flight.enabled () then Flight.emit (Flight.Flush { page = pid; forced });
     match links with None -> () | Some l -> retire_constraints t pid l
 
 let flush_page t pid = flush_with t ~forced:false ~visiting:[] pid
@@ -295,6 +298,7 @@ let evict_victim t ~protect =
     Hashtbl.remove t.entries e.pid;
     t.stats.evictions <- t.stats.evictions + 1;
     Metrics.incr (if was_dirty then c_evictions_dirty else c_evictions_clean);
+    if Flight.enabled () then Flight.emit (Flight.Evict { page = e.pid; dirty = was_dirty });
     true
 
 let ensure_capacity t ~protect =

@@ -1,31 +1,6 @@
-(* CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
-   Implemented from scratch: the stable log uses it to detect torn or
-   corrupted frames during the pre-recovery scan. *)
+(* The CRC-32 implementation lives in Redo_obs.Checksum so the flight
+   recorder (lib/obs, which lib/wal depends on) can frame its segments
+   with the same discipline as the stable log. Re-exported here so WAL
+   code and tests keep their historical [Checksum.*] spelling. *)
 
-let table =
-  lazy
-    (Array.init 256 (fun n ->
-         let c = ref n in
-         for _ = 0 to 7 do
-           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
-         done;
-         !c))
-
-let update crc bytes ~pos ~len =
-  let table = Lazy.force table in
-  let crc = ref (crc lxor 0xFFFFFFFF) in
-  for i = pos to pos + len - 1 do
-    let byte = Char.code (Bytes.unsafe_get bytes i) in
-    crc := table.((!crc lxor byte) land 0xff) lxor (!crc lsr 8)
-  done;
-  !crc lxor 0xFFFFFFFF land 0xFFFFFFFF
-
-let bytes ?(pos = 0) ?len b =
-  let len = Option.value ~default:(Bytes.length b - pos) len in
-  update 0 b ~pos ~len
-
-let string s = bytes (Bytes.unsafe_of_string s)
-
-let self_test () =
-  (* The classic check value: CRC32("123456789") = 0xCBF43926. *)
-  string "123456789" = 0xCBF43926
+include Redo_obs.Checksum

@@ -1,12 +1,25 @@
 open Redo_storage
 module Metrics = Redo_obs.Metrics
 module Span = Redo_obs.Span
+module Flight = Redo_obs.Flight
 
 let c_batches = Metrics.counter "wal.group.batches"
 let c_forces_saved = Metrics.counter "wal.group.forces_saved"
 let c_piggybacked = Metrics.counter "wal.group.piggybacked"
-let h_batch_requests = Metrics.histogram ~bounds:Metrics.count_bounds "wal.group.batch_requests"
-let h_wait_ns = Metrics.histogram "wal.group.wait_ns"
+
+(* Log-scaled buckets: Background-mode contention spreads batch sizes
+   and barrier waits over many orders of magnitude, and the old fixed
+   arrays (count_bounds capped at 64k, duration bounds at 1 s) clipped
+   the tail into the overflow bucket. *)
+let h_batch_requests =
+  Metrics.histogram
+    ~bounds:(Metrics.Histogram.log_scale ~lo:1. ~hi:1e6 ())
+    "wal.group.batch_requests"
+
+let h_wait_ns =
+  Metrics.histogram
+    ~bounds:(Metrics.Histogram.log_scale ~lo:100. ~hi:1e10 ())
+    "wal.group.wait_ns"
 
 type mode = Inline | Background
 
@@ -86,6 +99,10 @@ let flush_locked t =
     Metrics.add c_forces_saved (max 0 (served - 1));
     Metrics.add c_piggybacked t.pending_async;
     Metrics.observe h_batch_requests (float served);
+    (* Recorded after the medium write: a surviving Batch frame is a
+       durable claim that [target] is stable. *)
+    if Flight.enabled () then
+      Flight.emit (Flight.Batch { upto = Lsn.to_int target; requests = served });
     t.pending_async <- 0
   end;
   Condition.broadcast t.stable_advanced
@@ -108,7 +125,11 @@ let barrier_locked t lsn =
          barrier — force directly. *)
       if not (stable_covers t lsn) then flush_locked t);
     t.pending_barriers <- t.pending_barriers - 1;
-    Metrics.observe h_wait_ns (Metrics.now_ns () -. t0)
+    Metrics.observe h_wait_ns (Metrics.now_ns () -. t0);
+    (* The barrier is about to return: this waiter is being told
+       "stable". Recorded after the force, so a surviving Commit frame
+       that the stable log contradicts means a waiter was lied to. *)
+    if Flight.enabled () then Flight.emit (Flight.Commit { lsn = Lsn.to_int lsn })
   end
 
 let locked t f =
@@ -128,6 +149,7 @@ let stage t lsn =
         if Lsn.(t.requested < lsn) then t.requested <- lsn;
         t.pending_async <- t.pending_async + 1;
         t.s_requests <- t.s_requests + 1;
+        if Flight.enabled () then Flight.emit (Flight.Stage { lsn = Lsn.to_int lsn });
         match t.md with
         | Background -> Condition.signal t.flush_ready
         | Inline -> ()

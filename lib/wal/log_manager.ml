@@ -2,6 +2,7 @@ open Redo_storage
 module Metrics = Redo_obs.Metrics
 module Trace = Redo_obs.Trace
 module Span = Redo_obs.Span
+module Flight = Redo_obs.Flight
 
 (* Process-wide telemetry, resolved once; recording is a field update. *)
 let c_appends = Metrics.counter "wal.appends"
@@ -101,7 +102,12 @@ let append_unlocked t payload =
   let lsn = Lsn.of_int (t.len + 1) in
   let r = Record.make ~lsn payload in
   (match payload with
-  | Record.Checkpoint _ | Record.Shard_checkpoint _ -> t.ckpts <- t.len :: t.ckpts
+  | Record.Checkpoint c ->
+    t.ckpts <- t.len :: t.ckpts;
+    if Flight.enabled () then
+      Flight.emit
+        (Flight.Checkpoint { lsn = Lsn.to_int lsn; dirty = List.length c.Record.dirty_pages })
+  | Record.Shard_checkpoint _ -> t.ckpts <- t.len :: t.ckpts
   | _ -> ());
   push t r;
   let framed = Codec.encoded_size r + 8 in
@@ -143,6 +149,12 @@ let force_run t ~upto =
   Metrics.add c_bytes_written (stable_bytes - bytes_before);
   Metrics.observe h_records_per_force (float (last - first));
   Metrics.observe h_force_ns (Metrics.now_ns () -. t0);
+  (* Recorded after the medium write, so a surviving Force frame is a
+     durable claim the triage pass can hold the stable log to. Frames
+     are per-force, not per-append: append coverage at batch
+     granularity keeps the recorder off the append fast path. *)
+  if Flight.enabled () then
+    Flight.emit (Flight.Force { upto = last; records = last - first });
   if Span.enabled () then
     Span.note
       [

@@ -28,4 +28,5 @@ let () =
       "persistent app", T_persist.suite;
       "obs", T_obs.suite;
       "span profiler", T_span.suite;
+      "flight recorder", T_flight.suite;
     ]
