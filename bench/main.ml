@@ -838,6 +838,124 @@ let e14_flight () =
     "  rows written to BENCH_7.json (best of 5 rounds, after warm-up; %d cores online)@."
     (Domain.recommended_domain_count ())
 
+(* ------------------------------------------------------------------ *)
+(* E15 / service: the sharded KV service — domain-parallel normal      *)
+(* operation over conflict-closed partitions, one group-committed WAL. *)
+(* 1M Zipf-skewed ops per run at 1/2/4/8 shards, plus the single-      *)
+(* domain Store facade as the no-mailbox control, written to           *)
+(* BENCH_8.json. The sublinear-force claim is the machine-checkable    *)
+(* one: every op stages a force_async (commit semantics), total        *)
+(* requests grow with shard count times nothing — and the measured     *)
+(* "wal.forces" / "wal.group.batches" deltas must stay flat while      *)
+(* shards multiply, because the Background committer serves every      *)
+(* shard's staged horizon from one batched force. Throughput rows are  *)
+(* honest about the box: on a single core the worker domains time-     *)
+(* slice one CPU, so multi-shard rows measure coordination overhead,   *)
+(* not speedup — the cores-online count rides in the footer and the    *)
+(* control row is the fair baseline. A separate (untimed) leg drives a *)
+(* smaller run through crash + recovery and prints the serial          *)
+(* certificates, so every bench invocation also re-checks concurrent   *)
+(* execution + crash + recovery ≡ one serial execution.                *)
+
+let e15_service () =
+  Bench_util.heading
+    "E15/service: sharded KV service - domain-parallel ops, one group-committed WAL";
+  let n = 1_000_000 and keys = 100_000 and partitions = 8192 in
+  let zipf = Redo_workload.Zipf.create ~theta:0.99 keys in
+  let values = Array.init 256 (Printf.sprintf "value%03d") in
+  Fmt.pr "  %-22s %7s %12s %9s %9s %9s %13s@." "bench" "shards" "total-ms" "Mops/s"
+    "forces" "batches" "forces-saved";
+  let rows = ref [] in
+  let record bench shards (total_ns, counters) =
+    let delta name = Option.value ~default:0 (List.assoc_opt name counters) in
+    let derived =
+      [
+        "forces", delta "wal.forces";
+        "batches", delta "wal.group.batches";
+        "forces_saved", delta "wal.group.forces_saved";
+      ]
+    in
+    rows := (bench, n, shards, total_ns, counters @ derived, None) :: !rows;
+    Fmt.pr "  %-22s %7d %12.1f %9.2f %9d %9d %13d@." bench shards (total_ns /. 1e6)
+      (float n *. 1e3 /. total_ns)
+      (delta "wal.forces") (delta "wal.group.batches") (delta "wal.group.forces_saved")
+  in
+  (* One op stream for every configuration: 90% puts, 10% deletes, a
+     durable commit barrier every 512 ops. *)
+  let drive ~put ~delete ~commit =
+    let rng = Random.State.make [| 2026 |] in
+    for i = 1 to n do
+      let key = Redo_workload.Zipf.sample_key zipf rng in
+      if i mod 10 = 0 then delete key else put key values.(i land 255);
+      if i mod 512 = 0 then commit key
+    done
+  in
+  (* Control: the single-domain Store facade (physiological, Inline
+     group commit), same stream — no mailboxes, no worker domains. *)
+  record "service_store_ctrl" 1
+    (Bench_util.bench_ns ~repeat:2
+       ~setup:(fun () -> ())
+       (fun () ->
+         let store =
+           Redo_kv.Store.create ~partitions ~cache_capacity:partitions
+             Redo_kv.Store.Physiological
+         in
+         Redo_kv.Store.set_group_commit store true;
+         drive
+           ~put:(Redo_kv.Store.put store)
+           ~delete:(Redo_kv.Store.delete store)
+           ~commit:(fun _ -> Redo_kv.Store.sync store);
+         Redo_kv.Store.sync store;
+         Redo_kv.Store.set_group_commit store false));
+  (* The sharded service. Store setup and teardown stay inside the
+     clock: the worker domains and the committer's flusher are part of
+     what a run costs, and close must run per round anyway (leaked
+     domains outlive the bench). *)
+  List.iter
+    (fun shards ->
+      record "service_sharded" shards
+        (Bench_util.bench_ns ~repeat:2
+           ~setup:(fun () -> ())
+           (fun () ->
+             let store =
+               Redo_kv.Sharded_store.create ~shards ~partitions
+                 ~cache_capacity:(partitions / shards) ()
+             in
+             drive
+               ~put:(Redo_kv.Sharded_store.put store)
+               ~delete:(Redo_kv.Sharded_store.delete store)
+               ~commit:(fun key ->
+                 Redo_wal.Log_manager.await
+                   (Redo_kv.Sharded_store.put_durable store key "commit"));
+             Redo_kv.Sharded_store.sync store;
+             Redo_kv.Sharded_store.close store)))
+    [ 1; 2; 4; 8 ];
+  emit_json ~file:"BENCH_8.json" (List.rev !rows);
+  Fmt.pr
+    "  rows written to BENCH_8.json (best of 2 rounds, after warm-up; %d cores online - \
+     on 1 core the shard rows measure coordination overhead, not speedup)@."
+    (Domain.recommended_domain_count ());
+  (* Certification leg, outside the clock: a smaller run through
+     checkpoint, crash and recovery, certified against its serial
+     witness on both sides of the crash. *)
+  let store = Redo_kv.Sharded_store.create ~shards:4 ~partitions:256 ~cache_capacity:64 () in
+  let rng = Random.State.make [| 7; 2026 |] in
+  for i = 1 to 50_000 do
+    let key = Redo_workload.Zipf.sample_key zipf rng in
+    if i mod 10 = 0 then Redo_kv.Sharded_store.delete store key
+    else Redo_kv.Sharded_store.put store key values.(i land 255);
+    if i mod 8192 = 0 then ignore (Redo_kv.Sharded_store.checkpoint_sharded store)
+  done;
+  let live = Redo_kv.Sharded_store.certify store ~phase:`Live in
+  Redo_kv.Sharded_store.crash store;
+  ignore (Redo_kv.Sharded_store.recover store);
+  let recovered = Redo_kv.Sharded_store.certify store ~phase:`Recovered in
+  Redo_kv.Sharded_store.close store;
+  Fmt.pr "  %a@.  %a@." Theory_check.pp_certificate live Theory_check.pp_certificate
+    recovered;
+  if not (Theory_check.certificate_ok live && Theory_check.certificate_ok recovered) then
+    exit 1
+
 let micro_benchmarks () =
   Bench_util.heading "Micro-benchmarks (Bechamel, OLS estimate per run)";
   let open Bechamel in
@@ -901,6 +1019,7 @@ let experiments =
     "checkpoint", e12_checkpoint;
     "group_commit", e13_group_commit;
     "flight", e14_flight;
+    "service", e15_service;
     "perf", perf;
     "micro", micro_benchmarks;
   ]

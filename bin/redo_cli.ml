@@ -8,6 +8,8 @@
    redo stats ...            - run a crashing workload, dump the metrics registry
    redo profile -m METHOD .. - span-profile the recoveries: critical path,
                                shard imbalance, optional Chrome trace
+   redo serve-bench ...      - drive the sharded KV service with Zipf
+                               traffic; optional certification + triage
 
    sim, torture and check also take --metrics [pretty|json] to dump the
    process-wide metrics registry after the run, and --chrome-trace FILE
@@ -632,6 +634,113 @@ let triage method_name seed ops partitions cache staged drop segments segment_by
       mismatches;
     if mismatches = [] && Triage.ok report then 0 else 1
 
+(* --- serve-bench --- *)
+
+(* Drive the sharded KV service with Zipf traffic and report throughput
+   plus the group committer's force accounting. With --check, certify
+   the run against its serial witness on both sides of a crash (and
+   check the Recovery Invariant when the run is small enough to
+   project); with --triage, run the whole thing under the flight
+   recorder, tear the final force, and audit the staged-commit claims
+   post-mortem. *)
+let serve_bench shards ops keys theta partitions cache do_check do_triage drop metrics =
+  with_metrics metrics @@ fun () ->
+  let module SS = Redo_kv.Sharded_store in
+  let module Flight = Redo_obs.Flight in
+  let module Triage = Redo_obs.Triage in
+  let module Theory_check = Redo_methods.Theory_check in
+  let partitions = if partitions > 0 then partitions else 32 * shards in
+  let cache = if cache > 0 then cache else max 1 (partitions / shards) in
+  if do_triage then begin
+    Flight.reset ();
+    Flight.configure ();
+    Flight.set_enabled true
+  end;
+  Fun.protect ~finally:(fun () -> if do_triage then Flight.set_enabled false)
+  @@ fun () ->
+  let store = SS.create ~shards ~partitions ~cache_capacity:cache () in
+  Fun.protect ~finally:(fun () -> SS.close store) @@ fun () ->
+  let zipf = Redo_workload.Zipf.create ~theta keys in
+  let rng = Random.State.make [| 0x5e12e; shards; ops |] in
+  let before = Redo_obs.Metrics.counter_values () in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to ops do
+    let key = Redo_workload.Zipf.sample_key zipf rng in
+    if i mod 10 = 0 then SS.delete store key else SS.put store key (Printf.sprintf "v%d" i);
+    if i mod 512 = 0 then Redo_wal.Log_manager.await (SS.put_durable store key "commit");
+    if i mod (max 1 (ops / 4)) = 0 then ignore (SS.checkpoint_sharded store)
+  done;
+  SS.sync store;
+  let seconds = Unix.gettimeofday () -. t0 in
+  let deltas =
+    Redo_obs.Metrics.counter_diff ~before ~after:(Redo_obs.Metrics.counter_values ())
+  in
+  let delta name = Option.value ~default:0 (List.assoc_opt name deltas) in
+  Fmt.pr "serve-bench: %d shards over %d partitions, %d ops in %.3fs (%.0f ops/s)@." shards
+    partitions ops seconds
+    (float ops /. seconds);
+  Fmt.pr "  wal: %d forces for %d appends (%d group batches, %d forces saved)@."
+    (delta "wal.forces") (delta "wal.appends") (delta "wal.group.batches")
+    (delta "wal.group.forces_saved");
+  let failures = ref 0 in
+  let check_cert label cert =
+    Fmt.pr "  %s: %a@." label Theory_check.pp_certificate cert;
+    if not (Theory_check.certificate_ok cert) then incr failures
+  in
+  if do_check then check_cert "live" (SS.certify store ~phase:`Live);
+  if do_check || do_triage then begin
+    (* The crash: torn mid-batch when triaging (with staged durable
+       commits racing the tear), clean otherwise. *)
+    let held =
+      if do_triage then
+        List.init 4 (fun i -> SS.put_durable store (Printf.sprintf "tail%02d" i) "t")
+      else []
+    in
+    if do_triage then SS.crash_torn store ~drop else SS.crash store;
+    if do_triage then begin
+      let report =
+        Triage.analyze ~flight:(Flight.scan ())
+          ~log:(Redo_sim.Simulator.triage_log_summary (SS.log store))
+      in
+      let verdicts = Triage.staged_verdicts report in
+      let agreed =
+        List.for_all
+          (fun tk ->
+            match
+              List.assoc_opt (Redo_storage.Lsn.to_int (Redo_wal.Log_manager.ticket_lsn tk))
+                verdicts
+            with
+            | Some v -> v = Redo_wal.Log_manager.ticket_stable tk
+            | None -> true)
+          held
+      in
+      Fmt.pr "  triage: %s, %d lied to, staged verdicts %s@."
+        (if Triage.ok report then "ok" else "NOT OK")
+        report.Triage.lied_to
+        (if agreed then "agree with in-process tickets" else "DISAGREE");
+      if not (Triage.ok report && report.Triage.lied_to = 0 && agreed) then incr failures
+    end;
+    if do_check then begin
+      (* The invariant check projects the whole stable log; past a few
+         thousand ops that dwarfs the bench itself. *)
+      if ops <= 10_000 then
+        match SS.verify_recovery_invariant ~domains:2 store with
+        | Ok report ->
+          Fmt.pr "  invariant: ok (%d ops, %d redo)@." report.Theory_check.op_count
+            report.Theory_check.redo_count
+        | Error msg ->
+          Fmt.pr "  INVARIANT VIOLATION: %s@." msg;
+          incr failures
+      else Fmt.pr "  invariant: skipped (n > 10000; use a smaller -n to project the log)@."
+    end;
+    let r = SS.recover store in
+    Fmt.pr "  recovery: %d scanned, %d redone, %d skipped (analysis %d)@." r.SS.scanned
+      r.SS.redone r.SS.skipped r.SS.analysis_scanned;
+    if do_check then check_cert "recovered" (SS.certify store ~phase:`Recovered)
+  end;
+  Fmt.pr "  stats: %a@." SS.pp_stats (SS.stats store);
+  if !failures = 0 then 0 else 1
+
 (* --- command wiring --- *)
 
 let demo_cmd =
@@ -758,6 +867,66 @@ let triage_cmd =
       $ drop $ segments $ segment_bytes $ json $ report_json $ flight_dump $ chrome_trace_arg
       $ from_dump)
 
+let serve_bench_cmd =
+  let shards =
+    Arg.(value & opt int 4 & info [ "shards" ] ~docv:"N" ~doc:"Worker shard domains.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 100_000
+      & info [ "n"; "ops" ] ~docv:"N" ~doc:"Operations to drive through the service.")
+  in
+  let keys =
+    Arg.(value & opt int 10_000 & info [ "keys" ] ~docv:"N" ~doc:"Zipf key population.")
+  in
+  let theta =
+    Arg.(value & opt float 0.99 & info [ "theta" ] ~docv:"T" ~doc:"Zipf skew (0 = uniform).")
+  in
+  let partitions =
+    Arg.(
+      value & opt int 0
+      & info [ "p"; "partitions" ] ~docv:"P"
+          ~doc:"Page partitions; 0 picks 32 per shard.")
+  in
+  let cache =
+    Arg.(
+      value & opt int 0
+      & info [ "cache" ] ~docv:"PAGES"
+          ~doc:"Per-shard cache capacity; 0 sizes it to the shard's page count.")
+  in
+  let do_check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Certify the run against its serial witness before and after a crash + recovery \
+             (and check the Recovery Invariant when -n is small enough to project).")
+  in
+  let do_triage =
+    Arg.(
+      value & flag
+      & info [ "triage" ]
+          ~doc:
+            "Run under the flight recorder, crash torn mid-batch with staged commits in \
+             flight, and audit the post-mortem triage verdicts against the in-process \
+             tickets.")
+  in
+  let drop =
+    Arg.(
+      value & opt int 3
+      & info [ "drop" ] ~docv:"BYTES"
+          ~doc:"Bytes torn off the final force when --triage crashes the service.")
+  in
+  Cmd.v
+    (Cmd.info "serve-bench"
+       ~doc:
+         "Drive the sharded KV service (domain-per-shard workers, one group-committed WAL) \
+          with Zipf traffic; report throughput and force coalescing, optionally certified \
+          through crash + recovery and triaged post-mortem")
+    Term.(
+      const serve_bench $ shards $ ops $ keys $ theta $ partitions $ cache $ do_check
+      $ do_triage $ drop $ metrics_arg)
+
 let faults_cmd =
   let seeds = Arg.(value & opt int 8 & info [ "seeds" ] ~docv:"N" ~doc:"Seeds per variant.") in
   Cmd.v
@@ -778,6 +947,7 @@ let main_cmd =
       stats_cmd;
       profile_cmd;
       triage_cmd;
+      serve_bench_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

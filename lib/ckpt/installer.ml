@@ -14,6 +14,17 @@ let c_shard_records = Metrics.counter "ckpt.shard_records"
 let h_install_ns = Metrics.histogram "ckpt.install_ns"
 let h_component_pages = Metrics.histogram ~bounds:Metrics.count_bounds "ckpt.component_pages"
 
+(* Histograms are single-writer instruments, but the sharded KV service
+   runs one [install] per shard-owner domain concurrently (each over its
+   own cache). This mutex restores the single-writer discipline for the
+   two shared histograms; counters are Atomics and need nothing. *)
+let h_mutex = Mutex.create ()
+
+let observe_locked h v =
+  Mutex.lock h_mutex;
+  Metrics.observe h v;
+  Mutex.unlock h_mutex
+
 type component = {
   pages : int list;
   batch : (int * Page.t) list;
@@ -175,7 +186,7 @@ let install_run ?pool ~domains ?before_install ~note cache log =
   Metrics.incr c_installs;
   Metrics.add c_components total;
   Metrics.add c_pages_installed pages_installed;
-  List.iter (fun c -> Metrics.observe h_component_pages (float (List.length c.pages))) comps;
+  List.iter (fun c -> observe_locked h_component_pages (float (List.length c.pages))) comps;
   if Span.enabled () then
     Span.note [ "components", Span.Int total; "pages", Span.Int pages_installed ];
   (* The write-ahead half of the protocol, once for the whole install:
@@ -192,10 +203,17 @@ let install_run ?pool ~domains ?before_install ~note cache log =
   | _ -> ());
   let records = ref [] in
   (* Collapse the component into installed nodes and publish its
-     horizon. Runs on the coordinator only — [Cache]/[Log_manager] are
-     not domain-safe. Captured just before its own append, the horizon
-     covers every record that can touch the shard's pages: the only
-     records appended during an install are shard records themselves. *)
+     horizon. Runs on the calling domain only — [Cache] is not
+     domain-safe, and [Log_manager] appends are only serialized while a
+     group committer is attached. Captured just before its own append,
+     the horizon covers every record that can touch the shard's pages:
+     within one install the only appends are shard records, and when
+     several installs run concurrently (one per shard-owner domain,
+     group committer attached) the interleaved appends are other
+     shards' records — none touch this component's pages, and this
+     caller's own earlier appends are below the captured horizon by
+     program order. A concurrently-read [last_lsn] may lag the true
+     tail; a smaller horizon only claims less, never too much. *)
   let complete idx comp =
     List.iter (Cache.note_installed cache) comp.pages;
     let horizon = Log_manager.last_lsn log in
@@ -292,7 +310,7 @@ let install_run ?pool ~domains ?before_install ~note cache log =
         done;
         match !first_error with Some e -> raise e | None -> ())
   end;
-  Metrics.observe h_install_ns (Metrics.now_ns () -. t0);
+  observe_locked h_install_ns (Metrics.now_ns () -. t0);
   { components = total; pages_installed; records = List.rev !records }
 
 let install ?pool ?(domains = 1) ?before_install ?(note = "shard-ckpt") cache log =

@@ -1,0 +1,519 @@
+open Redo_storage
+open Redo_wal
+module Mailbox = Redo_par.Mailbox
+module Metrics = Redo_obs.Metrics
+module Span = Redo_obs.Span
+module Flight = Redo_obs.Flight
+module Installer = Redo_ckpt.Installer
+module Kv_layout = Redo_methods.Kv_layout
+module Projection = Redo_methods.Projection
+module Theory_check = Redo_methods.Theory_check
+
+let name = "sharded"
+
+(* Process-wide telemetry, resolved once. Counters are Atomics, so the
+   shard owners increment them concurrently without ceremony; the queue
+   histogram is observed from the client domain only (single-writer). *)
+let c_ops = Metrics.counter "kv.shard.ops"
+let c_reads = Metrics.counter "kv.shard.reads"
+let c_commits = Metrics.counter "kv.shard.commits"
+let c_installs = Metrics.counter "kv.shard.installs"
+let c_replayed = Metrics.counter "kv.shard.replayed"
+
+let h_queue_depth =
+  Metrics.histogram ~bounds:Metrics.count_bounds "kv.shard.queue_depth"
+
+type recovery_stats = {
+  scanned : int;
+  redone : int;
+  skipped : int;
+  analysis_scanned : int;
+}
+
+type stats = {
+  puts : int;
+  deletes : int;
+  gets : int;
+  checkpoints : int;
+  crashes : int;
+  recoveries : int;
+  records_scanned : int;
+  records_redone : int;
+  records_skipped : int;
+}
+
+(* One shard: a static slice of the page universe (pid mod shards),
+   a private cache over the shared disk, and the mailbox whose consumer
+   domain is the only code that ever touches that cache. *)
+type shard = {
+  index : int;
+  pages : int list;
+  cache : Cache.t;
+  mailbox : Mailbox.t;
+}
+
+type t = {
+  nshards : int;
+  n_partitions : int;
+  disk : Disk.t;
+  log : Log_manager.t;
+  committer : Group_commit.t;
+  shard_arr : shard array;
+  puts : int Atomic.t;
+  deletes : int Atomic.t;
+  gets : int Atomic.t;
+  checkpoints : int Atomic.t;
+  crashes : int Atomic.t;
+  recoveries : int Atomic.t;
+  scanned : int Atomic.t;
+  redone : int Atomic.t;
+  skipped : int Atomic.t;
+  mutable closed : bool;
+}
+
+let create ?(shards = 4) ?partitions ?(cache_capacity = 64)
+    ?(commit_mode = Group_commit.Background) () =
+  if shards <= 0 then invalid_arg "Sharded_store.create: need a positive shard count";
+  let n_partitions = Option.value partitions ~default:(8 * shards) in
+  if n_partitions < shards then
+    invalid_arg "Sharded_store.create: fewer partitions than shards";
+  let disk = Disk.create () in
+  let log = Log_manager.create ~capacity:1024 () in
+  (* The committer is not optional: it is what makes concurrent appends
+     from the shard owners well-defined (they serialize under its
+     mutex) and what coalesces their per-op durability requests into
+     batched forces. *)
+  let committer = Group_commit.create ~mode:commit_mode log in
+  let universe = Kv_layout.universe ~partitions:n_partitions in
+  let shard_arr =
+    Array.init shards (fun i ->
+        (* The write-ahead rule, per shard: this cache only ever holds
+           pages this shard's owner logged for, so forcing up to the
+           page LSN covers every record the flush could expose. *)
+        let before_flush page = Log_manager.force log ~upto:(Page.lsn page) in
+        let cache = Cache.create ~capacity:cache_capacity ~before_flush disk in
+        {
+          index = i;
+          pages = List.filter (fun pid -> pid mod shards = i) universe;
+          cache;
+          mailbox = Mailbox.create ~name:(Printf.sprintf "kv.shard%d" i) ();
+        })
+  in
+  {
+    nshards = shards;
+    n_partitions;
+    disk;
+    log;
+    committer;
+    shard_arr;
+    puts = Atomic.make 0;
+    deletes = Atomic.make 0;
+    gets = Atomic.make 0;
+    checkpoints = Atomic.make 0;
+    crashes = Atomic.make 0;
+    recoveries = Atomic.make 0;
+    scanned = Atomic.make 0;
+    redone = Atomic.make 0;
+    skipped = Atomic.make 0;
+    closed = false;
+  }
+
+let shards t = t.nshards
+let partitions t = t.n_partitions
+let log t = t.log
+
+let ensure_open t = if t.closed then invalid_arg "Sharded_store: store is closed"
+let locate t key = Kv_layout.locate ~partitions:t.n_partitions key
+let owner t pid = t.shard_arr.(pid mod t.nshards)
+
+(* ---- normal operation (worker side) -------------------------------- *)
+
+(* The physiological discipline on the owner domain: log first (the
+   append assigns the LSN, serialized under the committer's mutex),
+   then apply to the shard's private page and stamp it. *)
+let apply_logged t shard pid op =
+  let lsn = Log_manager.append t.log (Record.Physiological { pid; op }) in
+  Cache.update shard.cache pid ~lsn (Page_op.apply op);
+  Metrics.incr c_ops;
+  lsn
+
+let page_entries shard pid =
+  match Page.data (Cache.read shard.cache pid) with
+  | Page.Kv entries -> entries
+  | Page.Empty -> []
+  | data ->
+    invalid_arg (Fmt.str "sharded store: unexpected page payload %a" Page.pp_data data)
+
+(* ---- normal operation (client side) -------------------------------- *)
+
+let route t key op =
+  ensure_open t;
+  let pid = locate t key in
+  let shard = owner t pid in
+  (* Every acknowledged operation is a commit request: the owner stages
+     it for the next group force, so durability is eventual and the
+     forces coalesce across all shards (the sublinear-force story). *)
+  Mailbox.post shard.mailbox (fun () ->
+      let lsn = apply_logged t shard pid op in
+      ignore (Log_manager.force_async t.log ~upto:lsn))
+
+let put t key value =
+  if String.length key = 0 then invalid_arg "Sharded_store.put: empty key";
+  Atomic.incr t.puts;
+  route t key (Page_op.Put (key, value))
+
+let delete t key =
+  Atomic.incr t.deletes;
+  route t key (Page_op.Del key)
+
+let put_durable t key value =
+  ensure_open t;
+  if String.length key = 0 then invalid_arg "Sharded_store.put_durable: empty key";
+  Atomic.incr t.puts;
+  Metrics.incr c_commits;
+  let pid = locate t key in
+  let shard = owner t pid in
+  Metrics.observe h_queue_depth (float (Mailbox.depth shard.mailbox));
+  Mailbox.Ticket.await
+    (Mailbox.call shard.mailbox (fun () ->
+         let lsn = apply_logged t shard pid (Page_op.Put (key, value)) in
+         Log_manager.force_async t.log ~upto:lsn))
+
+let get_async t key =
+  ensure_open t;
+  Atomic.incr t.gets;
+  Metrics.incr c_reads;
+  let pid = locate t key in
+  let shard = owner t pid in
+  Mailbox.call shard.mailbox (fun () -> Page.kv_get (page_entries shard pid) key)
+
+let get t key = Mailbox.Ticket.await (get_async t key)
+
+let drain t = Array.iter (fun s -> Mailbox.drain s.mailbox) t.shard_arr
+
+let sync t =
+  ensure_open t;
+  drain t;
+  Log_manager.force_all t.log
+
+(* Run one closure per shard on its owner domain, concurrently, and
+   wait for all of them. The mailbox handoff gives happens-before in
+   both directions, so the coordinator may read the results (and the
+   workers the captured state) without extra synchronisation. *)
+let on_shards t f =
+  let tickets = Array.map (fun s -> Mailbox.call s.mailbox (fun () -> f s)) t.shard_arr in
+  Array.map Mailbox.Ticket.await tickets
+
+let dump t =
+  ensure_open t;
+  drain t;
+  on_shards t (fun s -> List.concat_map (fun pid -> page_entries s pid) s.pages)
+  |> Array.to_list
+  |> Kv_layout.merge_dumps
+
+let durable_ops t = Log_manager.stable_op_records t.log
+
+(* ---- checkpoints ---------------------------------------------------- *)
+
+let checkpoint t =
+  ensure_open t;
+  drain t;
+  Atomic.incr t.checkpoints;
+  let tables =
+    on_shards t (fun s ->
+        List.filter_map
+          (fun pid -> Option.map (fun l -> pid, l) (Cache.rec_lsn s.cache pid))
+          (Cache.dirty_pages s.cache))
+  in
+  let dirty_pages = List.concat (Array.to_list tables) in
+  let lsn = Log_manager.append t.log (Record.Checkpoint { dirty_pages; note = name }) in
+  Log_manager.force t.log ~upto:lsn
+
+let checkpoint_sharded t =
+  ensure_open t;
+  drain t;
+  Atomic.incr t.checkpoints;
+  Span.span "kv.checkpoint" ~attrs:[ "shards", Span.Int t.nshards ] @@ fun () ->
+  let parent = Span.current () in
+  (* One write-graph install per shard, each on its owner domain. The
+     drain above quiesced normal traffic, so the only concurrent
+     appends are the installs' own shard records — the horizon
+     argument in [Installer] covers exactly this interleaving. *)
+  let reports =
+    on_shards t (fun s ->
+        Metrics.incr c_installs;
+        let run () =
+          Installer.install ~domains:1
+            ~before_install:(fun upto -> Log_manager.force t.log ~upto)
+            ~note:(Printf.sprintf "%s.%d" name s.index)
+            s.cache t.log
+        in
+        if Span.enabled () then
+          Span.span ~parent "kv.shard.install" ~attrs:[ "shard", Span.Int s.index ] run
+        else run ())
+  in
+  let components = Array.fold_left (fun acc r -> acc + r.Installer.components) 0 reports in
+  let pages = Array.fold_left (fun acc r -> acc + r.Installer.pages_installed) 0 reports in
+  (* Summary record: every dirty page was just installed and no worker
+     has run since the drain, so the dirty-page table is empty — the
+     scan start jumps to this record. Forcing it also flushes every
+     piggybacked shard record in one batch. *)
+  let lsn = Log_manager.append t.log (Record.Checkpoint { dirty_pages = []; note = name }) in
+  Log_manager.force t.log ~upto:lsn;
+  components, pages
+
+(* ---- crash ---------------------------------------------------------- *)
+
+let crash_with t ~torn ~drop =
+  ensure_open t;
+  (* Quiesce first: every accepted operation is at least in the
+     volatile log, and the crash then loses precisely the unforced
+     tail — the same loss model as the single-domain facades. *)
+  drain t;
+  let crash_no = Atomic.get t.crashes + 1 in
+  (* The simulator's crash-gate discipline: seal the recorder's epoch
+     (tearing its medium in step with the WAL's), then stamp the crash
+     marker into the fresh segment before volatile state is discarded. *)
+  if Flight.enabled () then begin
+    if torn then Flight.crash ~drop () else Flight.crash ();
+    Flight.emit (Flight.Crash { crash = crash_no; torn })
+  end;
+  if torn then Log_manager.crash_torn t.log ~drop else Log_manager.crash t.log;
+  ignore (on_shards t (fun s -> Cache.drop_volatile s.cache));
+  Atomic.incr t.crashes
+
+let crash t = crash_with t ~torn:false ~drop:0
+let crash_torn t ~drop = crash_with t ~torn:true ~drop
+
+(* ---- recovery ------------------------------------------------------- *)
+
+let scan_start t =
+  match Log_manager.last_stable_checkpoint t.log with
+  | None -> Lsn.of_int 1
+  | Some (ckpt_lsn, { Record.dirty_pages; _ }) ->
+    List.fold_left (fun acc (_, rec_lsn) -> min acc rec_lsn) (Lsn.next ckpt_lsn) dirty_pages
+
+(* The ARIES-style analysis pass, verbatim from the physiological
+   method: rebuild the dirty-page table from the newest checkpoint and
+   every later record, and start redo at its oldest recLSN. *)
+let analysis t =
+  let ckpt_lsn, dpt0 =
+    match Log_manager.last_stable_checkpoint t.log with
+    | None -> Lsn.zero, []
+    | Some (lsn, { Record.dirty_pages; _ }) -> lsn, dirty_pages
+  in
+  let dpt = Hashtbl.create 16 in
+  List.iter (fun (pid, rec_lsn) -> Hashtbl.replace dpt pid rec_lsn) dpt0;
+  let scanned = ref 0 in
+  List.iter
+    (fun r ->
+      incr scanned;
+      match Record.payload r with
+      | Record.Physiological { pid; _ } ->
+        if not (Hashtbl.mem dpt pid) then Hashtbl.replace dpt pid (Record.lsn r)
+      | _ -> ())
+    (Log_manager.records_from t.log ~from:(Lsn.next ckpt_lsn));
+  let redo_start =
+    Hashtbl.fold (fun _ rec_lsn acc -> min acc rec_lsn) dpt (Lsn.next ckpt_lsn)
+  in
+  dpt, redo_start, !scanned
+
+let recover t =
+  ensure_open t;
+  drain t;
+  if Flight.enabled () then
+    Flight.emit (Flight.Phase { name = "kv.recover"; crash = Atomic.get t.crashes });
+  Span.span "kv.recover" ~attrs:[ "shards", Span.Int t.nshards ] @@ fun () ->
+  let dpt, redo_start, analysis_scanned = analysis t in
+  let horizons = Hashtbl.create 16 in
+  List.iter
+    (fun (pid, h) -> Hashtbl.replace horizons pid h)
+    (Log_manager.stable_shard_horizons t.log);
+  (* Bucket the redo scan by owning shard — the plan [Core.Partition]
+     would compute, coarsened to the static shard boundaries (each
+     record touches one page; pages never change owner; so the buckets
+     are conflict-closed and replay in parallel by Theorem 3). *)
+  let buckets = Array.make t.nshards [] in
+  let scanned = ref 0 in
+  List.iter
+    (fun r ->
+      incr scanned;
+      match Record.payload r with
+      | Record.Physiological { pid; _ } ->
+        let i = pid mod t.nshards in
+        buckets.(i) <- r :: buckets.(i)
+      | Record.Checkpoint _ | Record.Shard_checkpoint _ -> ()
+      | payload ->
+        invalid_arg
+          (Fmt.str "sharded recovery: unexpected record %a" Record.pp_payload payload))
+    (Log_manager.records_from t.log ~from:redo_start);
+  let parent = Span.current () in
+  (* [dpt] and [horizons] are read-only from here on: sharing them with
+     the worker domains is safe. *)
+  let replay (s : shard) records () =
+    let redone = ref 0 and skipped = ref 0 in
+    List.iter
+      (fun r ->
+        match Record.payload r with
+        | Record.Physiological { pid; op } ->
+          let surely_on_disk =
+            (match Hashtbl.find_opt horizons pid with
+            | Some h -> Lsn.(Record.lsn r <= h)
+            | None -> false)
+            ||
+            match Hashtbl.find_opt dpt pid with
+            | None -> true (* clean at the crash: all its updates were flushed *)
+            | Some rec_lsn -> Lsn.(Record.lsn r < rec_lsn)
+          in
+          if surely_on_disk then incr skipped
+          else begin
+            let page = Cache.read s.cache pid in
+            if Lsn.(Page.lsn page < Record.lsn r) then begin
+              Cache.update s.cache pid ~lsn:(Record.lsn r) (Page_op.apply op);
+              incr redone
+            end
+            else incr skipped
+          end
+        | _ -> assert false)
+      records;
+    !redone, !skipped
+  in
+  let results =
+    let tickets =
+      Array.mapi
+        (fun i s ->
+          let records = List.rev buckets.(i) in
+          Mailbox.call s.mailbox (fun () ->
+              if Span.enabled () then
+                Span.span ~parent "kv.shard.recover"
+                  ~attrs:
+                    [
+                      "shard", Span.Int s.index;
+                      "records", Span.Int (List.length records);
+                    ]
+                  (replay s records)
+              else replay s records ()))
+        t.shard_arr
+    in
+    Array.map Mailbox.Ticket.await tickets
+  in
+  let redone = Array.fold_left (fun acc (r, _) -> acc + r) 0 results in
+  let skipped = Array.fold_left (fun acc (_, s) -> acc + s) 0 results in
+  Metrics.add c_replayed redone;
+  Atomic.incr t.recoveries;
+  ignore (Atomic.fetch_and_add t.scanned !scanned);
+  ignore (Atomic.fetch_and_add t.redone redone);
+  ignore (Atomic.fetch_and_add t.skipped skipped);
+  { scanned = !scanned; redone; skipped; analysis_scanned }
+
+(* ---- certification -------------------------------------------------- *)
+
+let projection t =
+  let universe = Kv_layout.universe ~partitions:t.n_partitions in
+  let start = scan_start t in
+  let ops, redo_ids =
+    List.fold_left
+      (fun (ops, redo) r ->
+        match Record.payload r with
+        | Record.Physiological { pid; op } ->
+          let core_op = Projection.physiological_op ~lsn:(Record.lsn r) ~pid op in
+          (* The redo set is what the actual scan would replay: records
+             the checkpoint does not skip whose LSN test (against the
+             stable page at crash time) fails. *)
+          let redo =
+            if
+              Lsn.(start <= Record.lsn r)
+              && Lsn.(Page.lsn (Disk.read t.disk pid) < Record.lsn r)
+            then Projection.op_id (Record.lsn r) :: redo
+            else redo
+          in
+          core_op :: ops, redo
+        | _ -> ops, redo)
+      ([], [])
+      (Log_manager.stable_records t.log)
+  in
+  Projection.make ~method_name:name ~lsn_values:true ~universe ~ops:(List.rev ops)
+    ~stable:(Projection.stable_state_of_disk ~lsn_values:true t.disk universe)
+    ~redo_ids:(List.rev redo_ids)
+
+let verify_recovery_invariant ?domains t =
+  let pool =
+    match domains with
+    | Some d when d > 1 -> Some (Redo_par.Domain_pool.shared ~domains:d)
+    | _ -> None
+  in
+  let report = Theory_check.check ?domains ?pool (projection t) in
+  match report.Theory_check.failure with
+  | None -> Ok report
+  | Some msg -> Error msg
+
+let serial_contents ?(stable = true) t =
+  let records =
+    if stable then Log_manager.stable_records t.log else Log_manager.all_records t.log
+  in
+  let tbl = Hashtbl.create (max 16 t.n_partitions) in
+  List.iter
+    (fun r ->
+      match Record.payload r with
+      | Record.Physiological { pid; op } ->
+        let data = Option.value (Hashtbl.find_opt tbl pid) ~default:Page.Empty in
+        Hashtbl.replace tbl pid (Page_op.apply op data)
+      | _ -> ())
+    records;
+  Hashtbl.fold
+    (fun _ data acc ->
+      (match data with
+      | Page.Kv entries -> entries
+      | Page.Empty -> []
+      | d -> invalid_arg (Fmt.str "sharded serial replay: unexpected payload %a" Page.pp_data d))
+      :: acc)
+    tbl []
+  |> Kv_layout.merge_dumps
+
+let certify t ~phase =
+  ensure_open t;
+  drain t;
+  let stable, phase_name =
+    match phase with `Live -> false, "live" | `Recovered -> true, "recovered"
+  in
+  let records =
+    if stable then Log_manager.stable_records t.log else Log_manager.all_records t.log
+  in
+  let ops =
+    List.fold_left
+      (fun acc r ->
+        match Record.payload r with Record.Physiological _ -> acc + 1 | _ -> acc)
+      0 records
+  in
+  Theory_check.certify_serial ~method_name:name ~phase:phase_name ~ops
+    ~serial:(serial_contents ~stable t) ~observed:(dump t)
+
+(* ---- bookkeeping ---------------------------------------------------- *)
+
+let stats t : stats =
+  {
+    puts = Atomic.get t.puts;
+    deletes = Atomic.get t.deletes;
+    gets = Atomic.get t.gets;
+    checkpoints = Atomic.get t.checkpoints;
+    crashes = Atomic.get t.crashes;
+    recoveries = Atomic.get t.recoveries;
+    records_scanned = Atomic.get t.scanned;
+    records_redone = Atomic.get t.redone;
+    records_skipped = Atomic.get t.skipped;
+  }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (* Workers first (their queued tasks may still barrier on the
+       committer), then the committer's flusher. *)
+    Array.iter (fun s -> Mailbox.close s.mailbox) t.shard_arr;
+    Group_commit.detach t.committer
+  end
+
+let pp_stats ppf (s : stats) =
+  Fmt.pf ppf
+    "puts=%d deletes=%d gets=%d checkpoints=%d crashes=%d recoveries=%d scanned=%d redone=%d skipped=%d"
+    s.puts s.deletes s.gets s.checkpoints s.crashes s.recoveries s.records_scanned
+    s.records_redone s.records_skipped

@@ -23,16 +23,20 @@ type stats = {
   records_skipped : int;
 }
 
+(* Counters are Atomics (the [Log_manager.stats] discipline): the store
+   facade itself is single-domain, but the sharded service and tests
+   read [stats] from other domains while work is in flight, and an
+   atomic increment costs the same as a mutable store on this path. *)
 type t = {
   instance : Method_intf.instance;
   recovery_method : recovery_method;
-  mutable puts : int;
-  mutable deletes : int;
-  mutable checkpoints : int;
-  mutable recoveries : int;
-  mutable scanned : int;
-  mutable redone : int;
-  mutable skipped : int;
+  puts : int Atomic.t;
+  deletes : int Atomic.t;
+  checkpoints : int Atomic.t;
+  recoveries : int Atomic.t;
+  scanned : int Atomic.t;
+  redone : int Atomic.t;
+  skipped : int Atomic.t;
 }
 
 let create ?cache_capacity ?partitions recovery_method =
@@ -46,36 +50,36 @@ let create ?cache_capacity ?partitions recovery_method =
   {
     instance = make ?cache_capacity ?partitions ();
     recovery_method;
-    puts = 0;
-    deletes = 0;
-    checkpoints = 0;
-    recoveries = 0;
-    scanned = 0;
-    redone = 0;
-    skipped = 0;
+    puts = Atomic.make 0;
+    deletes = Atomic.make 0;
+    checkpoints = Atomic.make 0;
+    recoveries = Atomic.make 0;
+    scanned = Atomic.make 0;
+    redone = Atomic.make 0;
+    skipped = Atomic.make 0;
   }
 
 let recovery_method t = t.recovery_method
 
 let put t key value =
   if String.length key = 0 then invalid_arg "Store.put: empty key";
-  t.puts <- t.puts + 1;
+  Atomic.incr t.puts;
   Method_intf.instance_put t.instance key value
 
 let get t key = Method_intf.instance_get t.instance key
 
 let delete t key =
-  t.deletes <- t.deletes + 1;
+  Atomic.incr t.deletes;
   Method_intf.instance_delete t.instance key
 
 let dump t = Method_intf.instance_dump t.instance
 
 let checkpoint t =
-  t.checkpoints <- t.checkpoints + 1;
+  Atomic.incr t.checkpoints;
   Method_intf.instance_checkpoint t.instance
 
 let checkpoint_sharded ?(domains = 1) t =
-  t.checkpoints <- t.checkpoints + 1;
+  Atomic.incr t.checkpoints;
   let pool =
     if domains > 1 then Some (Redo_par.Domain_pool.shared ~domains) else None
   in
@@ -100,30 +104,30 @@ let crash t =
      volatile state is discarded. *)
   if Flight.enabled () then begin
     Flight.crash ();
-    Flight.emit (Flight.Crash { crash = t.recoveries + 1; torn = false })
+    Flight.emit (Flight.Crash { crash = Atomic.get t.recoveries + 1; torn = false })
   end;
   Method_intf.instance_crash t.instance
 
 let recover t =
   if Flight.enabled () then
-    Flight.emit (Flight.Phase { name = "store.recover"; crash = t.recoveries + 1 });
+    Flight.emit (Flight.Phase { name = "store.recover"; crash = Atomic.get t.recoveries + 1 });
   let s = Method_intf.instance_recover t.instance in
-  t.recoveries <- t.recoveries + 1;
-  t.scanned <- t.scanned + s.Method_intf.scanned;
-  t.redone <- t.redone + s.Method_intf.redone;
-  t.skipped <- t.skipped + s.Method_intf.skipped
+  Atomic.incr t.recoveries;
+  ignore (Atomic.fetch_and_add t.scanned s.Method_intf.scanned);
+  ignore (Atomic.fetch_and_add t.redone s.Method_intf.redone);
+  ignore (Atomic.fetch_and_add t.skipped s.Method_intf.skipped)
 
 let durable_ops t = Method_intf.instance_durable_ops t.instance
 
 let stats t =
   {
-    puts = t.puts;
-    deletes = t.deletes;
-    checkpoints = t.checkpoints;
-    recoveries = t.recoveries;
-    records_scanned = t.scanned;
-    records_redone = t.redone;
-    records_skipped = t.skipped;
+    puts = Atomic.get t.puts;
+    deletes = Atomic.get t.deletes;
+    checkpoints = Atomic.get t.checkpoints;
+    recoveries = Atomic.get t.recoveries;
+    records_scanned = Atomic.get t.scanned;
+    records_redone = Atomic.get t.redone;
+    records_skipped = Atomic.get t.skipped;
   }
 
 let log_bytes t =

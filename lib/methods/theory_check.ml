@@ -276,3 +276,70 @@ let pp_report ppf r =
     | None -> Fmt.str "invariant holds (%d iterations audited)" r.audited_iterations
     | Some msg -> "FAIL: " ^ msg);
   List.iter (fun line -> Fmt.pf ppf "@,  %s" line) r.diagnosis
+
+(* ---- serial-equivalence certificates ------------------------------- *)
+
+(* A concurrent execution over conflict-closed shards serializes by
+   construction: every operation touches exactly one page, pages are
+   statically owned by one shard, and each shard's owner applies its
+   operations in the order it appends their records — so the WAL's LSN
+   order is a serial execution that agrees with every per-shard program
+   order (Theorem 3: any conflict-respecting order works). The
+   certificate makes that argument *checked* rather than assumed: the
+   store's observable contents must equal a single-threaded replay of
+   its own log, live (full log) or after crash + recovery (stable
+   prefix). Combined with [check] — which audits the Recovery Invariant
+   over the same LSN order — every certified run has
+   concurrent execution + crash + recovery ≡ that serial execution. *)
+
+type serial_certificate = {
+  sc_method : string;
+  sc_phase : string;  (** ["live"] or ["recovered"] — which log prefix serializes. *)
+  sc_ops : int;  (** Operations in the serial witness (log order). *)
+  sc_agrees : bool;
+  sc_failure : string option;  (** First divergent key, if any. *)
+}
+
+let certificate_ok c = c.sc_agrees
+
+let first_divergence serial observed =
+  let module M = Map.Make (String) in
+  let to_map l = M.of_seq (List.to_seq l) in
+  let s = to_map serial and o = to_map observed in
+  let diff =
+    M.merge
+      (fun _ a b ->
+        match a, b with
+        | Some x, Some y when String.equal x y -> None
+        | _ -> Some (a, b))
+      s o
+  in
+  match M.min_binding_opt diff with
+  | None -> None
+  | Some (k, (expected, actual)) ->
+    let pp = function None -> "<absent>" | Some v -> v in
+    Some
+      (Fmt.str "key %s: serial replay has %s, store observed %s" k (pp expected) (pp actual))
+
+let certify_serial ~method_name ~phase ~ops ~serial ~observed =
+  let failure =
+    if List.equal (fun (a, b) (c, d) -> String.equal a c && String.equal b d) serial observed
+    then None
+    else
+      match first_divergence serial observed with
+      | Some msg -> Some msg
+      | None -> Some "serial replay and observed contents disagree on ordering"
+  in
+  {
+    sc_method = method_name;
+    sc_phase = phase;
+    sc_ops = ops;
+    sc_agrees = failure = None;
+    sc_failure = failure;
+  }
+
+let pp_certificate ppf c =
+  Fmt.pf ppf "[%s/%s] %d ops: %s" c.sc_method c.sc_phase c.sc_ops
+    (match c.sc_failure with
+    | None -> "concurrent = serial (certified)"
+    | Some msg -> "FAIL: " ^ msg)

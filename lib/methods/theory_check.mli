@@ -67,3 +67,39 @@ val check : ?domains:int -> ?pool:Redo_par.Domain_pool.t -> Projection.t -> repo
     pass {!Redo_par.Domain_pool.shared}). *)
 
 val pp_report : report Fmt.t
+
+(** {1 Serial-equivalence certificates}
+
+    The complementary check for {e concurrent} front ends (the sharded
+    KV service): the WAL's LSN order is a serial witness — one thread
+    applying the logged operations in LSN order from empty state. A
+    certificate records that the concurrent system's observable
+    contents equal that witness, live (full log) or after
+    crash + recovery (stable prefix). Combined with {!check}, which
+    audits the Recovery Invariant over the same order, a certified run
+    has concurrent execution + crash + recovery ≡ one serial
+    execution. *)
+
+type serial_certificate = {
+  sc_method : string;
+  sc_phase : string;
+      (** ["live"] or ["recovered"] — which log prefix serializes. *)
+  sc_ops : int;  (** Operations in the serial witness (log order). *)
+  sc_agrees : bool;
+  sc_failure : string option;  (** First divergent key, if any. *)
+}
+
+val certificate_ok : serial_certificate -> bool
+
+val certify_serial :
+  method_name:string ->
+  phase:string ->
+  ops:int ->
+  serial:(string * string) list ->
+  observed:(string * string) list ->
+  serial_certificate
+(** Compare the serial witness against the observed contents; both are
+    sorted key-value dumps. On mismatch the failure names the first
+    divergent key with both values. *)
+
+val pp_certificate : serial_certificate Fmt.t

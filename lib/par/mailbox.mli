@@ -1,0 +1,61 @@
+(** A bounded MPSC mailbox with a dedicated consumer domain.
+
+    The complement of {!Domain_pool}: a pool spreads independent tasks
+    over interchangeable workers, a mailbox pins a stream of tasks to
+    {e one} owner domain, in arrival order. That ownership is the whole
+    point — state touched only by mailbox tasks (a shard's cache, its
+    bookkeeping) needs no further synchronisation, because a single
+    domain ever sees it and the mailbox's mutex hands tasks over with
+    happens-before edges on both sides.
+
+    Posting is multi-producer: any domain may {!post} or {!call}.
+    Backpressure is built in — the queue is bounded, and a post into a
+    full mailbox blocks until the consumer drains, so a fast producer
+    cannot balloon the queue into unbounded memory.
+
+    Task exceptions: a {!post}ed task's exception is stashed and
+    re-raised at the next {!drain} or {!close} (the producer has moved
+    on); a {!call}'s exception travels through its ticket and re-raises
+    at {!Ticket.await}. *)
+
+type t
+
+(** A completion ticket for work handed to another domain: fulfilled
+    exactly once by the consumer, awaited by any domain. *)
+module Ticket : sig
+  type 'a t
+
+  val await : 'a t -> 'a
+  (** Block until fulfilled; re-raises the task's exception if it
+      failed. *)
+
+  val poll : 'a t -> 'a option
+  (** [Some result] if already fulfilled successfully, [None] if still
+      pending; re-raises if the task failed. *)
+end
+
+val create : ?name:string -> ?capacity:int -> unit -> t
+(** Spawn the consumer domain. [capacity] (default 1024) bounds the
+    queue; producers block when it is full.
+    @raise Invalid_argument on [capacity <= 0]. *)
+
+val name : t -> string
+
+val post : t -> (unit -> unit) -> unit
+(** Enqueue a task for the consumer; blocks while the queue is full.
+    @raise Invalid_argument if the mailbox is closed. *)
+
+val call : t -> (unit -> 'a) -> 'a Ticket.t
+(** [post] a task and hand its result back through a ticket. *)
+
+val depth : t -> int
+(** Tasks currently queued (excludes the one being executed). *)
+
+val drain : t -> unit
+(** Block until the queue is empty and the consumer is idle. Re-raises
+    the first stashed task exception, if any. *)
+
+val close : t -> unit
+(** Stop accepting tasks, let the consumer finish the queue, and join
+    its domain. Idempotent from the owning domain. Re-raises the first
+    stashed task exception, if any. *)

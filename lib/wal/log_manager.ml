@@ -317,6 +317,13 @@ let stable_shard_horizons t =
   Hashtbl.fold (fun pid h acc -> (pid, h) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+let stable_op_records t =
+  (* Every stable record is either an operation's record or checkpoint
+     metadata ([t.ckpts] indexes both kinds), so the durable-operation
+     count is a subtraction, not a scan. *)
+  let stable = stable_len t in
+  stable - List.length (List.filter (fun slot -> slot < stable) t.ckpts)
+
 let length t = t.len
 
 let pp ppf t =

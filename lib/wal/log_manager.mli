@@ -139,6 +139,14 @@ val stable_shard_horizons : t -> (int * Lsn.t) list
     page LSNs are monotone: a later flush only extends the installed
     prefix a horizon promises. *)
 
+val stable_op_records : t -> int
+(** Stable records that are operations — i.e. not [Checkpoint] or
+    [Shard_checkpoint] metadata. For stores whose every operation
+    appends exactly one record (the physiological discipline, including
+    the sharded KV service) this {e is} the durable-operation count,
+    computed in O(checkpoints) instead of materializing the op-LSN
+    list. *)
+
 val length : t -> int
 val pp : t Fmt.t
 

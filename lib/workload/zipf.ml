@@ -4,9 +4,13 @@
 type t = {
   n : int;
   cdf : float array;  (* cdf.(i) = P(rank <= i) *)
+  prefix : string;
+  keys : string array;  (* keys.(i) = formatted key for rank i *)
 }
 
-let create ?(theta = 0.99) n =
+let format_key prefix rank = Printf.sprintf "%s%05d" prefix rank
+
+let create ?(theta = 0.99) ?(prefix = "k") n =
   if n <= 0 then invalid_arg "Zipf.create: need a positive population";
   if theta < 0. then invalid_arg "Zipf.create: negative skew";
   let weights = Array.init n (fun i -> 1. /. Float.pow (float (i + 1)) theta) in
@@ -19,7 +23,10 @@ let create ?(theta = 0.99) n =
       cdf.(i) <- !acc)
     weights;
   cdf.(n - 1) <- 1.0;
-  { n; cdf }
+  (* The key-string table is built once here: sampling a key is then an
+     array index, so a store benchmark drives the store, not sprintf
+     and the allocator. *)
+  { n; cdf; prefix; keys = Array.init n (format_key prefix) }
 
 let population t = t.n
 
@@ -34,4 +41,12 @@ let sample t rng =
   in
   go 0 (t.n - 1)
 
-let sample_key ?(prefix = "k") t rng = Printf.sprintf "%s%05d" prefix (sample t rng)
+let key t rank =
+  if rank < 0 || rank >= t.n then invalid_arg "Zipf.key: rank out of range";
+  t.keys.(rank)
+
+let sample_key ?prefix t rng =
+  let rank = sample t rng in
+  match prefix with
+  | None -> t.keys.(rank)
+  | Some p -> if String.equal p t.prefix then t.keys.(rank) else format_key p rank

@@ -2,12 +2,17 @@
 
     Rank [i] (0-based) is drawn with probability proportional to
     [1/(i+1)^theta]; [theta = 0] is uniform, [theta ~ 1] is the classic
-    hot-key skew. The CDF is precomputed, sampling is a binary search. *)
+    hot-key skew. The CDF is precomputed, sampling is a binary search.
+
+    Key strings are precomputed too: {!create} materializes the whole
+    rank→key table, so {!sample_key} on the default prefix allocates
+    nothing — drivers measure the system under test, not [sprintf]. *)
 
 type t
 
-val create : ?theta:float -> int -> t
+val create : ?theta:float -> ?prefix:string -> int -> t
 (** [create ~theta n] over ranks [0..n-1] (default [theta] 0.99).
+    [prefix] (default ["k"]) formats the precomputed key table.
     @raise Invalid_argument on [n <= 0] or negative [theta]. *)
 
 val population : t -> int
@@ -15,5 +20,10 @@ val population : t -> int
 val sample : t -> Random.State.t -> int
 (** A rank in [0..n-1]. *)
 
+val key : t -> int -> string
+(** The precomputed key for a rank, e.g. ["k00042"] — an array index.
+    @raise Invalid_argument if the rank is outside [0..n-1]. *)
+
 val sample_key : ?prefix:string -> t -> Random.State.t -> string
-(** A formatted key such as ["k00042"]. *)
+(** [key t (sample t rng)]. Allocation-free unless [prefix] differs
+    from the generator's own (then it falls back to formatting). *)
