@@ -319,7 +319,9 @@ let e7_faults () =
 (* stay off during the timed rounds): the critical path through the    *)
 (* recovery's span tree and the shard-imbalance numbers, so a          *)
 (* regression in the trajectory comes annotated with where the         *)
-(* wall-clock went.                                                    *)
+(* wall-clock went. Every row also carries the host's online core      *)
+(* count ("cores") next to "domains", so a trajectory spanning boxes   *)
+(* is honest about how many CPUs the domains actually had.             *)
 
 let perf_sizes = [ 1_000; 10_000; 100_000 ]
 
@@ -339,9 +341,11 @@ let emit_json ~file rows =
         | Some json -> Printf.sprintf ", \"profile\": %s" json
       in
       Printf.fprintf oc
-        "{\"bench\": %S, \"n\": %d, \"domains\": %d, \"ns_per_op\": %.1f, \"metrics\": \
-         {%s}%s}%s\n"
-        bench n domains (total_ns /. float n) metrics profile
+        "{\"bench\": %S, \"n\": %d, \"domains\": %d, \"cores\": %d, \"ns_per_op\": %.1f, \
+         \"metrics\": {%s}%s}%s\n"
+        bench n domains
+        (Domain.recommended_domain_count ())
+        (total_ns /. float n) metrics profile
         (if i = last then "" else ","))
     rows;
   output_string oc "]\n";
@@ -956,6 +960,86 @@ let e15_service () =
   if not (Theory_check.certificate_ok live && Theory_check.certificate_ok recovered) then
     exit 1
 
+(* ------------------------------------------------------------------ *)
+(* E16 / oplat: end-to-end latency tracer overhead, written to         *)
+(* BENCH_9.json. The sharded service's append-heavy stream (the E15    *)
+(* workload shape at a bench-friendly size) runs twice — tracer off,   *)
+(* then on at the default 1-in-32 sampling — interleaved like E14 so   *)
+(* clock drift lands on both sides, and the enabled row carries the    *)
+(* off/on delta as "overhead_bp" (<= 500 is the acceptance bound).     *)
+(* The disabled path is one Atomic load per op at each hook; the       *)
+(* enabled path pays a countdown decrement per op and the full ticket  *)
+(* pipeline only on sampled ops. The last enabled round's wall-clock   *)
+(* time series rides along as oplat_timeseries.jsonl.                  *)
+
+let e16_oplat () =
+  let module Oplat = Redo_obs.Oplat in
+  let module SS = Redo_kv.Sharded_store in
+  Bench_util.heading
+    "E16/oplat: latency tracer overhead - tracer off vs on, sharded service append stream";
+  let n = 200_000 and keys = 20_000 and shards = 2 in
+  let zipf = Redo_workload.Zipf.create ~theta:0.99 keys in
+  Fmt.pr "  %-26s %10s %14s %12s %10s@." "bench" "n" "total-ms" "ns/op" "sampled";
+  let rows = ref [] in
+  let emit_row bench sampled (total_ns, counters) =
+    let counters = if sampled > 0 then counters @ [ "oplat.sampled", sampled ] else counters in
+    rows := (bench, n, shards, total_ns, counters, None) :: !rows;
+    Fmt.pr "  %-26s %10d %14.2f %12.1f %10d@." bench n (total_ns /. 1e6)
+      (total_ns /. float n) sampled;
+    total_ns
+  in
+  let work () =
+    let store = SS.create ~shards ~partitions:256 ~cache_capacity:128 () in
+    let rng = Random.State.make [| 0xe16; n |] in
+    for i = 1 to n do
+      let key = Redo_workload.Zipf.sample_key zipf rng in
+      if i mod 10 = 0 then SS.delete store key else SS.put store key "value";
+      if i mod 512 = 0 then Redo_wal.Log_manager.await (SS.put_durable store key "commit")
+    done;
+    SS.sync store;
+    SS.close store
+  in
+  let setup_off () = Oplat.set_enabled false in
+  let setup_on () =
+    (* Per round: fresh accumulators, default 1-in-32 sampling. *)
+    Oplat.reset ();
+    Oplat.set_sample_every 32;
+    Oplat.set_enabled true
+  in
+  (* Interleaved off/on pairs, best-of per config (the E14 discipline):
+     the delta is single-digit ms and must not eat a one-sided cold
+     block. *)
+  let best cell m =
+    cell := Some (match !cell with Some b when fst b <= fst m -> b | _ -> m)
+  in
+  let off = ref None and on = ref None in
+  for _ = 1 to 3 do
+    best off (Bench_util.bench_ns ~repeat:2 ~setup:setup_off work);
+    best on (Bench_util.bench_ns ~repeat:2 ~setup:setup_on work)
+  done;
+  (* The last enabled round's accumulators are still live: pull the
+     sampled count and the time series before switching off. *)
+  let report = Oplat.report () in
+  let timeseries = Oplat.timeseries_jsonl () in
+  Oplat.set_enabled false;
+  let off_ns = emit_row "service_lat_off" 0 (Option.get !off) in
+  let on_ns = emit_row "service_lat_on" report.Oplat.r_sampled (Option.get !on) in
+  let bp = int_of_float (Float.round ((on_ns -. off_ns) /. off_ns *. 10_000.)) in
+  (match !rows with
+  | (b, rn, d, t, c, p) :: rest -> rows := (b, rn, d, t, c @ [ "overhead_bp", bp ], p) :: rest
+  | [] -> ());
+  Fmt.pr "  tracer overhead: %+.2f%% at 1-in-32 sampling (acceptance <= 5%%), %d ops sampled@."
+    (float bp /. 100.)
+    report.Oplat.r_sampled;
+  emit_json ~file:"BENCH_9.json" (List.rev !rows);
+  let oc = open_out "oplat_timeseries.jsonl" in
+  output_string oc timeseries;
+  close_out oc;
+  Fmt.pr
+    "  rows written to BENCH_9.json, last enabled round's time series to \
+     oplat_timeseries.jsonl (best of 2 rounds x 3 interleaves; %d cores online)@."
+    (Domain.recommended_domain_count ())
+
 let micro_benchmarks () =
   Bench_util.heading "Micro-benchmarks (Bechamel, OLS estimate per run)";
   let open Bechamel in
@@ -1020,6 +1104,7 @@ let experiments =
     "group_commit", e13_group_commit;
     "flight", e14_flight;
     "service", e15_service;
+    "oplat", e16_oplat;
     "perf", perf;
     "micro", micro_benchmarks;
   ]

@@ -4,6 +4,7 @@ module Mailbox = Redo_par.Mailbox
 module Metrics = Redo_obs.Metrics
 module Span = Redo_obs.Span
 module Flight = Redo_obs.Flight
+module Oplat = Redo_obs.Oplat
 module Installer = Redo_ckpt.Installer
 module Kv_layout = Redo_methods.Kv_layout
 module Projection = Redo_methods.Projection
@@ -148,14 +149,27 @@ let page_entries shard pid =
 
 let route t key op =
   ensure_open t;
+  Oplat.first_op ();
   let pid = locate t key in
   let shard = owner t pid in
   (* Every acknowledged operation is a commit request: the owner stages
      it for the next group force, so durability is eventual and the
      forces coalesce across all shards (the sublinear-force story). *)
-  Mailbox.post shard.mailbox (fun () ->
-      let lsn = apply_logged t shard pid op in
-      ignore (Log_manager.force_async t.log ~upto:lsn))
+  match Oplat.sample () with
+  | None ->
+    Mailbox.post shard.mailbox (fun () ->
+        let lsn = apply_logged t shard pid op in
+        ignore (Log_manager.force_async t.log ~upto:lsn))
+  | Some tk ->
+    (* The sampled sibling of the closure above, stamping the owner's
+       edges and publishing the ticket before the commit request so the
+       committer hooks can stamp the rest. *)
+    Mailbox.post shard.mailbox (fun () ->
+        Oplat.stamp_dequeue tk ~shard:shard.index;
+        let lsn = apply_logged t shard pid op in
+        Oplat.stamp_apply tk;
+        Oplat.register tk ~lsn:(Lsn.to_int lsn) ~durable:false;
+        ignore (Log_manager.force_async t.log ~upto:lsn))
 
 let put t key value =
   if String.length key = 0 then invalid_arg "Sharded_store.put: empty key";
@@ -169,18 +183,31 @@ let delete t key =
 let put_durable t key value =
   ensure_open t;
   if String.length key = 0 then invalid_arg "Sharded_store.put_durable: empty key";
+  Oplat.first_op ();
   Atomic.incr t.puts;
   Metrics.incr c_commits;
   let pid = locate t key in
   let shard = owner t pid in
   Metrics.observe h_queue_depth (float (Mailbox.depth shard.mailbox));
+  let sampled = Oplat.sample () in
   Mailbox.Ticket.await
     (Mailbox.call shard.mailbox (fun () ->
+         (match sampled with
+         | Some tk -> Oplat.stamp_dequeue tk ~shard:shard.index
+         | None -> ());
          let lsn = apply_logged t shard pid (Page_op.Put (key, value)) in
+         (match sampled with
+         | Some tk ->
+           Oplat.stamp_apply tk;
+           (* Durable: the ticket completes at the barrier's stable
+              ack, not at the force. *)
+           Oplat.register tk ~lsn:(Lsn.to_int lsn) ~durable:true
+         | None -> ());
          Log_manager.force_async t.log ~upto:lsn))
 
 let get_async t key =
   ensure_open t;
+  Oplat.first_op ();
   Atomic.incr t.gets;
   Metrics.incr c_reads;
   let pid = locate t key in
@@ -194,7 +221,10 @@ let drain t = Array.iter (fun s -> Mailbox.drain s.mailbox) t.shard_arr
 let sync t =
   ensure_open t;
   drain t;
-  Log_manager.force_all t.log
+  Log_manager.force_all t.log;
+  (* Quiescent: whatever tickets the ack horizon did not finalize
+     (durable barriers past their own LSN) are accounted now. *)
+  if Oplat.enabled () then Oplat.drain ()
 
 (* Run one closure per shard on its owner domain, concurrently, and
    wait for all of them. The mailbox handoff gives happens-before in
@@ -279,6 +309,8 @@ let crash_with t ~torn ~drop =
     Flight.emit (Flight.Crash { crash = crash_no; torn })
   end;
   if torn then Log_manager.crash_torn t.log ~drop else Log_manager.crash t.log;
+  (* Staged-but-unforced operations are gone; so are their tickets. *)
+  if Oplat.enabled () then Oplat.drop_inflight ();
   ignore (on_shards t (fun s -> Cache.drop_volatile s.cache));
   Atomic.incr t.crashes
 
@@ -323,6 +355,10 @@ let recover t =
   drain t;
   if Flight.enabled () then
     Flight.emit (Flight.Phase { name = "kv.recover"; crash = Atomic.get t.crashes });
+  (* Arm the progress gauge before any scan work: time-to-first-op is
+     measured from here, and mid-replay readers see live per-shard
+     cursors. *)
+  if Oplat.enabled () then Oplat.recovery_start ~shards:t.nshards;
   Span.span "kv.recover" ~attrs:[ "shards", Span.Int t.nshards ] @@ fun () ->
   let dpt, redo_start, analysis_scanned = analysis t in
   let horizons = Hashtbl.create 16 in
@@ -352,8 +388,18 @@ let recover t =
      the worker domains is safe. *)
   let replay (s : shard) records () =
     let redone = ref 0 and skipped = ref 0 in
+    let total = List.length records in
+    let track = Oplat.enabled () in
+    if track then Oplat.recovery_progress ~shard:s.index ~replayed:0 ~remaining:total;
+    let seen = ref 0 in
     List.iter
       (fun r ->
+        incr seen;
+        (* Coarse cursor updates: every 64 records keeps the gauge off
+           the replay hot path. *)
+        if track && !seen land 63 = 0 then
+          Oplat.recovery_progress ~shard:s.index ~replayed:!seen
+            ~remaining:(total - !seen);
         match Record.payload r with
         | Record.Physiological { pid; op } ->
           let surely_on_disk =
@@ -376,6 +422,7 @@ let recover t =
           end
         | _ -> assert false)
       records;
+    if track then Oplat.recovery_progress ~shard:s.index ~replayed:total ~remaining:0;
     !redone, !skipped
   in
   let results =
@@ -404,6 +451,7 @@ let recover t =
   ignore (Atomic.fetch_and_add t.scanned !scanned);
   ignore (Atomic.fetch_and_add t.redone redone);
   ignore (Atomic.fetch_and_add t.skipped skipped);
+  if Oplat.enabled () then Oplat.recovery_finished ();
   { scanned = !scanned; redone; skipped; analysis_scanned }
 
 (* ---- certification -------------------------------------------------- *)
@@ -509,7 +557,9 @@ let close t =
     (* Workers first (their queued tasks may still barrier on the
        committer), then the committer's flusher. *)
     Array.iter (fun s -> Mailbox.close s.mailbox) t.shard_arr;
-    Group_commit.detach t.committer
+    Group_commit.detach t.committer;
+    (* The final flush ran under detach; account any stragglers. *)
+    if Oplat.enabled () then Oplat.drain ()
   end
 
 let pp_stats ppf (s : stats) =

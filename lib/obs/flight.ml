@@ -386,6 +386,7 @@ type scan = {
   torn_segments : int;  (* segments whose tail failed the frame scan *)
   live_bytes : int;
   dropped_frames : int;  (* lost to ring rotation or oversize, not to tears *)
+  rotations : int;  (* how often the ring wrapped (each wrap drops a segment) *)
 }
 
 (* Walk one segment's frames until the bytes stop making sense —
@@ -448,15 +449,25 @@ let scan () =
         Array.to_list r.segs |> List.map (fun s -> (s.s_gen, s.s_buf, s.s_len))
       in
       let frames, segments_used, torn_segments, live_bytes = scan_segments segs in
-      { frames; segments_used; torn_segments; live_bytes; dropped_frames = r.dropped })
+      {
+        frames;
+        segments_used;
+        torn_segments;
+        live_bytes;
+        dropped_frames = r.dropped;
+        rotations = r.rotations;
+      })
 
 (* ---- dump files ---------------------------------------------------- *)
 
 (* A dump is the recorder's stable medium serialised for offline triage:
-   magic, segment count, then each written segment (generation order) as
-   [u32 gen | u32 len | bytes]. Torn tails are preserved verbatim — the
-   loader re-runs the same truncating scan. *)
-let magic = "REDOFLT1"
+   magic, segment count, drop/rotation tallies, then each written
+   segment (generation order) as [u32 gen | u32 len | bytes]. Torn
+   tails are preserved verbatim — the loader re-runs the same
+   truncating scan. v1 dumps lack the rotation count; the loader
+   accepts both and reads 0 rotations from v1. *)
+let magic = "REDOFLT2"
+let magic_v1 = "REDOFLT1"
 
 let save file =
   locked (fun () ->
@@ -475,6 +486,7 @@ let save file =
       in
       u32 (List.length segs);
       u32 r.dropped;
+      u32 r.rotations;
       List.iter
         (fun s ->
           u32 s.s_gen;
@@ -486,7 +498,8 @@ let load file =
   let ic = open_in_bin file in
   Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
   let m = really_input_string ic (String.length magic) in
-  if m <> magic then failwith (Printf.sprintf "Flight.load: %s is not a flight dump" file);
+  if m <> magic && m <> magic_v1 then
+    failwith (Printf.sprintf "Flight.load: %s is not a flight dump" file);
   let b4 = Bytes.create 4 in
   let u32 () =
     really_input ic b4 0 4;
@@ -494,6 +507,7 @@ let load file =
   in
   let count = u32 () in
   let dropped = u32 () in
+  let rotations = if m = magic then u32 () else 0 in
   let segs =
     List.init count (fun _ ->
         let gen = u32 () in
@@ -503,7 +517,7 @@ let load file =
         (gen, data, len))
   in
   let frames, segments_used, torn_segments, live_bytes = scan_segments segs in
-  { frames; segments_used; torn_segments; live_bytes; dropped_frames = dropped }
+  { frames; segments_used; torn_segments; live_bytes; dropped_frames = dropped; rotations }
 
 (* ---- rendering ----------------------------------------------------- *)
 

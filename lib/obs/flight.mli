@@ -78,6 +78,9 @@ type scan = {
   torn_segments : int;  (** Segments whose tail failed the frame scan. *)
   live_bytes : int;
   dropped_frames : int;  (** Lost to ring rotation/oversize — not to tears. *)
+  rotations : int;
+      (** How often the ring wrapped; non-zero means the flight no
+          longer starts at the beginning. *)
 }
 
 val scan : unit -> scan

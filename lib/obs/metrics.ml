@@ -138,6 +138,38 @@ let percentile h p =
     go 0 0
   end
 
+(* Interpolated percentile over raw bucket tallies. [percentile]
+   reports the bucket's upper bound — an overestimate bounded by the
+   bucket resolution; this refines it by interpolating linearly within
+   the bucket holding the rank, clamped to the observed maximum. The
+   raw-array form exists so external accumulators (per-domain staging
+   buffers like Oplat's) can share the arithmetic without registering
+   histograms. *)
+let percentile_of_buckets ~bounds ~buckets ~events ~max:hmax p =
+  if events = 0 then 0.
+  else begin
+    let rank = Float.max 1e-9 (Float.min (p /. 100. *. float events) (float events)) in
+    let n = Array.length buckets in
+    let rec go i cum =
+      if i >= n - 1 then hmax
+      else begin
+        let c = buckets.(i) in
+        let cum' = cum +. float c in
+        if c > 0 && cum' >= rank then begin
+          let lo = if i = 0 then 0. else bounds.(i - 1) in
+          let frac = (rank -. cum) /. float c in
+          lo +. (frac *. (bounds.(i) -. lo))
+        end
+        else go (i + 1) cum'
+      end
+    in
+    let v = go 0 0. in
+    if hmax > 0. then Float.min v hmax else v
+  end
+
+let percentile_interp h p =
+  percentile_of_buckets ~bounds:h.bounds ~buckets:h.buckets ~events:h.h_events ~max:h.h_max p
+
 let now_ns () = Unix.gettimeofday () *. 1e9
 
 let span h f =
@@ -178,6 +210,10 @@ type histogram_view = {
   hv_p90 : float;
   hv_p99 : float;
   hv_max : float;
+  (* Interpolated refinements of the bucket-bound percentiles above. *)
+  hv_p50i : float;
+  hv_p90i : float;
+  hv_p99i : float;
 }
 
 type snapshot = {
@@ -203,6 +239,9 @@ let snapshot ?(registry = default) () =
             hv_p90 = percentile h 90.;
             hv_p99 = percentile h 99.;
             hv_max = h.h_max;
+            hv_p50i = percentile_interp h 50.;
+            hv_p90i = percentile_interp h 90.;
+            hv_p99i = percentile_interp h 99.;
           }
           :: acc)
         registry.histograms []
@@ -259,9 +298,10 @@ let to_json s =
       Buffer.add_string buf
         (Printf.sprintf
            "%S: {\"events\": %d, \"mean\": %s, \"p50\": %s, \"p90\": %s, \"p99\": %s, \
-            \"max\": %s}"
+            \"max\": %s, \"p50_interp\": %s, \"p90_interp\": %s, \"p99_interp\": %s}"
            h.hv_name h.hv_events (json_float h.hv_mean) (json_float h.hv_p50)
-           (json_float h.hv_p90) (json_float h.hv_p99) (json_float h.hv_max)))
+           (json_float h.hv_p90) (json_float h.hv_p99) (json_float h.hv_max)
+           (json_float h.hv_p50i) (json_float h.hv_p90i) (json_float h.hv_p99i)))
     s.histograms;
   Buffer.add_string buf "}}";
   Buffer.contents buf

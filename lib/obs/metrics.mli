@@ -92,6 +92,21 @@ val percentile : histogram -> float -> float
     bounded by the bucket resolution. The overflow bucket reports the
     maximum observed value. Zero observations report 0. *)
 
+val percentile_interp : histogram -> float -> float
+(** Like {!percentile}, but interpolated linearly within the bucket
+    holding the rank (between the previous bound, or 0 for the first
+    bucket, and the bucket's bound), clamped to the observed maximum —
+    the bucket-resolution refinement `redo stats --json` reports next
+    to the raw bounds. *)
+
+val percentile_of_buckets :
+  bounds:float array -> buckets:int array -> events:int -> max:float -> float -> float
+(** The raw-array core of {!percentile_interp}, for external
+    accumulators (e.g. per-domain staging buffers) that share the
+    bucket arithmetic without registering a histogram. [buckets] has
+    one slot per bound plus the overflow bucket; [max] is the observed
+    maximum (overflow ranks report it). *)
+
 (** {1 Spans} *)
 
 val now_ns : unit -> float
@@ -118,10 +133,13 @@ type histogram_view = {
   hv_name : string;
   hv_events : int;
   hv_mean : float;
-  hv_p50 : float;
+  hv_p50 : float;  (** Bucket upper bound, see {!percentile}. *)
   hv_p90 : float;
   hv_p99 : float;
   hv_max : float;
+  hv_p50i : float;  (** Interpolated, see {!percentile_interp}. *)
+  hv_p90i : float;
+  hv_p99i : float;
 }
 
 type snapshot = {

@@ -1,0 +1,175 @@
+(** End-to-end operation latency tracing with tail attribution.
+
+    One operation in [sample_every] carries a {!ticket} of wall-clock
+    stamps, one per lifecycle edge of the sharded service's write path:
+
+    {v post -> dequeue -> apply -> stage -> batch -> force -> ack v}
+
+    naming the six stages [dwell] (mailbox queueing), [apply] (shard
+    owner), [stage] (WAL append to async-force staging), [batch] (wait
+    for group-commit batch admission), [force] (the medium write) and
+    [ack] (stable acknowledgement, durable operations only). Stage
+    durations telescope against the latest earlier stamped edge, so a
+    ticket's stage sums equal its end-to-end latency exactly.
+
+    Client and owner edges are stamped directly on the ticket (the
+    mailbox handoff orders them); committer edges arrive keyed by LSN
+    through {!register}/{!wal_staged}/{!batch_admitted}/
+    {!force_completed}/{!acked}, which stamp every in-flight ticket the
+    horizon covers. Completed tickets fold into per-domain [Domain.DLS]
+    accumulators (the [Span] buffer discipline): per-stage log-scale
+    histograms, a dominant-stage-by-latency-bucket tally for tail
+    attribution, a reservoir of full traces, and a wall-clock-bucketed
+    time series. Every hook costs one Atomic load when disabled. *)
+
+type ticket
+(** One sampled operation's stamps. Mutable; owned by whichever domain
+    currently holds the operation (mailbox handoffs and the in-flight
+    table's mutex order the writes). *)
+
+(** {1 Switches} *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val set_sample_every : int -> unit
+(** Sample one operation in [n] per posting domain (default 32).
+    Raises [Invalid_argument] if [n < 1]. *)
+
+val sample_interval : unit -> int
+
+val set_reservoir : int -> unit
+(** Per-domain cap on retained full traces (default 128). *)
+
+val set_ts_bucket_ms : float -> unit
+(** Wall-clock bucket width of the time series (default 100 ms). *)
+
+val reset : unit -> unit
+(** Clear every accumulator, the in-flight table, the drop tally and
+    the recovery gauge, and restart the time-series origin. *)
+
+(** {1 Recording: client and owner edges} *)
+
+val sample : unit -> ticket option
+(** Per-domain 1-in-[sample_every] countdown; [Some] stamps the [post]
+    edge. Always [None] when disabled (one Atomic load). *)
+
+val stamp_dequeue : ticket -> shard:int -> unit
+(** The shard owner dequeued the operation: closes [dwell]. *)
+
+val stamp_apply : ticket -> unit
+(** The owner applied it to the shard page: closes [apply]. *)
+
+val register : ticket -> lsn:int -> durable:bool -> unit
+(** Publish the ticket into the LSN-keyed in-flight table so the
+    committer hooks below can stamp it. Eventually-durable tickets
+    complete at {!force_completed}; [durable] ones at {!acked}. *)
+
+(** {1 Recording: committer edges (called under the group mutex)} *)
+
+val wal_staged : lsn:int -> unit
+(** The async force request for [lsn] was staged: closes [stage]. *)
+
+val batch_admitted : upto:int -> unit
+(** A batched force is about to run for horizon [upto]: closes [batch]
+    for every in-flight ticket it covers. *)
+
+val force_completed : upto:int -> unit
+(** The medium write finished: closes [force] and finalizes covered
+    eventually-durable tickets. *)
+
+val acked : upto:int -> unit
+(** A durability barrier returned: closes [ack] and finalizes covered
+    durable tickets. *)
+
+val drain : unit -> unit
+(** Finalize in-flight stragglers with the edges they have (sync/close). *)
+
+val drop_inflight : unit -> unit
+(** A crash lost the staged tail: drop in-flight tickets, counted but
+    never folded into the statistics. *)
+
+(** {1 Recording: mailbox dwell} *)
+
+val mailbox_sample : unit -> bool
+(** Per-domain 1-in-[sample_every] countdown for the generic mailbox
+    dwell probe ([Mailbox.post] wraps the task when it fires). *)
+
+val mailbox_dwell : float -> unit
+(** Record one post-to-dequeue dwell (nanoseconds) into the consuming
+    domain's accumulator. *)
+
+(** {1 Recovery progress} *)
+
+val recovery_start : shards:int -> unit
+(** Recovery began: reset the per-shard cursors and arm the
+    time-to-first-op stamp. *)
+
+val recovery_progress : shard:int -> replayed:int -> remaining:int -> unit
+val recovery_finished : unit -> unit
+
+val first_op : unit -> unit
+(** The first operation after {!recovery_start} reached the service;
+    stamps once (CAS-armed), nearly free afterwards. *)
+
+(** {1 Reporting} *)
+
+type stage_view = {
+  sv_name : string;
+  sv_events : int;
+  sv_mean_ns : float;
+  sv_p50_ns : float;  (** Interpolated, see {!Metrics.percentile_of_buckets}. *)
+  sv_p99_ns : float;
+  sv_p999_ns : float;
+  sv_max_ns : float;
+  sv_sum_ns : float;
+}
+
+type shard_progress = { rp_shard : int; rp_replayed : int; rp_remaining : int }
+
+type recovery_view = {
+  rv_elapsed_ns : float;  (** Start to finish, or to now if still replaying. *)
+  rv_finished : bool;
+  rv_first_op_ns : float option;  (** First post-recovery op, from recovery start. *)
+  rv_shards : shard_progress list;
+}
+
+type report = {
+  r_sampled : int;
+  r_completed : int;
+  r_dropped : int;
+  r_stages : stage_view list;  (** Stage order: dwell, apply, stage, batch, force, ack. *)
+  r_e2e : stage_view;
+  r_dwell : stage_view;  (** The generic mailbox-dwell probe. *)
+  r_coverage : float;
+      (** Sum of stage sums over the end-to-end sum; 1.0 up to clock
+          monotonicity by the telescoping construction. *)
+  r_tail_pct : float;
+  r_tail_threshold_ns : float;
+  r_tail_total : int;
+  r_tail : (string * int) list;
+      (** Ops beyond the [tail_pct] end-to-end bucket, split by dominant
+          stage, descending. *)
+  r_recovery : recovery_view option;
+}
+
+val report : ?tail_pct:float -> unit -> report
+(** Merge every domain's accumulator (default [tail_pct] 99). Take it
+    after a quiescent point (sync/drain) for exact counts. *)
+
+val pp : Format.formatter -> report -> unit
+val to_json : report -> string
+
+val timeseries_jsonl : unit -> string
+(** One JSON object per line per wall-clock bucket:
+    [{"t_ms", "ops", "mean_ns", "max_ns", "stages_ns": {...}}]. *)
+
+val chrome_json : unit -> string
+(** The reservoir traces as Chrome trace_event JSON: one ["op"] span
+    per ticket on its own track (concurrent ops must not share a
+    nesting stack), one child span per present stage; the owning shard
+    rides in the span attrs. *)
+
+val trace_count : unit -> int
+(** Reservoir occupancy across all domains (bounded by
+    {!set_reservoir} per recording domain). *)

@@ -212,11 +212,19 @@ let pp_shard ppf s =
 
 let pp ?(timeline = 20) ppf r =
   Fmt.pf ppf "@[<v>";
-  Fmt.pf ppf "flight recorder: %d frames in %d segments (%d torn tail%s, %d dropped by ring)"
+  Fmt.pf ppf
+    "flight recorder: %d frames in %d segments (%d torn tail%s, %d dropped by ring, %d \
+     rotation%s)"
     (List.length r.flight.Flight.frames)
     r.flight.Flight.segments_used r.flight.Flight.torn_segments
     (if r.flight.Flight.torn_segments = 1 then "" else "s")
-    r.flight.Flight.dropped_frames;
+    r.flight.Flight.dropped_frames r.flight.Flight.rotations
+    (if r.flight.Flight.rotations = 1 then "" else "s");
+  if r.flight.Flight.dropped_frames > 0 then
+    Fmt.pf ppf
+      "@,note: the ring overflowed — the earliest %d frame%s of the flight are gone"
+      r.flight.Flight.dropped_frames
+      (if r.flight.Flight.dropped_frames = 1 then "" else "s");
   (match r.crash with
   | Some (n, torn) -> Fmt.pf ppf "@,crash: #%d (%s)" n (if torn then "torn tail" else "clean")
   | None -> Fmt.pf ppf "@,crash: none recorded (epoch = whole flight)");
@@ -276,10 +284,10 @@ let to_json r =
   add
     (Printf.sprintf
        "\"frames\": %d, \"segments_used\": %d, \"torn_segments\": %d, \"live_bytes\": %d, \
-        \"dropped_frames\": %d}"
+        \"dropped_frames\": %d, \"rotations\": %d}"
        (List.length r.flight.Flight.frames)
        r.flight.Flight.segments_used r.flight.Flight.torn_segments r.flight.Flight.live_bytes
-       r.flight.Flight.dropped_frames);
+       r.flight.Flight.dropped_frames r.flight.Flight.rotations);
   (match r.crash with
   | Some (n, torn) -> add (Printf.sprintf ", \"crash\": {\"number\": %d, \"torn\": %b}" n torn)
   | None -> add ", \"crash\": null");

@@ -1,3 +1,5 @@
+module Oplat = Redo_obs.Oplat
+
 module Ticket = struct
   type 'a t = {
     m : Mutex.t;
@@ -102,6 +104,18 @@ let create ?(name = "mailbox") ?(capacity = 1024) () =
   t
 
 let post t task =
+  (* Sampled dwell probe: wrap the task so the consumer stamps
+     post-to-dequeue time into its own domain's accumulator. Disabled
+     cost is one Atomic load; a sampled post allocates one closure. *)
+  let task =
+    if Oplat.mailbox_sample () then begin
+      let t0 = Redo_obs.Metrics.now_ns () in
+      fun () ->
+        Oplat.mailbox_dwell (Redo_obs.Metrics.now_ns () -. t0);
+        task ()
+    end
+    else task
+  in
   Mutex.lock t.mutex;
   while Queue.length t.queue >= t.capacity && not t.closing do
     Condition.wait t.nonfull t.mutex

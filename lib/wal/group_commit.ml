@@ -2,6 +2,7 @@ open Redo_storage
 module Metrics = Redo_obs.Metrics
 module Span = Redo_obs.Span
 module Flight = Redo_obs.Flight
+module Oplat = Redo_obs.Oplat
 
 let c_batches = Metrics.counter "wal.group.batches"
 let c_forces_saved = Metrics.counter "wal.group.forces_saved"
@@ -85,6 +86,9 @@ let flush_locked t =
   let target = clamp t t.requested in
   if not (stable_covers t target) then begin
     let served = t.pending_async + t.pending_barriers in
+    (* Batch admission: every sampled ticket at or below the horizon
+       stops waiting and starts being forced. *)
+    if Oplat.enabled () then Oplat.batch_admitted ~upto:(Lsn.to_int target);
     let run () = Log_manager.force_direct t.lm ~upto:target in
     if Span.enabled () then
       Span.span "wal.group.force" (fun () ->
@@ -130,7 +134,10 @@ let barrier_locked t lsn =
        "stable". Recorded after the force, so a surviving Commit frame
        that the stable log contradicts means a waiter was lied to. *)
     if Flight.enabled () then Flight.emit (Flight.Commit { lsn = Lsn.to_int lsn })
-  end
+  end;
+  (* Stable ack, on both paths — a barrier that arrives after the force
+     already covered its LSN still completes its durable tickets. *)
+  if Oplat.enabled () then Oplat.acked ~upto:(Lsn.to_int lsn)
 
 let locked t f =
   Mutex.lock t.mutex;
@@ -149,6 +156,7 @@ let stage t lsn =
         if Lsn.(t.requested < lsn) then t.requested <- lsn;
         t.pending_async <- t.pending_async + 1;
         t.s_requests <- t.s_requests + 1;
+        if Oplat.enabled () then Oplat.wal_staged ~lsn:(Lsn.to_int lsn);
         if Flight.enabled () then Flight.emit (Flight.Stage { lsn = Lsn.to_int lsn });
         match t.md with
         | Background -> Condition.signal t.flush_ready

@@ -3,6 +3,7 @@ module Metrics = Redo_obs.Metrics
 module Trace = Redo_obs.Trace
 module Span = Redo_obs.Span
 module Flight = Redo_obs.Flight
+module Oplat = Redo_obs.Oplat
 
 (* Process-wide telemetry, resolved once; recording is a field update. *)
 let c_appends = Metrics.counter "wal.appends"
@@ -155,6 +156,9 @@ let force_run t ~upto =
      granularity keeps the recorder off the append fast path. *)
   if Flight.enabled () then
     Flight.emit (Flight.Force { upto = last; records = last - first });
+  (* The covered tickets' force edge; eventually-durable ones complete
+     here (durable ones complete at their barrier's ack). *)
+  if Oplat.enabled () then Oplat.force_completed ~upto:last;
   if Span.enabled () then
     Span.note
       [

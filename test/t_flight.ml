@@ -88,6 +88,7 @@ let test_ring_rotation () =
       done;
       let scan = Flight.scan () in
       Alcotest.(check bool) "old frames dropped" true (scan.Flight.dropped_frames > 0);
+      Alcotest.(check bool) "rotations counted" true (scan.Flight.rotations > 0);
       Alcotest.(check bool) "ring keeps the newest" true
         (List.length scan.Flight.frames > 0);
       Alcotest.(check int) "bounded segments" 2 scan.Flight.segments_used;
@@ -145,6 +146,8 @@ let test_save_load () =
             (List.length after.Flight.frames);
           Alcotest.(check int) "drop accounting preserved"
             before.Flight.dropped_frames after.Flight.dropped_frames;
+          Alcotest.(check int) "rotation accounting preserved"
+            before.Flight.rotations after.Flight.rotations;
           List.iter2
             (fun (a : Flight.frame) (b : Flight.frame) ->
               Alcotest.(check bool) "identical frame" true (a = b))

@@ -198,6 +198,41 @@ let test_histogram_relookup_ignores_bounds () =
   Alcotest.(check (float 1e-9)) "percentiles use the original bounds" 2.
     (Metrics.percentile h' 50.)
 
+let test_percentile_interp () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram ~registry:r ~bounds:[| 10.; 20.; 40. |] "test.interp" in
+  (* Ten observations into [0,10): the bucket-bound percentile reports
+     10 for all of them; interpolation spreads the fractional rank
+     across the bucket. rank(p50) = 5 of 10 -> halfway through [0,10). *)
+  for _ = 1 to 10 do
+    Metrics.observe h 5.
+  done;
+  Alcotest.(check (float 1e-9)) "bucket-bound p50 stays 10" 10. (Metrics.percentile h 50.);
+  Alcotest.(check (float 1e-9)) "interpolated p50 is mid-bucket" 5.
+    (Metrics.percentile_interp h 50.);
+  Alcotest.(check (float 1e-9)) "interpolated p100 reaches the bound, clamped to max" 5.
+    (Metrics.percentile_interp h 100.);
+  (* Mixed buckets: 10 below 10, then 10 in [10,20). rank(p75) = 15 ->
+     5 events into the second bucket of 10 -> 10 + 0.5 * 10 = 15. *)
+  for _ = 1 to 10 do
+    Metrics.observe h 15.
+  done;
+  Alcotest.(check (float 1e-9)) "interpolated p75 lands mid second bucket" 15.
+    (Metrics.percentile_interp h 75.);
+  Alcotest.(check (float 1e-9)) "empty histogram is 0" 0.
+    (Metrics.percentile_interp (Metrics.histogram ~registry:r ~bounds:[| 1. |] "test.interp2") 50.)
+
+let test_percentile_interp_overflow () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram ~registry:r ~bounds:[| 10. |] "test.interp.ovf" in
+  Metrics.observe h 5.;
+  Metrics.observe h 100.;
+  Metrics.observe h 200.;
+  (* Ranks that land in the unbounded overflow bucket report the
+     observed max — there is no upper bound to interpolate toward. *)
+  Alcotest.(check (float 1e-9)) "overflow rank reports observed max" 200.
+    (Metrics.percentile_interp h 99.)
+
 let contains ~needle hay =
   let n = String.length needle and h = String.length hay in
   let rec at i = i + n <= h && (String.sub hay i n = needle || at (i + 1)) in
@@ -247,6 +282,9 @@ let suite =
     Alcotest.test_case "parallel recovery counters exact" `Quick
       test_parallel_recovery_counters_exact;
     Alcotest.test_case "percentile with empty overflow" `Quick test_percentile_empty_overflow;
+    Alcotest.test_case "interpolated percentiles" `Quick test_percentile_interp;
+    Alcotest.test_case "interpolated percentile overflow" `Quick
+      test_percentile_interp_overflow;
     Alcotest.test_case "histogram re-lookup ignores new bounds" `Quick
       test_histogram_relookup_ignores_bounds;
   ]

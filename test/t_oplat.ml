@@ -1,0 +1,208 @@
+(* End-to-end operation latency tracer: ticket lifecycle accounting,
+   tail attribution plumbing, reservoir bounds, recovery gauge, and the
+   live sharded-service integration. Every test switches the tracer off
+   and clears its accumulators on the way out — the tracer is
+   process-global and the other suites must not see it. *)
+
+open Redo_obs
+
+let with_oplat ?(sample_every = 1) f =
+  Oplat.reset ();
+  Oplat.set_sample_every sample_every;
+  Oplat.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Oplat.set_enabled false;
+      Oplat.reset ())
+    f
+
+let take_ticket () =
+  match Oplat.sample () with
+  | Some tk -> tk
+  | None -> Alcotest.fail "expected a ticket at 1-in-1 sampling"
+
+(* Walk one ticket through every lifecycle edge by hand. *)
+let full_lifecycle ?(lsn = 7) ?(durable = true) () =
+  let tk = take_ticket () in
+  Oplat.stamp_dequeue tk ~shard:0;
+  Oplat.stamp_apply tk;
+  Oplat.register tk ~lsn ~durable;
+  Oplat.wal_staged ~lsn;
+  Oplat.batch_admitted ~upto:lsn;
+  Oplat.force_completed ~upto:lsn;
+  if durable then Oplat.acked ~upto:lsn
+
+let stage_events r name =
+  match List.find_opt (fun sv -> sv.Oplat.sv_name = name) r.Oplat.r_stages with
+  | Some sv -> sv.Oplat.sv_events
+  | None -> Alcotest.fail ("no stage view named " ^ name)
+
+let test_ticket_lifecycle () =
+  with_oplat @@ fun () ->
+  full_lifecycle ();
+  let r = Oplat.report () in
+  Alcotest.(check int) "sampled" 1 r.Oplat.r_sampled;
+  Alcotest.(check int) "completed" 1 r.Oplat.r_completed;
+  Alcotest.(check int) "dropped" 0 r.Oplat.r_dropped;
+  Alcotest.(check int) "e2e events" 1 r.Oplat.r_e2e.Oplat.sv_events;
+  List.iter
+    (fun name -> Alcotest.(check int) (name ^ " events") 1 (stage_events r name))
+    [ "dwell"; "apply"; "stage"; "batch"; "force"; "ack" ];
+  (* The telescoping construction makes the stage sums equal the
+     end-to-end time exactly, so coverage is 1.0 up to float rounding. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "coverage ~ 1.0 (got %.4f)" r.Oplat.r_coverage)
+    true
+    (Float.abs (r.Oplat.r_coverage -. 1.0) < 0.01)
+
+let test_eventually_durable_completes_at_force () =
+  with_oplat @@ fun () ->
+  full_lifecycle ~durable:false ();
+  let r = Oplat.report () in
+  Alcotest.(check int) "completed at force" 1 r.Oplat.r_completed;
+  Alcotest.(check int) "no ack edge" 0 (stage_events r "ack")
+
+let test_disabled_is_none () =
+  Oplat.reset ();
+  Oplat.set_enabled false;
+  Alcotest.(check bool) "sample () is None" true (Oplat.sample () = None);
+  Alcotest.(check bool) "mailbox_sample () is false" false (Oplat.mailbox_sample ())
+
+let test_sampling_interval () =
+  with_oplat ~sample_every:4 @@ fun () ->
+  let got = ref 0 in
+  for _ = 1 to 40 do
+    match Oplat.sample () with
+    | Some tk ->
+      incr got;
+      (* Complete it so the accumulators stay consistent. *)
+      Oplat.stamp_dequeue tk ~shard:0;
+      Oplat.stamp_apply tk;
+      Oplat.register tk ~lsn:!got ~durable:false;
+      Oplat.force_completed ~upto:!got
+    | None -> ()
+  done;
+  Alcotest.(check int) "1 in 4 of 40" 10 !got
+
+let test_drop_inflight () =
+  with_oplat @@ fun () ->
+  let tk = take_ticket () in
+  Oplat.stamp_dequeue tk ~shard:0;
+  Oplat.register tk ~lsn:3 ~durable:true;
+  Oplat.drop_inflight ();
+  let r = Oplat.report () in
+  Alcotest.(check int) "dropped, not completed" 1 r.Oplat.r_dropped;
+  Alcotest.(check int) "completed" 0 r.Oplat.r_completed
+
+let test_drain_finalizes_stragglers () =
+  with_oplat @@ fun () ->
+  let tk = take_ticket () in
+  Oplat.stamp_dequeue tk ~shard:1;
+  Oplat.stamp_apply tk;
+  Oplat.register tk ~lsn:11 ~durable:true;
+  Oplat.drain ();
+  let r = Oplat.report () in
+  Alcotest.(check int) "drained ticket completed" 1 r.Oplat.r_completed;
+  Alcotest.(check int) "no force edge on the straggler" 0 (stage_events r "force")
+
+let test_reservoir_bound () =
+  with_oplat @@ fun () ->
+  Oplat.set_reservoir 8;
+  for i = 1 to 100 do
+    full_lifecycle ~lsn:i ()
+  done;
+  let r = Oplat.report () in
+  Alcotest.(check int) "all completed" 100 r.Oplat.r_completed;
+  Alcotest.(check bool)
+    (Printf.sprintf "reservoir bounded (%d <= 8)" (Oplat.trace_count ()))
+    true
+    (Oplat.trace_count () <= 8);
+  (* The retained traces still export. *)
+  let chrome = Oplat.chrome_json () in
+  Alcotest.(check bool) "chrome export non-trivial" true (String.length chrome > 20)
+
+let test_recovery_gauge () =
+  with_oplat @@ fun () ->
+  Oplat.recovery_start ~shards:2;
+  Oplat.recovery_progress ~shard:0 ~replayed:10 ~remaining:0;
+  Oplat.recovery_progress ~shard:1 ~replayed:5 ~remaining:2;
+  Oplat.recovery_finished ();
+  Oplat.first_op ();
+  let r = Oplat.report () in
+  match r.Oplat.r_recovery with
+  | None -> Alcotest.fail "expected a recovery view"
+  | Some rv ->
+    Alcotest.(check bool) "finished" true rv.Oplat.rv_finished;
+    Alcotest.(check bool) "first op stamped" true (rv.Oplat.rv_first_op_ns <> None);
+    Alcotest.(check int) "two shards" 2 (List.length rv.Oplat.rv_shards);
+    let s1 = List.find (fun s -> s.Oplat.rp_shard = 1) rv.Oplat.rv_shards in
+    Alcotest.(check int) "shard 1 replayed" 5 s1.Oplat.rp_replayed;
+    Alcotest.(check int) "shard 1 remaining" 2 s1.Oplat.rp_remaining
+
+let test_timeseries_and_json () =
+  with_oplat @@ fun () ->
+  for i = 1 to 10 do
+    full_lifecycle ~lsn:i ()
+  done;
+  let lines =
+    String.split_on_char '\n' (String.trim (Oplat.timeseries_jsonl ()))
+    |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check bool) "at least one time-series bucket" true (List.length lines >= 1);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "bucket line shape" true
+        (String.length l > 2 && l.[0] = '{' && l.[String.length l - 1] = '}'))
+    lines;
+  let json = Oplat.to_json (Oplat.report ()) in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("json mentions " ^ needle) true (contains json needle))
+    [ "\"sampled\""; "\"coverage\""; "\"stages\""; "\"tail\"" ]
+
+(* The live integration: drive the real sharded service and demand the
+   acceptance property — stage sums covering >= 90% of measured
+   end-to-end latency — on actual mailbox/WAL/group-commit timings. *)
+let test_service_integration () =
+  with_oplat @@ fun () ->
+  let module SS = Redo_kv.Sharded_store in
+  let store = SS.create ~shards:2 ~partitions:64 ~cache_capacity:32 () in
+  Fun.protect ~finally:(fun () -> SS.close store) @@ fun () ->
+  for i = 1 to 2_000 do
+    let key = Printf.sprintf "k%04d" (i mod 97) in
+    if i mod 10 = 0 then SS.delete store key else SS.put store key "v";
+    if i mod 256 = 0 then Redo_wal.Log_manager.await (SS.put_durable store key "commit")
+  done;
+  SS.sync store;
+  let r = Oplat.report () in
+  Alcotest.(check bool)
+    (Printf.sprintf "sampled some ops (%d)" r.Oplat.r_sampled)
+    true (r.Oplat.r_sampled > 0);
+  Alcotest.(check int) "all sampled ops completed" r.Oplat.r_sampled r.Oplat.r_completed;
+  Alcotest.(check bool)
+    (Printf.sprintf "coverage >= 0.9 (got %.3f)" r.Oplat.r_coverage)
+    true
+    (r.Oplat.r_coverage >= 0.9);
+  Alcotest.(check bool) "dwell observed" true (stage_events r "dwell" > 0);
+  Alcotest.(check bool) "apply observed" true (stage_events r "apply" > 0);
+  Alcotest.(check bool) "force observed" true (stage_events r "force" > 0)
+
+let suite =
+  [
+    Alcotest.test_case "ticket lifecycle" `Quick test_ticket_lifecycle;
+    Alcotest.test_case "eventually-durable completes at force" `Quick
+      test_eventually_durable_completes_at_force;
+    Alcotest.test_case "disabled is None" `Quick test_disabled_is_none;
+    Alcotest.test_case "sampling interval" `Quick test_sampling_interval;
+    Alcotest.test_case "crash drops in-flight tickets" `Quick test_drop_inflight;
+    Alcotest.test_case "drain finalizes stragglers" `Quick test_drain_finalizes_stragglers;
+    Alcotest.test_case "reservoir bound" `Quick test_reservoir_bound;
+    Alcotest.test_case "recovery gauge" `Quick test_recovery_gauge;
+    Alcotest.test_case "time series and json" `Quick test_timeseries_and_json;
+    Alcotest.test_case "sharded service integration" `Quick test_service_integration;
+  ]

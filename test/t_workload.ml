@@ -37,6 +37,80 @@ let test_zipf_uniform_spread () =
     (fun c -> Alcotest.(check bool) "roughly uniform" true (c > 700 && c < 1300))
     counts
 
+(* Distribution-shape sanity for the bench driver's key generator: the
+   bounds are loose enough to hold for any seed (the analytic masses at
+   theta = 0.99, n = 1000 are ~13% on rank 0, ~39% on the top 10 and
+   ~67% on the top 100), but tight enough to catch a broken skew — a
+   uniform sampler puts only 1% on the top 10. *)
+let test_zipf_head_mass () =
+  let n = 1000 and samples = 20_000 in
+  List.iter
+    (fun seed ->
+      let z = Zipf.create ~theta:0.99 n in
+      let rng = Random.State.make [| seed |] in
+      let counts = Array.make n 0 in
+      for _ = 1 to samples do
+        let r = Zipf.sample z rng in
+        counts.(r) <- counts.(r) + 1
+      done;
+      let mass k =
+        let s = ref 0 in
+        for i = 0 to k - 1 do
+          s := !s + counts.(i)
+        done;
+        float !s /. float samples
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: rank 0 holds >= 8%% (got %.1f%%)" seed (100. *. mass 1))
+        true (mass 1 >= 0.08);
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: top 10 hold >= 30%% (got %.1f%%)" seed (100. *. mass 10))
+        true (mass 10 >= 0.30);
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: top 100 hold >= 55%% (got %.1f%%)" seed (100. *. mass 100))
+        true (mass 100 >= 0.55);
+      let zu = Zipf.create ~theta:0.0 n in
+      let rngu = Random.State.make [| seed |] in
+      let hits = ref 0 in
+      for _ = 1 to samples do
+        if Zipf.sample zu rngu < 10 then incr hits
+      done;
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: uniform top 10 stay cold" seed)
+        true
+        (float !hits /. float samples <= 0.05))
+    [ 1; 7; 42 ]
+
+let test_zipf_monotone_ranks () =
+  (* Mean per-rank frequency must fall across rank decades — the shape
+     property that separates Zipf from any head-heavy-but-flat-tailed
+     impostor. Per-rank counts are too noisy at 20k samples; decade
+     means are not. *)
+  let n = 1000 and samples = 20_000 in
+  List.iter
+    (fun seed ->
+      let z = Zipf.create ~theta:0.99 n in
+      let rng = Random.State.make [| seed; 17 |] in
+      let counts = Array.make n 0 in
+      for _ = 1 to samples do
+        let r = Zipf.sample z rng in
+        counts.(r) <- counts.(r) + 1
+      done;
+      let decade_mean lo hi =
+        let s = ref 0 in
+        for i = lo to hi - 1 do
+          s := !s + counts.(i)
+        done;
+        float !s /. float (hi - lo)
+      in
+      let d0 = decade_mean 0 10 and d1 = decade_mean 10 100 and d2 = decade_mean 100 1000 in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: per-rank frequency falls by decade (%.1f > %.1f > %.1f)" seed
+           d0 d1 d2)
+        true
+        (d0 > d1 && d1 > d2))
+    [ 1; 7; 42 ]
+
 let test_trace_deterministic () =
   let t1 = Kv_trace.generate 7 and t2 = Kv_trace.generate 7 in
   Alcotest.(check bool) "same seed, same trace" true (t1 = t2);
@@ -87,6 +161,8 @@ let suite =
     Alcotest.test_case "zipf invalid args" `Quick test_zipf_invalid;
     Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
     Alcotest.test_case "zipf uniform spread" `Quick test_zipf_uniform_spread;
+    Alcotest.test_case "zipf head mass across seeds" `Quick test_zipf_head_mass;
+    Alcotest.test_case "zipf monotone rank decades" `Quick test_zipf_monotone_ranks;
     Alcotest.test_case "trace deterministic" `Quick test_trace_deterministic;
     Alcotest.test_case "trace apply" `Quick test_trace_apply;
     Alcotest.test_case "op_gen deterministic" `Quick test_op_gen_deterministic;

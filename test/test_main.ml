@@ -30,4 +30,5 @@ let () =
       "obs", T_obs.suite;
       "span profiler", T_span.suite;
       "flight recorder", T_flight.suite;
+      "oplat", T_oplat.suite;
     ]
