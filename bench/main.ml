@@ -1040,6 +1040,138 @@ let e16_oplat () =
      oplat_timeseries.jsonl (best of 2 rounds x 3 interleaves; %d cores online)@."
     (Domain.recommended_domain_count ())
 
+(* ------------------------------------------------------------------ *)
+(* E17 / instant_restart: time-to-first-op vs time-to-full-recovery,   *)
+(* written to BENCH_10.json. Two stores replay the identical seeded    *)
+(* Zipf stream (one sharded checkpoint at n/2, so roughly half the     *)
+(* stream survives the crash as a redo tail); one recovers eagerly     *)
+(* (nothing can be served before ttfr), the other opens right after    *)
+(* analysis and serves the hot set while the sweeper drains the cold   *)
+(* tail. Acceptance: instant ttfo <= 10% of eager ttfr, both           *)
+(* recoveries certified against the serial witness (untimed). The      *)
+(* hot-get latencies during recovery are reported next to the          *)
+(* post-recovery baseline — honestly: a demand fault pays its own      *)
+(* page's drain (and queues behind at most one sweeper page), so       *)
+(* during-recovery reads are slower, but never by a tail page's cost.  *)
+
+let e17_instant_restart () =
+  let module SS = Redo_kv.Sharded_store in
+  let module Theory_check = Redo_methods.Theory_check in
+  Bench_util.heading
+    "E17/instant_restart: serve after analysis - ttfo vs ttfr, sharded service, Zipf stream";
+  let n = 100_000 and keys = 10_000 and shards = 4 and theta = 0.99 in
+  let zipf = Redo_workload.Zipf.create ~theta keys in
+  let build () =
+    let store = SS.create ~shards ~partitions:256 ~cache_capacity:128 () in
+    let rng = Random.State.make [| 0xe17; n |] in
+    for i = 1 to n do
+      let key = Redo_workload.Zipf.sample_key zipf rng in
+      if i mod 10 = 0 then SS.delete store key else SS.put store key "value";
+      if i mod 512 = 0 then Redo_wal.Log_manager.await (SS.put_durable store key "commit");
+      if i = n / 2 then ignore (SS.checkpoint_sharded store)
+    done;
+    SS.sync store;
+    SS.crash store;
+    store
+  in
+  (* One pass over the 16 hottest keys, mean and max service time. *)
+  let hot = List.init 16 (Redo_workload.Zipf.key zipf) in
+  let hot_pass store =
+    let total = ref 0. and worst = ref 0. in
+    List.iter
+      (fun key ->
+        let ns = Bench_util.time_ns (fun () -> ignore (SS.get store key)) in
+        total := !total +. ns;
+        if ns > !worst then worst := ns)
+      hot;
+    !total /. float (List.length hot), !worst
+  in
+  let failures = ref 0 in
+  let check_cert label cert =
+    if not (Theory_check.certificate_ok cert) then begin
+      Fmt.pr "  %s: CERTIFICATION FAILED: %a@." label Theory_check.pp_certificate cert;
+      incr failures
+    end
+  in
+  (* Eager baseline: first op possible only once replay is total. *)
+  let eager = build () in
+  let t0 = Unix.gettimeofday () in
+  let r_eager = SS.recover eager in
+  let eager_ttfr = (Unix.gettimeofday () -. t0) *. 1e9 in
+  let eager_mean, eager_max = hot_pass eager in
+  check_cert "eager" (SS.certify eager ~phase:`Recovered);
+  SS.close eager;
+  (* Instant: open after analysis, read the hot set mid-recovery, then
+     wait out the sweeper for the full time-to-recovery. *)
+  let instant = build () in
+  let t0 = Unix.gettimeofday () in
+  let r_instant = SS.recover ~mode:`Instant instant in
+  let open_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+  let pages_queued = SS.recovery_pending instant in
+  let first_ns = Bench_util.time_ns (fun () -> ignore (SS.get instant (List.hd hot))) in
+  let instant_ttfo = open_ns +. first_ns in
+  let during_mean, during_max = hot_pass instant in
+  let pending_after_hot = SS.recovery_pending instant in
+  let demand, swept = SS.await_recovery instant in
+  let instant_ttfr = (Unix.gettimeofday () -. t0) *. 1e9 in
+  let after_mean, after_max = hot_pass instant in
+  check_cert "instant" (SS.certify instant ~phase:`Recovered);
+  SS.close instant;
+  let ratio = instant_ttfo /. eager_ttfr in
+  Fmt.pr "  %-16s %14s %14s %10s %10s@." "restart" "ttfo-ms" "ttfr-ms" "redone" "skipped";
+  Fmt.pr "  %-16s %14.3f %14.3f %10d %10d@." "eager" (eager_ttfr /. 1e6) (eager_ttfr /. 1e6)
+    r_eager.SS.redone r_eager.SS.skipped;
+  Fmt.pr "  %-16s %14.3f %14.3f %10d %10d@." "instant" (instant_ttfo /. 1e6)
+    (instant_ttfr /. 1e6) r_instant.SS.redone r_instant.SS.skipped;
+  Fmt.pr
+    "  instant: open in %.3fms, %d pages queued, first op +%.1fus; %d left after hot set; %d \
+     demand / %d sweeper drains@."
+    (open_ns /. 1e6) pages_queued (first_ns /. 1e3) pending_after_hot demand swept;
+  Fmt.pr
+    "  hot gets: during recovery mean %.1fus max %.1fus; post-recovery mean %.1fus max \
+     %.1fus (eager baseline mean %.1fus max %.1fus)@."
+    (during_mean /. 1e3) (during_max /. 1e3) (after_mean /. 1e3) (after_max /. 1e3)
+    (eager_mean /. 1e3) (eager_max /. 1e3);
+  Fmt.pr "  ttfo(instant) / ttfr(eager) = %.1f%% (acceptance <= 10%%)@." (ratio *. 100.);
+  emit_json ~file:"BENCH_10.json"
+    [
+      ( "restart_eager", n, shards, eager_ttfr,
+        [
+          "ttfo_ns", int_of_float eager_ttfr;
+          "ttfr_ns", int_of_float eager_ttfr;
+          "redone", r_eager.SS.redone;
+          "skipped", r_eager.SS.skipped;
+          "hot_get_mean_ns", int_of_float eager_mean;
+          "hot_get_max_ns", int_of_float eager_max;
+        ],
+        None );
+      ( "restart_instant", n, shards, instant_ttfr,
+        [
+          "ttfo_ns", int_of_float instant_ttfo;
+          "ttfr_ns", int_of_float instant_ttfr;
+          "open_ns", int_of_float open_ns;
+          "pages_queued", pages_queued;
+          "demand_drains", demand;
+          "sweeper_drains", swept;
+          "redone", r_instant.SS.redone;
+          "skipped", r_instant.SS.skipped;
+          "hot_get_during_mean_ns", int_of_float during_mean;
+          "hot_get_during_max_ns", int_of_float during_max;
+          "hot_get_after_mean_ns", int_of_float after_mean;
+          "hot_get_after_max_ns", int_of_float after_max;
+          "ttfo_over_eager_ttfr_bp", int_of_float (Float.round (ratio *. 10_000.));
+        ],
+        None );
+    ];
+  Fmt.pr "  rows written to BENCH_10.json (%d cores online)@."
+    (Domain.recommended_domain_count ());
+  if ratio > 0.10 then begin
+    Fmt.pr "  ACCEPTANCE FAILED: instant ttfo is %.1f%% of eager ttfr (bound 10%%)@."
+      (ratio *. 100.);
+    incr failures
+  end;
+  if !failures > 0 then exit 1
+
 let micro_benchmarks () =
   Bench_util.heading "Micro-benchmarks (Bechamel, OLS estimate per run)";
   let open Bechamel in
@@ -1105,6 +1237,7 @@ let experiments =
     "flight", e14_flight;
     "service", e15_service;
     "oplat", e16_oplat;
+    "instant_restart", e17_instant_restart;
     "perf", perf;
     "micro", micro_benchmarks;
   ]

@@ -17,6 +17,9 @@ let c_shard_applied = Metrics.counter "recover.shard.ops_applied"
 let c_shard_skipped = Metrics.counter "recover.shard.ops_skipped"
 let h_par_run_ns = Metrics.histogram "recover.parallel.run_ns"
 let h_shard_ops = Metrics.histogram ~bounds:Metrics.count_bounds "recover.shard.ops"
+let c_lazy_runs = Metrics.counter "recover.lazy.runs"
+let c_lazy_drains = Metrics.counter "recover.lazy.drains"
+let h_lazy_closure = Metrics.histogram ~bounds:Metrics.count_bounds "recover.lazy.closure_ops"
 
 type 'a spec = {
   analyze :
@@ -313,6 +316,116 @@ let recover_sharded ?(trace = false) ?(domains = 1) ?pool ?shard_sink spec ~stat
   let result = replay_plan ~trace ~pool ~domains ~shard_sinks spec ~state ~log ~plan in
   Metrics.observe h_par_run_ns (Metrics.now_ns () -. t0);
   result
+
+(* ---- lazy (demand-order) recovery --------------------------------- *)
+
+(* Page-granular demand replay: partition the unrecovered records into
+   per-home-variable queues (the home of an operation is the least
+   variable it accesses — the theory's stand-in for "the page the access
+   faults on"), then drain queues in an arbitrary {e touch} order rather
+   than log order. Draining one record first drains its still-unrecovered
+   conflict-graph predecessors, in log order. [predecessors_of] is the
+   transitive closure, so the closure {r} ∪ preds(r) is down-closed:
+   replaying it in log order respects every conflict edge inside it, and
+   edges leaving it point only at ops replayed earlier. The whole run is
+   therefore a conflict-respecting interleaving of per-component log
+   orders, which Theorem 3 makes equivalent to the sequential pass — the
+   soundness claim instant restart rests on, checked against [recover]
+   by Theory_check's lazy leg on every invocation. *)
+let recover_lazy ?touch_order spec ~state ~log ~checkpoint =
+  Metrics.incr c_lazy_runs;
+  Span.span "recover.lazy" @@ fun () ->
+  let stats = fresh_stats () in
+  let cg = Log.conflict_graph log in
+  let unrecovered = ref (Digraph.Node_set.diff (Log.operations log) checkpoint) in
+  let records = Log.records log in
+  (* Log position of every record, for ordering drained closures. *)
+  let pos = Hashtbl.create (List.length records) in
+  List.iteri (fun i r -> Hashtbl.replace pos r.Log.op_id i) records;
+  (* Per-home-variable queues over the unrecovered suffix, in log order. *)
+  let queues : (Var.t, Log.record list ref) Hashtbl.t = Hashtbl.create 16 in
+  let homeless = ref [] in
+  List.iter
+    (fun r ->
+      if Digraph.Node_set.mem r.Log.op_id !unrecovered then begin
+        let op = Log.find_op log r.Log.op_id in
+        match Var.Set.min_elt_opt (Op.accesses op) with
+        | None -> homeless := r :: !homeless
+        | Some v ->
+          let q =
+            match Hashtbl.find_opt queues v with
+            | Some q -> q
+            | None ->
+              let q = ref [] in
+              Hashtbl.add queues v q;
+              q
+          in
+          q := r :: !q
+      end)
+    records;
+  let state = ref state in
+  let analysis = ref None in
+  let redo_set = ref Digraph.Node_set.empty in
+  let process r =
+    stats.s_scanned <- stats.s_scanned + 1;
+    let op = Log.find_op log r.Log.op_id in
+    stats.s_analyze_calls <- stats.s_analyze_calls + 1;
+    analysis := spec.analyze ~state:!state ~log ~unrecovered:!unrecovered !analysis;
+    let redone = spec.redo op ~state:!state ~log ~analysis:!analysis in
+    if redone then begin
+      stats.s_applied <- stats.s_applied + 1;
+      state := Op.apply op !state;
+      redo_set := Digraph.Node_set.add r.Log.op_id !redo_set
+    end
+    else stats.s_skipped <- stats.s_skipped + 1;
+    unrecovered := Digraph.Node_set.remove r.Log.op_id !unrecovered
+  in
+  (* Drain one record: its unrecovered predecessors first, in log
+     order, then the record itself. *)
+  let drain_record r =
+    if Digraph.Node_set.mem r.Log.op_id !unrecovered then begin
+      Metrics.incr c_lazy_drains;
+      let closure =
+        Digraph.Node_set.add r.Log.op_id
+          (Digraph.Node_set.inter (Conflict_graph.predecessors_of cg r.Log.op_id) !unrecovered)
+      in
+      Metrics.observe h_lazy_closure (float (Digraph.Node_set.cardinal closure));
+      Digraph.Node_set.elements closure
+      |> List.sort (fun a b -> compare (Hashtbl.find pos a) (Hashtbl.find pos b))
+      |> List.iter (fun id -> if Digraph.Node_set.mem id !unrecovered then process (Log.record id))
+    end
+  in
+  let drain_var v =
+    match Hashtbl.find_opt queues v with
+    | None -> ()
+    | Some q ->
+      Hashtbl.remove queues v;
+      List.iter drain_record (List.rev !q)
+  in
+  (* Touch order: caller-supplied, else home variables in descending
+     order — adversarial against the ascending log tendency, so the
+     equivalence leg actually exercises out-of-log-order drains. *)
+  let order =
+    match touch_order with
+    | Some vs -> vs
+    | None ->
+      List.rev
+        (Var.Set.elements (Hashtbl.fold (fun v _ acc -> Var.Set.add v acc) queues Var.Set.empty))
+  in
+  List.iter drain_var order;
+  (* Sweeper of last resort: anything untouched (homeless ops, vars not
+     in a partial [touch_order]) drains in log order. *)
+  List.iter drain_record (List.rev !homeless);
+  List.iter (fun r -> drain_record r) records;
+  flush_stats stats;
+  if Span.enabled () then
+    Span.note
+      [
+        "scanned", Span.Int stats.s_scanned;
+        "applied", Span.Int stats.s_applied;
+        "skipped", Span.Int stats.s_skipped;
+      ];
+  { final = !state; redo_set = !redo_set; iterations = [] }
 
 let succeeded ?universe ~log result =
   let cg = Log.conflict_graph log in

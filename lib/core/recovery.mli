@@ -166,6 +166,37 @@ val recover_sharded :
     [~universe:shard.vars] is — the conflict graph and {!Explain} are
     immutable once built). *)
 
+(** {1 Lazy (demand-order) recovery}
+
+    Instant restart replays nothing up front: each operation is queued
+    on its {e home variable} (the least variable it accesses — the
+    theory-level stand-in for the page a first access faults on), and a
+    queue is drained only when its variable is touched. Draining one
+    record first drains its still-unrecovered conflict-graph
+    predecessors in log order; {!Conflict_graph.predecessors_of} is
+    transitive, so each drained closure is down-closed and the whole run
+    is a conflict-respecting interleaving of per-component log orders —
+    equivalent to the sequential pass by Theorem 3. *)
+
+val recover_lazy :
+  ?touch_order:Var.t list ->
+  'a spec ->
+  state:State.t ->
+  log:Log.t ->
+  checkpoint:Digraph.Node_set.t ->
+  result
+(** Demand-order recovery. [touch_order] is the sequence in which home
+    variables are faulted on (default: descending variable order —
+    deliberately adversarial against log order, so equivalence checks
+    exercise genuinely out-of-order drains); variables it omits, and
+    operations accessing no variables, are swept afterwards in log
+    order. [final] and [redo_set] must agree with {!recover} on every
+    spec in this library (redo tests and analyses confined to the
+    conflict component they are asked about); {!Redo_methods.Theory_check}
+    re-verifies that agreement on every check. [iterations] is always
+    [[]] — the drain order is not a log order, so the streaming
+    invariant auditor does not apply. *)
+
 val succeeded : ?universe:Var.Set.t -> log:Log.t -> result -> bool
 (** Did recovery terminate in the state determined by the conflict
     graph (the execution's final state)? *)

@@ -6,6 +6,7 @@ module Span = Redo_obs.Span
 module Flight = Redo_obs.Flight
 module Oplat = Redo_obs.Oplat
 module Installer = Redo_ckpt.Installer
+module Lazy_redo = Redo_restart.Lazy_redo
 module Kv_layout = Redo_methods.Kv_layout
 module Projection = Redo_methods.Projection
 module Theory_check = Redo_methods.Theory_check
@@ -53,6 +54,19 @@ type shard = {
   mailbox : Mailbox.t;
 }
 
+(* Live instant-restart state. [lr]'s queues are owner-domain-only; the
+   per-shard replay cursors here are Atomics so the Oplat gauge can be
+   fed from whichever owner drains. The whole record is reachable only
+   through the store's [restart] Atomic — cleared by the client-side
+   cleanup points ([await_recovery], crash, close), never by the owner
+   domains, so the sweeper pool's join always has a handle. *)
+type restart_state = {
+  lr : Lazy_redo.t;
+  rs_records : int array;  (* queued records per shard, fixed at plan time *)
+  rs_replayed : int Atomic.t array;
+  rs_done : bool Atomic.t;  (* CAS guard: recovery_finished fires once *)
+}
+
 type t = {
   nshards : int;
   n_partitions : int;
@@ -69,6 +83,7 @@ type t = {
   scanned : int Atomic.t;
   redone : int Atomic.t;
   skipped : int Atomic.t;
+  restart : restart_state option Atomic.t;
   mutable closed : bool;
 }
 
@@ -116,6 +131,7 @@ let create ?(shards = 4) ?partitions ?(cache_capacity = 64)
     scanned = Atomic.make 0;
     redone = Atomic.make 0;
     skipped = Atomic.make 0;
+    restart = Atomic.make None;
     closed = false;
   }
 
@@ -127,18 +143,62 @@ let ensure_open t = if t.closed then invalid_arg "Sharded_store: store is closed
 let locate t key = Kv_layout.locate ~partitions:t.n_partitions key
 let owner t pid = t.shard_arr.(pid mod t.nshards)
 
+(* ---- instant restart ------------------------------------------------- *)
+
+(* Exactly one drain takes the pending total to zero; whoever observes
+   that first (its own owner domain, or the sweeper's touch) wins the
+   CAS and closes the Oplat recovery window. *)
+let rec_finished rs =
+  if Lazy_redo.finished rs.lr && Atomic.compare_and_set rs.rs_done false true then
+    if Oplat.enabled () then Oplat.recovery_finished ()
+
+(* The demand fault: called on the page's owner domain before any read
+   of or logged update to the page, so an operation can never observe —
+   or stamp an LSN above — a page whose redo tail is still queued. *)
+let ensure_recovered t pid =
+  match Atomic.get t.restart with
+  | None -> ()
+  | Some rs ->
+    if Lazy_redo.ensure rs.lr ~pid ~trigger:Lazy_redo.Demand then rec_finished rs
+
+(* Client-domain only: joining the sweeper from an owner domain could
+   deadlock (the sweeper may be blocked on a ticket that owner must
+   run). Crash abandons undrained queues on purpose — the next recovery
+   replays the same stable slice, idempotent under the page-LSN test. *)
+let stop_restart t =
+  match Atomic.exchange t.restart None with
+  | None -> ()
+  | Some rs -> Lazy_redo.stop rs.lr
+
+let recovery_pending t =
+  match Atomic.get t.restart with
+  | None -> 0
+  | Some rs -> Lazy_redo.pending_total rs.lr
+
+let await_recovery t =
+  match Atomic.get t.restart with
+  | None -> 0, 0
+  | Some rs ->
+    ignore (Lazy_redo.await rs.lr);
+    let demand = Lazy_redo.demand_drains rs.lr in
+    let swept = Lazy_redo.sweeper_drains rs.lr in
+    stop_restart t;
+    demand, swept
+
 (* ---- normal operation (worker side) -------------------------------- *)
 
 (* The physiological discipline on the owner domain: log first (the
    append assigns the LSN, serialized under the committer's mutex),
    then apply to the shard's private page and stamp it. *)
 let apply_logged t shard pid op =
+  ensure_recovered t pid;
   let lsn = Log_manager.append t.log (Record.Physiological { pid; op }) in
   Cache.update shard.cache pid ~lsn (Page_op.apply op);
   Metrics.incr c_ops;
   lsn
 
-let page_entries shard pid =
+let page_entries t shard pid =
+  ensure_recovered t pid;
   match Page.data (Cache.read shard.cache pid) with
   | Page.Kv entries -> entries
   | Page.Empty -> []
@@ -212,7 +272,7 @@ let get_async t key =
   Metrics.incr c_reads;
   let pid = locate t key in
   let shard = owner t pid in
-  Mailbox.call shard.mailbox (fun () -> Page.kv_get (page_entries shard pid) key)
+  Mailbox.call shard.mailbox (fun () -> Page.kv_get (page_entries t shard pid) key)
 
 let get t key = Mailbox.Ticket.await (get_async t key)
 
@@ -237,7 +297,7 @@ let on_shards t f =
 let dump t =
   ensure_open t;
   drain t;
-  on_shards t (fun s -> List.concat_map (fun pid -> page_entries s pid) s.pages)
+  on_shards t (fun s -> List.concat_map (fun pid -> page_entries t s pid) s.pages)
   |> Array.to_list
   |> Kv_layout.merge_dumps
 
@@ -245,8 +305,15 @@ let durable_ops t = Log_manager.stable_op_records t.log
 
 (* ---- checkpoints ---------------------------------------------------- *)
 
+(* Both checkpoint flavours finish any in-flight instant restart first:
+   pages whose redo tails are still queued are not dirty in any cache,
+   so a checkpoint taken mid-restart would record a dirty-page table
+   that silently forgets them — and a later crash would never replay
+   their tail. Finishing recovery restores the invariant the DPT
+   derivation relies on. *)
 let checkpoint t =
   ensure_open t;
+  ignore (await_recovery t);
   drain t;
   Atomic.incr t.checkpoints;
   let tables =
@@ -261,6 +328,7 @@ let checkpoint t =
 
 let checkpoint_sharded t =
   ensure_open t;
+  ignore (await_recovery t);
   drain t;
   Atomic.incr t.checkpoints;
   Span.span "kv.checkpoint" ~attrs:[ "shards", Span.Int t.nshards ] @@ fun () ->
@@ -296,6 +364,11 @@ let checkpoint_sharded t =
 
 let crash_with t ~torn ~drop =
   ensure_open t;
+  (* A crash during instant restart abandons the undrained queues: the
+     join happens before the drain so the sweeper stops feeding the
+     mailboxes, and the pages it never reached simply stay stale — the
+     next recovery's scan covers the same stable records again. *)
+  stop_restart t;
   (* Quiesce first: every accepted operation is at least in the
      volatile log, and the crash then loses precisely the unforced
      tail — the same loss model as the single-domain facades. *)
@@ -327,31 +400,80 @@ let scan_start t =
 
 (* The ARIES-style analysis pass, verbatim from the physiological
    method: rebuild the dirty-page table from the newest checkpoint and
-   every later record, and start redo at its oldest recLSN. *)
+   every later record, and start redo at its oldest recLSN. The DPT is
+   a pid-indexed array (the page universe is dense and known): the redo
+   test runs once per scanned record on the restart open path, where a
+   hash lookup per record is the difference between opening in
+   milliseconds and tens of them. *)
 let analysis t =
   let ckpt_lsn, dpt0 =
     match Log_manager.last_stable_checkpoint t.log with
     | None -> Lsn.zero, []
     | Some (lsn, { Record.dirty_pages; _ }) -> lsn, dirty_pages
   in
-  let dpt = Hashtbl.create 16 in
-  List.iter (fun (pid, rec_lsn) -> Hashtbl.replace dpt pid rec_lsn) dpt0;
+  let tail_start = Lsn.next ckpt_lsn in
+  let dpt = Array.make t.n_partitions None in
+  List.iter (fun (pid, rec_lsn) -> dpt.(pid) <- Some rec_lsn) dpt0;
+  let tail = Log_manager.records_from t.log ~from:tail_start in
   let scanned = ref 0 in
   List.iter
     (fun r ->
       incr scanned;
       match Record.payload r with
       | Record.Physiological { pid; _ } ->
-        if not (Hashtbl.mem dpt pid) then Hashtbl.replace dpt pid (Record.lsn r)
+        if dpt.(pid) = None then dpt.(pid) <- Some (Record.lsn r)
       | _ -> ())
-    (Log_manager.records_from t.log ~from:(Lsn.next ckpt_lsn));
+    tail;
   let redo_start =
-    Hashtbl.fold (fun _ rec_lsn acc -> min acc rec_lsn) dpt (Lsn.next ckpt_lsn)
+    Array.fold_left
+      (fun acc entry -> match entry with Some rec_lsn -> min acc rec_lsn | None -> acc)
+      tail_start dpt
   in
-  dpt, redo_start, !scanned
+  (* The redo slice extends the analysis tail down to the oldest recLSN
+     — identical to the tail when the checkpoint's dirty-page table
+     holds nothing older (the common case), so reuse it rather than
+     walking the log a second time. *)
+  let slice =
+    if Lsn.(tail_start <= redo_start) then tail
+    else Log_manager.records_from t.log ~from:redo_start
+  in
+  dpt, redo_start, !scanned, slice
 
-let recover t =
+(* The lazy sibling of the eager replay closure below: drain one page's
+   queue under the same page-LSN redo test, on the page's owner domain,
+   without re-logging (these records are already stable). The plan
+   excluded everything surely on disk, so the only skips here are
+   records a previous partial restart already applied. *)
+let lazy_apply t rs_records rs_replayed ~shard ~pid:_ records =
+  let s = t.shard_arr.(shard) in
+  let redone = ref 0 and skipped = ref 0 in
+  Array.iter
+    (fun r ->
+      match Record.payload r with
+      | Record.Physiological { pid; op } ->
+        let page = Cache.read s.cache pid in
+        if Lsn.(Page.lsn page < Record.lsn r) then begin
+          Cache.update s.cache pid ~lsn:(Record.lsn r) (Page_op.apply op);
+          incr redone
+        end
+        else incr skipped
+      | _ -> assert false)
+    records;
+  Metrics.add c_replayed !redone;
+  ignore (Atomic.fetch_and_add t.redone !redone);
+  ignore (Atomic.fetch_and_add t.skipped !skipped);
+  let n = Array.length records in
+  let replayed = Atomic.fetch_and_add rs_replayed.(shard) n + n in
+  if Oplat.enabled () then
+    Oplat.recovery_progress ~shard ~replayed
+      ~remaining:(max 0 (rs_records.(shard) - replayed));
+  !redone, !skipped
+
+let recover ?(mode = `Eager) t =
   ensure_open t;
+  (* Defensive: a recover issued while a previous instant restart is
+     still draining supersedes it (the rescan covers the same records). *)
+  stop_restart t;
   drain t;
   if Flight.enabled () then
     Flight.emit (Flight.Phase { name = "kv.recover"; crash = Atomic.get t.crashes });
@@ -359,100 +481,140 @@ let recover t =
      measured from here, and mid-replay readers see live per-shard
      cursors. *)
   if Oplat.enabled () then Oplat.recovery_start ~shards:t.nshards;
-  Span.span "kv.recover" ~attrs:[ "shards", Span.Int t.nshards ] @@ fun () ->
-  let dpt, redo_start, analysis_scanned = analysis t in
-  let horizons = Hashtbl.create 16 in
+  let mode_name = match mode with `Eager -> "eager" | `Instant -> "instant" in
+  Span.span "kv.recover"
+    ~attrs:[ "shards", Span.Int t.nshards; "mode", Span.String mode_name ]
+  @@ fun () ->
+  let dpt, _redo_start, analysis_scanned, slice = analysis t in
+  (* Horizons as a pid-indexed array too; [Lsn.zero] = no horizon
+     (every real record's LSN is above it). *)
+  let horizons = Array.make t.n_partitions Lsn.zero in
   List.iter
-    (fun (pid, h) -> Hashtbl.replace horizons pid h)
+    (fun (pid, h) -> horizons.(pid) <- h)
     (Log_manager.stable_shard_horizons t.log);
-  (* Bucket the redo scan by owning shard — the plan [Core.Partition]
-     would compute, coarsened to the static shard boundaries (each
-     record touches one page; pages never change owner; so the buckets
-     are conflict-closed and replay in parallel by Theorem 3). *)
-  let buckets = Array.make t.nshards [] in
-  let scanned = ref 0 in
-  List.iter
-    (fun r ->
-      incr scanned;
-      match Record.payload r with
-      | Record.Physiological { pid; _ } ->
-        let i = pid mod t.nshards in
-        buckets.(i) <- r :: buckets.(i)
-      | Record.Checkpoint _ | Record.Shard_checkpoint _ -> ()
-      | payload ->
-        invalid_arg
-          (Fmt.str "sharded recovery: unexpected record %a" Record.pp_payload payload))
-    (Log_manager.records_from t.log ~from:redo_start);
-  let parent = Span.current () in
   (* [dpt] and [horizons] are read-only from here on: sharing them with
      the worker domains is safe. *)
-  let replay (s : shard) records () =
-    let redone = ref 0 and skipped = ref 0 in
-    let total = List.length records in
-    let track = Oplat.enabled () in
-    if track then Oplat.recovery_progress ~shard:s.index ~replayed:0 ~remaining:total;
-    let seen = ref 0 in
+  let surely_on_disk ~pid ~lsn =
+    Lsn.(lsn <= horizons.(pid))
+    ||
+    match dpt.(pid) with
+    | None -> true (* clean at the crash: all its updates were flushed *)
+    | Some rec_lsn -> Lsn.(lsn < rec_lsn)
+  in
+  match mode with
+  | `Instant ->
+    (* Instant restart: partition the redo slice into per-page queues
+       and return before replaying anything. Service resumes now; each
+       touched page drains on demand on its owner domain, and the
+       sweeper walks the cold tail hottest-first until the recovered
+       set is total. *)
+    let scanned = List.length slice in
+    let plan = Lazy_redo.plan ~shards:t.nshards ~surely_on_disk slice in
+    let preskipped = Lazy_redo.plan_preskipped plan in
+    Atomic.incr t.recoveries;
+    ignore (Atomic.fetch_and_add t.scanned scanned);
+    ignore (Atomic.fetch_and_add t.skipped preskipped);
+    if Lazy_redo.plan_pages plan = 0 then begin
+      if Oplat.enabled () then Oplat.recovery_finished ()
+    end
+    else begin
+      let rs_records = Array.init t.nshards (Lazy_redo.plan_shard_records plan) in
+      let rs_replayed = Array.init t.nshards (fun _ -> Atomic.make 0) in
+      let lr = Lazy_redo.create ~plan ~apply:(lazy_apply t rs_records rs_replayed) in
+      let rs = { lr; rs_records; rs_replayed; rs_done = Atomic.make false } in
+      if Oplat.enabled () then
+        Array.iteri
+          (fun i n -> Oplat.recovery_progress ~shard:i ~replayed:0 ~remaining:n)
+          rs_records;
+      Atomic.set t.restart (Some rs);
+      (* The sweeper's touch is the same owner-domain fault a client
+         takes, and it blocks per page, so a demand operation queued
+         behind it waits for at most one page's drain. *)
+      Lazy_redo.start_sweeper lr ~touch:(fun ~pid ~trigger ->
+          let s = owner t pid in
+          Mailbox.Ticket.await
+            (Mailbox.call s.mailbox (fun () ->
+                 if Lazy_redo.ensure lr ~pid ~trigger then rec_finished rs)))
+    end;
+    { scanned; redone = 0; skipped = preskipped; analysis_scanned }
+  | `Eager ->
+    (* Bucket the redo scan by owning shard — the plan [Core.Partition]
+       would compute, coarsened to the static shard boundaries (each
+       record touches one page; pages never change owner; so the buckets
+       are conflict-closed and replay in parallel by Theorem 3). *)
+    let buckets = Array.make t.nshards [] in
+    let scanned = ref 0 in
     List.iter
       (fun r ->
-        incr seen;
-        (* Coarse cursor updates: every 64 records keeps the gauge off
-           the replay hot path. *)
-        if track && !seen land 63 = 0 then
-          Oplat.recovery_progress ~shard:s.index ~replayed:!seen
-            ~remaining:(total - !seen);
+        incr scanned;
         match Record.payload r with
-        | Record.Physiological { pid; op } ->
-          let surely_on_disk =
-            (match Hashtbl.find_opt horizons pid with
-            | Some h -> Lsn.(Record.lsn r <= h)
-            | None -> false)
-            ||
-            match Hashtbl.find_opt dpt pid with
-            | None -> true (* clean at the crash: all its updates were flushed *)
-            | Some rec_lsn -> Lsn.(Record.lsn r < rec_lsn)
-          in
-          if surely_on_disk then incr skipped
-          else begin
-            let page = Cache.read s.cache pid in
-            if Lsn.(Page.lsn page < Record.lsn r) then begin
-              Cache.update s.cache pid ~lsn:(Record.lsn r) (Page_op.apply op);
-              incr redone
+        | Record.Physiological { pid; _ } ->
+          let i = pid mod t.nshards in
+          buckets.(i) <- r :: buckets.(i)
+        | Record.Checkpoint _ | Record.Shard_checkpoint _ -> ()
+        | payload ->
+          invalid_arg
+            (Fmt.str "sharded recovery: unexpected record %a" Record.pp_payload payload))
+      slice;
+    let parent = Span.current () in
+    let replay (s : shard) records () =
+      let redone = ref 0 and skipped = ref 0 in
+      let total = List.length records in
+      let track = Oplat.enabled () in
+      if track then Oplat.recovery_progress ~shard:s.index ~replayed:0 ~remaining:total;
+      let seen = ref 0 in
+      List.iter
+        (fun r ->
+          incr seen;
+          (* Coarse cursor updates: every 64 records keeps the gauge off
+             the replay hot path. *)
+          if track && !seen land 63 = 0 then
+            Oplat.recovery_progress ~shard:s.index ~replayed:!seen
+              ~remaining:(total - !seen);
+          match Record.payload r with
+          | Record.Physiological { pid; op } ->
+            if surely_on_disk ~pid ~lsn:(Record.lsn r) then incr skipped
+            else begin
+              let page = Cache.read s.cache pid in
+              if Lsn.(Page.lsn page < Record.lsn r) then begin
+                Cache.update s.cache pid ~lsn:(Record.lsn r) (Page_op.apply op);
+                incr redone
+              end
+              else incr skipped
             end
-            else incr skipped
-          end
-        | _ -> assert false)
-      records;
-    if track then Oplat.recovery_progress ~shard:s.index ~replayed:total ~remaining:0;
-    !redone, !skipped
-  in
-  let results =
-    let tickets =
-      Array.mapi
-        (fun i s ->
-          let records = List.rev buckets.(i) in
-          Mailbox.call s.mailbox (fun () ->
-              if Span.enabled () then
-                Span.span ~parent "kv.shard.recover"
-                  ~attrs:
-                    [
-                      "shard", Span.Int s.index;
-                      "records", Span.Int (List.length records);
-                    ]
-                  (replay s records)
-              else replay s records ()))
-        t.shard_arr
+          | _ -> assert false)
+        records;
+      if track then Oplat.recovery_progress ~shard:s.index ~replayed:total ~remaining:0;
+      !redone, !skipped
     in
-    Array.map Mailbox.Ticket.await tickets
-  in
-  let redone = Array.fold_left (fun acc (r, _) -> acc + r) 0 results in
-  let skipped = Array.fold_left (fun acc (_, s) -> acc + s) 0 results in
-  Metrics.add c_replayed redone;
-  Atomic.incr t.recoveries;
-  ignore (Atomic.fetch_and_add t.scanned !scanned);
-  ignore (Atomic.fetch_and_add t.redone redone);
-  ignore (Atomic.fetch_and_add t.skipped skipped);
-  if Oplat.enabled () then Oplat.recovery_finished ();
-  { scanned = !scanned; redone; skipped; analysis_scanned }
+    let results =
+      let tickets =
+        Array.mapi
+          (fun i s ->
+            let records = List.rev buckets.(i) in
+            Mailbox.call s.mailbox (fun () ->
+                if Span.enabled () then
+                  Span.span ~parent "kv.shard.recover"
+                    ~attrs:
+                      [
+                        "shard", Span.Int s.index;
+                        "records", Span.Int (List.length records);
+                      ]
+                    (replay s records)
+                else replay s records ()))
+          t.shard_arr
+      in
+      Array.map Mailbox.Ticket.await tickets
+    in
+    let redone = Array.fold_left (fun acc (r, _) -> acc + r) 0 results in
+    let skipped = Array.fold_left (fun acc (_, s) -> acc + s) 0 results in
+    Metrics.add c_replayed redone;
+    Atomic.incr t.recoveries;
+    ignore (Atomic.fetch_and_add t.scanned !scanned);
+    ignore (Atomic.fetch_and_add t.redone redone);
+    ignore (Atomic.fetch_and_add t.skipped skipped);
+    if Oplat.enabled () then Oplat.recovery_finished ();
+    { scanned = !scanned; redone; skipped; analysis_scanned }
 
 (* ---- certification -------------------------------------------------- *)
 
@@ -554,8 +716,10 @@ let stats t : stats =
 let close t =
   if not t.closed then begin
     t.closed <- true;
-    (* Workers first (their queued tasks may still barrier on the
+    (* Sweeper first — it posts through the mailboxes about to close —
+       then workers (their queued tasks may still barrier on the
        committer), then the committer's flusher. *)
+    stop_restart t;
     Array.iter (fun s -> Mailbox.close s.mailbox) t.shard_arr;
     Group_commit.detach t.committer;
     (* The final flush ran under detach; account any stragglers. *)

@@ -147,11 +147,41 @@ val crash_torn : t -> drop:int -> unit
 (** {!crash}, but the final in-flight force tears [drop] bytes short on
     both media (WAL and flight recorder). *)
 
-val recover : t -> recovery_stats
+val recover : ?mode:[ `Eager | `Instant ] -> t -> recovery_stats
 (** ARIES-style analysis on the coordinator (checkpoint + dirty-page
-    table → redo start), then bucket the stable records by owning shard
-    and replay all shards in parallel on their owner domains, skipping
-    by per-shard horizon, dirty-page table and the page-LSN test. *)
+    table → redo start), then redo per [mode] (default [`Eager]):
+
+    - [`Eager]: bucket the stable records by owning shard and replay
+      all shards in parallel on their owner domains, skipping by
+      per-shard horizon, dirty-page table and the page-LSN test.
+      Returns after the recovered set is total.
+    - [`Instant]: partition the same records into per-page queues
+      (excluding everything the horizon/DPT test already clears) and
+      return {e before replaying anything} — the store serves
+      immediately. A page's queue drains on its owner domain the first
+      time an operation touches the page, and a background sweeper
+      drains the cold pages longest-queue-first until the recovered
+      set is total ({!await_recovery} blocks for that point;
+      {!recovery_pending} watches it approach). Sound by Theorem 3:
+      every record touches one page, so whole-queue drains in any
+      order across pages are conflict-respecting — the equivalence
+      with eager replay is re-checked by [Theory_check]'s lazy leg.
+
+    Under [`Instant] the returned [redone] is 0 and [skipped] counts
+    only the plan-time exclusions; the lazy drains accumulate into
+    {!stats} as they happen. *)
+
+val recovery_pending : t -> int
+(** Pages whose redo queues have not yet drained (0 when no instant
+    restart is in flight). Safe from any domain. *)
+
+val await_recovery : t -> int * int
+(** Block until the in-flight instant restart (if any) has drained
+    every queue, then release its sweeper. Returns
+    [(demand_drains, sweeper_drains)] — [(0, 0)] if none was running.
+    Client domain only. {!checkpoint} and {!checkpoint_sharded} call
+    this implicitly: a checkpoint taken mid-restart would record a
+    dirty-page table that forgets the still-queued pages. *)
 
 (** {1 Certification} *)
 

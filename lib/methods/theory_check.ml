@@ -15,6 +15,7 @@ type report = {
   invariant_held : bool;
   parallel_agrees : bool;
   sharded_agrees : bool;
+  lazy_agrees : bool;
   audited_iterations : int;
   sharded_audited : int;
   failure : string option;
@@ -23,7 +24,7 @@ type report = {
 
 let ok r =
   r.installed_is_prefix && r.state_explained && r.recovery_succeeds && r.invariant_held
-  && r.parallel_agrees && r.sharded_agrees
+  && r.parallel_agrees && r.sharded_agrees && r.lazy_agrees
 
 let fail_report ~method_name ~op_count msg =
   {
@@ -38,6 +39,7 @@ let fail_report ~method_name ~op_count msg =
     invariant_held = false;
     parallel_agrees = false;
     sharded_agrees = false;
+    lazy_agrees = false;
     audited_iterations = 0;
     sharded_audited = 0;
     failure = Some msg;
@@ -234,6 +236,41 @@ let check ?(domains = 2) ?pool (p : Projection.t) =
           | _ -> ());
           failure = None, audited, failure
       in
+      (* The lazy ≡ eager leg: replay the same redo set in demand order
+         — per-home-variable queues touched in descending variable
+         order, each drain pulling its conflict predecessors first —
+         and insist the outcome is the sequential one. This is the
+         theory-level form of instant restart's page-granular redo;
+         running it on every check means every workload the simulator,
+         the service, or a test produces also certifies that serving
+         before redo completes loses nothing (Theorem 3). *)
+      let lazy_agrees, lazy_failure =
+        Span.span "theory.lazy" @@ fun () ->
+        match
+          Recovery.recover_lazy spec ~state:p.Projection.stable ~log ~checkpoint:installed
+        with
+        | exception e -> false, Some (Printexc.to_string e)
+        | lz ->
+          let same_final =
+            State.equal_on universe lz.Recovery.final result.Recovery.final
+          in
+          let same_redo =
+            Digraph.Node_set.equal lz.Recovery.redo_set result.Recovery.redo_set
+          in
+          let failure =
+            if not same_final then
+              Some "lazy (demand-order) recovery diverged from sequential: different final state"
+            else if not same_redo then
+              Some "lazy (demand-order) recovery diverged from sequential: different redo set"
+            else None
+          in
+          (match failure with
+          | Some msg when Trace.enabled () ->
+            Trace.emit "theory.lazy_divergence"
+              [ "method", Trace.String method_name; "reason", Trace.String msg ]
+          | _ -> ());
+          failure = None, failure
+      in
       let failure =
         if not installed_is_prefix then
           Some "installed operations do not form an installation-graph prefix"
@@ -245,6 +282,7 @@ let check ?(domains = 2) ?pool (p : Projection.t) =
             (Fmt.str "parallel recovery (%d shards, %d domains) diverged from sequential"
                shard_count domains)
         else if not sharded_agrees then sharded_failure
+        else if not lazy_agrees then lazy_failure
         else Option.map (Fmt.str "%a" Recovery.pp_violation) violation
       in
       let diagnosis =
@@ -263,6 +301,7 @@ let check ?(domains = 2) ?pool (p : Projection.t) =
         invariant_held = violation = None;
         parallel_agrees;
         sharded_agrees;
+        lazy_agrees;
         audited_iterations = audit.Recovery.iterations_checked;
         sharded_audited;
         failure;

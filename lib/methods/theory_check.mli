@@ -41,6 +41,14 @@ type report = {
           the Recovery Invariant audited clean during every shard's
           replay. Runs on every check, even [~domains:1] (the shards
           then replay inline). *)
+  lazy_agrees : bool;
+      (** Demand-order replay ({!Redo_core.Recovery.recover_lazy}:
+          per-home-variable queues touched in descending variable order,
+          each drain pulling its still-unrecovered conflict predecessors
+          first) produced the same final state and redo set as the
+          sequential pass — the theory-level soundness of instant
+          restart's page-granular lazy redo, checked on this very
+          workload. Runs on every check. *)
   audited_iterations : int;
       (** Recovery iterations the streaming auditor actually checked;
           the final state is always checked on top. A passing report

@@ -43,6 +43,9 @@ type event =
   | Phase of { name : string; crash : int }  (* recovery phase transition *)
   | Crash of { crash : int; torn : bool }  (* emitted just before the medium tears *)
   | Note of string
+  | Lazy_drain of { page : int; queue : int; demand : bool }
+    (* instant restart drained one page's redo queue ([queue] records);
+       [demand] = a client op faulted on it, else the background sweeper *)
 
 type frame = { seq : int; domain : int; ts_ns : int; event : event }
 
@@ -60,6 +63,7 @@ let tag_of_event = function
   | Phase _ -> 9
   | Crash _ -> 10
   | Note _ -> 11
+  | Lazy_drain _ -> 12
 
 let event_name = function
   | Commit _ -> "flight.commit"
@@ -73,6 +77,7 @@ let event_name = function
   | Phase _ -> "flight.phase"
   | Crash _ -> "flight.crash"
   | Note _ -> "flight.note"
+  | Lazy_drain _ -> "flight.lazy_drain"
 
 let event_attrs : event -> (string * Trace.value) list = function
   | Commit { lsn } -> [ ("lsn", Trace.Int lsn) ]
@@ -93,6 +98,8 @@ let event_attrs : event -> (string * Trace.value) list = function
   | Phase { name; crash } -> [ ("phase", Trace.String name); ("crash", Trace.Int crash) ]
   | Crash { crash; torn } -> [ ("crash", Trace.Int crash); ("torn", Trace.Bool torn) ]
   | Note s -> [ ("note", Trace.String s) ]
+  | Lazy_drain { page; queue; demand } ->
+    [ ("page", Trace.Int page); ("queue", Trace.Int queue); ("demand", Trace.Bool demand) ]
 
 exception Decode_error of string
 
@@ -175,6 +182,10 @@ let encode_payload buf { seq; domain; ts_ns; event } =
     add_varint buf crash;
     add_bool buf torn
   | Note s -> add_str buf s
+  | Lazy_drain { page; queue; demand } ->
+    add_varint buf page;
+    add_varint buf queue;
+    add_bool buf demand
 
 let decode_payload s =
   let pos = ref 0 in
@@ -218,6 +229,10 @@ let decode_payload s =
       let crash = read_varint s pos in
       Crash { crash; torn = read_bool s pos }
     | 11 -> Note (read_str s pos)
+    | 12 ->
+      let page = read_varint s pos in
+      let queue = read_varint s pos in
+      Lazy_drain { page; queue; demand = read_bool s pos }
     | t -> raise (Decode_error (Printf.sprintf "unknown tag %d" t))
   in
   if !pos <> String.length s then raise (Decode_error "trailing bytes");
@@ -535,6 +550,9 @@ let pp_event ppf = function
   | Phase { name; crash } -> Fmt.pf ppf "phase       %s (crash %d)" name crash
   | Crash { crash; torn } -> Fmt.pf ppf "CRASH       #%d torn=%b" crash torn
   | Note s -> Fmt.pf ppf "note        %s" s
+  | Lazy_drain { page; queue; demand } ->
+    Fmt.pf ppf "lazy_drain  page=%d queue=%d trigger=%s" page queue
+      (if demand then "demand" else "sweeper")
 
 let pp_frame ppf f =
   Fmt.pf ppf "+%-12d d%d #%-5d %a" f.ts_ns f.domain f.seq pp_event f.event

@@ -33,6 +33,12 @@ type event =
   | Crash of { crash : int; torn : bool }
       (** Emitted just before the medium tears; may itself be torn off. *)
   | Note of string  (** Free-form marker (tests, tooling). *)
+  | Lazy_drain of { page : int; queue : int; demand : bool }
+      (** Instant restart drained one page's redo queue of [queue]
+          records — [demand] means a client operation faulted on the
+          page, otherwise the background sweeper reached it. Lets
+          post-crash triage reconstruct what was recovered on-demand
+          when a crash lands mid-lazy-recovery. *)
 
 type frame = { seq : int; domain : int; ts_ns : int; event : event }
 (** [seq] is monotone per domain (1, 2, 3, …); [ts_ns] is nanoseconds

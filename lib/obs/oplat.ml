@@ -406,7 +406,14 @@ type recovery_state = {
   mutable rv_done : float;  (* 0. until finished *)
   rv_replayed : int Atomic.t array;
   rv_remaining : int Atomic.t array;
+  rv_pending : int Atomic.t array;  (* instant restart: pages not yet drained *)
 }
+
+(* Instant-restart metrics, registered here so every `redo stats` dump
+   carries them: the pending-page gauge tracks the lazy frontier, and
+   the CAS-armed first-op stamp doubles as the time-to-first-op gauge. *)
+let g_pending_pages = Metrics.gauge "restart.pending_pages"
+let g_ttfo = Metrics.gauge "restart.time_to_first_op_ns"
 
 let rec_mutex = Mutex.create ()
 let recovery_st : recovery_state option ref = ref None
@@ -422,8 +429,11 @@ let recovery_start ~shards =
         rv_done = 0.;
         rv_replayed = Array.init shards (fun _ -> Atomic.make 0);
         rv_remaining = Array.init shards (fun _ -> Atomic.make 0);
+        rv_pending = Array.init shards (fun _ -> Atomic.make 0);
       };
   Mutex.unlock rec_mutex;
+  Metrics.set g_pending_pages 0.;
+  Metrics.set g_ttfo 0.;
   Atomic.set first_op_at 0.;
   Atomic.set first_op_armed true
 
@@ -436,14 +446,31 @@ let recovery_progress ~shard ~replayed ~remaining =
   | _ -> ());
   Mutex.unlock rec_mutex
 
+let recovery_pending ~shard ~pages =
+  Mutex.lock rec_mutex;
+  (match !recovery_st with
+  | Some rv when shard >= 0 && shard < Array.length rv.rv_pending ->
+    Atomic.set rv.rv_pending.(shard) pages;
+    Metrics.set g_pending_pages
+      (float (Array.fold_left (fun acc a -> acc + Atomic.get a) 0 rv.rv_pending))
+  | _ -> ());
+  Mutex.unlock rec_mutex
+
 let recovery_finished () =
   Mutex.lock rec_mutex;
   (match !recovery_st with Some rv -> rv.rv_done <- now_ns () | None -> ());
   Mutex.unlock rec_mutex
 
 let first_op () =
-  if Atomic.get first_op_armed && Atomic.compare_and_set first_op_armed true false then
-    Atomic.set first_op_at (now_ns ())
+  if Atomic.get first_op_armed && Atomic.compare_and_set first_op_armed true false then begin
+    let now = now_ns () in
+    Atomic.set first_op_at now;
+    Mutex.lock rec_mutex;
+    (match !recovery_st with
+    | Some rv -> Metrics.set g_ttfo (now -. rv.rv_start)
+    | None -> ());
+    Mutex.unlock rec_mutex
+  end
 
 (* ---- reset ----------------------------------------------------------- *)
 
@@ -488,7 +515,12 @@ type stage_view = {
   sv_sum_ns : float;
 }
 
-type shard_progress = { rp_shard : int; rp_replayed : int; rp_remaining : int }
+type shard_progress = {
+  rp_shard : int;
+  rp_replayed : int;
+  rp_remaining : int;
+  rp_pending_pages : int;
+}
 
 type recovery_view = {
   rv_elapsed_ns : float;
@@ -560,6 +592,7 @@ let recovery_report () =
                      rp_shard = i;
                      rp_replayed = Atomic.get r;
                      rp_remaining = Atomic.get rv.rv_remaining.(i);
+                     rp_pending_pages = Atomic.get rv.rv_pending.(i);
                    })
                  rv.rv_replayed);
         }
@@ -680,10 +713,13 @@ let pp ppf r =
         | Some fo -> Fmt.pf ppf "; first op %.2f ms after recovery start" (fo /. 1e6)
         | None -> ())
       rv.rv_first_op_ns;
+    let pending = List.fold_left (fun acc sp -> acc + sp.rp_pending_pages) 0 rv.rv_shards in
+    if pending > 0 || not rv.rv_finished then
+      Fmt.pf ppf "; %d page%s pending lazy redo" pending (if pending = 1 then "" else "s");
     List.iter
       (fun sp ->
-        Fmt.pf ppf "@,  shard %d: %d replayed, %d remaining" sp.rp_shard sp.rp_replayed
-          sp.rp_remaining)
+        Fmt.pf ppf "@,  shard %d: %d replayed, %d remaining, %d pages pending" sp.rp_shard
+          sp.rp_replayed sp.rp_remaining sp.rp_pending_pages)
       rv.rv_shards);
   Fmt.pf ppf "@]"
 
@@ -739,8 +775,9 @@ let to_json r =
       (fun i sp ->
         if i > 0 then add ", ";
         add
-          (Printf.sprintf "{\"shard\": %d, \"replayed\": %d, \"remaining\": %d}" sp.rp_shard
-             sp.rp_replayed sp.rp_remaining))
+          (Printf.sprintf
+             "{\"shard\": %d, \"replayed\": %d, \"remaining\": %d, \"pending_pages\": %d}"
+             sp.rp_shard sp.rp_replayed sp.rp_remaining sp.rp_pending_pages))
       rv.rv_shards;
     add "]}");
   add "}";

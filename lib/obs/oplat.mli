@@ -106,11 +106,19 @@ val recovery_start : shards:int -> unit
     time-to-first-op stamp. *)
 
 val recovery_progress : shard:int -> replayed:int -> remaining:int -> unit
+
+val recovery_pending : shard:int -> pages:int -> unit
+(** Instant restart: [pages] of this shard still await their lazy redo
+    drain. Also maintains the [restart.pending_pages] gauge (summed
+    over shards) in the metrics registry. *)
+
 val recovery_finished : unit -> unit
 
 val first_op : unit -> unit
 (** The first operation after {!recovery_start} reached the service;
-    stamps once (CAS-armed), nearly free afterwards. *)
+    stamps once (CAS-armed), nearly free afterwards. The winning stamp
+    also sets the [restart.time_to_first_op_ns] gauge (elapsed from
+    recovery start). *)
 
 (** {1 Reporting} *)
 
@@ -125,7 +133,12 @@ type stage_view = {
   sv_sum_ns : float;
 }
 
-type shard_progress = { rp_shard : int; rp_replayed : int; rp_remaining : int }
+type shard_progress = {
+  rp_shard : int;
+  rp_replayed : int;
+  rp_remaining : int;
+  rp_pending_pages : int;  (** Pages awaiting their lazy redo drain (instant restart). *)
+}
 
 type recovery_view = {
   rv_elapsed_ns : float;  (** Start to finish, or to now if still replaying. *)

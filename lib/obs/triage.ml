@@ -50,6 +50,17 @@ type shard_record = {
          horizon at least this record's (a newer record may supersede) *)
 }
 
+type lazy_drain = {
+  ld_page : int;
+  ld_queue : int;  (* records the drain replayed *)
+  ld_demand : bool;  (* a client op faulted on the page (else the sweeper) *)
+  ld_pre_crash : bool;
+      (* true = the drain belongs to the crashed epoch — an instant
+         restart that was itself cut down mid-recovery *)
+  ld_domain : int;
+  ld_ts_ns : int;
+}
+
 type report = {
   flight : Flight.scan;
   log : log_summary;
@@ -63,6 +74,7 @@ type report = {
   tickets : ticket list;
   shard_records : shard_record list;
   phases : (string * int) list;  (* post-crash recovery phases (name, crash no) *)
+  lazy_drains : lazy_drain list;  (* on-demand redo, crashed epoch first *)
 }
 
 (* Frames up to and including the last Crash frame, starting after the
@@ -173,6 +185,30 @@ let analyze ~flight ~log =
         | _ -> None)
       post_frames
   in
+  (* What instant restart recovered on demand — split by which side of
+     the crash the drain happened on. Pre-crash drains reconstruct a
+     lazy recovery that was itself interrupted: those pages were
+     replayed and possibly served before the second crash, and the next
+     recovery must (and does, by the page-LSN test) replay them again
+     from the same stable log. *)
+  let drains_of pre_crash frames =
+    List.filter_map
+      (fun f ->
+        match f.Flight.event with
+        | Flight.Lazy_drain { page; queue; demand } ->
+          Some
+            {
+              ld_page = page;
+              ld_queue = queue;
+              ld_demand = demand;
+              ld_pre_crash = pre_crash;
+              ld_domain = f.Flight.domain;
+              ld_ts_ns = f.Flight.ts_ns;
+            }
+        | _ -> None)
+      frames
+  in
+  let lazy_drains = drains_of true epoch_frames @ drains_of false post_frames in
   {
     flight;
     log;
@@ -186,6 +222,7 @@ let analyze ~flight ~log =
     tickets;
     shard_records;
     phases;
+    lazy_drains;
   }
 
 let ok r = r.lied_to = 0 && List.for_all (fun s -> s.s_plan_agrees) r.shard_records
@@ -254,6 +291,21 @@ let pp ?(timeline = 20) ppf r =
   if r.phases <> [] then begin
     Fmt.pf ppf "@,recovery phases after the crash:";
     List.iter (fun (name, crash) -> Fmt.pf ppf "@,  %s (crash %d)" name crash) r.phases
+  end;
+  if r.lazy_drains <> [] then begin
+    let pre = List.filter (fun d -> d.ld_pre_crash) r.lazy_drains in
+    let demand = List.filter (fun d -> d.ld_demand) r.lazy_drains in
+    Fmt.pf ppf
+      "@,lazy redo drains: %d (%d on demand, %d by sweeper); %d interrupted by the crash"
+      (List.length r.lazy_drains) (List.length demand)
+      (List.length r.lazy_drains - List.length demand)
+      (List.length pre);
+    List.iter
+      (fun d ->
+        Fmt.pf ppf "@,  page %-5d queue=%-4d %-7s %s" d.ld_page d.ld_queue
+          (if d.ld_demand then "demand" else "sweeper")
+          (if d.ld_pre_crash then "(pre-crash: redone again by the next recovery)" else ""))
+      r.lazy_drains
   end;
   let frames = r.flight.Flight.frames in
   let n = List.length frames in
@@ -324,6 +376,17 @@ let to_json r =
     r.shard_records;
   add ", \"phases\": ";
   list (fun (name, crash) -> add (Printf.sprintf "{\"name\": %S, \"crash\": %d}" name crash)) r.phases;
+  add ", \"lazy_drains\": ";
+  list
+    (fun d ->
+      add
+        (Printf.sprintf
+           "{\"page\": %d, \"queue\": %d, \"trigger\": %S, \"pre_crash\": %b, \
+            \"domain\": %d, \"ts_ns\": %d}"
+           d.ld_page d.ld_queue
+           (if d.ld_demand then "demand" else "sweeper")
+           d.ld_pre_crash d.ld_domain d.ld_ts_ns))
+    r.lazy_drains;
   add ", \"timeline\": ";
   list (fun f -> add (Flight.frame_to_json f)) r.flight.Flight.frames;
   add (Printf.sprintf ", \"ok\": %b}" (ok r));

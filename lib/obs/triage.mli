@@ -45,6 +45,20 @@ type shard_record = {
           true for lost records — the plan never sees them. *)
 }
 
+type lazy_drain = {
+  ld_page : int;
+  ld_queue : int;  (** Records the drain replayed. *)
+  ld_demand : bool;  (** A client op faulted on the page (else the sweeper). *)
+  ld_pre_crash : bool;
+      (** The drain belongs to the crashed epoch: an instant restart
+          that was itself cut down mid-recovery. Those pages were
+          recovered and possibly served before the second crash; the
+          next recovery replays them again from the same stable log
+          (idempotent under the page-LSN redo test). *)
+  ld_domain : int;
+  ld_ts_ns : int;
+}
+
 type report = {
   flight : Flight.scan;
   log : log_summary;
@@ -58,6 +72,9 @@ type report = {
   tickets : ticket list;
   shard_records : shard_record list;
   phases : (string * int) list;  (** Post-crash recovery phases. *)
+  lazy_drains : lazy_drain list;
+      (** What instant restart recovered on demand — crashed-epoch
+          drains first, then the current recovery's. *)
 }
 
 val analyze : flight:Flight.scan -> log:log_summary -> report

@@ -1,0 +1,117 @@
+(** Instant restart: per-page redo queues drained on demand.
+
+    After the analysis pass, the store opens for service immediately;
+    each page's missing redo tail waits in a queue and is replayed the
+    first time something touches the page — a client operation faulting
+    on it ({!Demand}) or the background sweeper reaching it
+    ({!Sweeper}). Soundness is Theorem 3: in the sharded KV system
+    every logged operation touches exactly one page, so the conflict
+    graph's components are single pages and a page's careful-order
+    predecessor closure is its own queue in LSN order — draining whole
+    queues in any order across pages is conflict-respecting. The
+    general DAG form of the same claim is
+    [Redo_core.Recovery.recover_lazy], and both are checked against
+    eager replay by [Theory_check]'s lazy leg on every check.
+
+    Threading: queues belong to their page's shard owner — {!ensure}
+    must run on that owner domain (the single-writer discipline of the
+    shard cache). Only the pending counters, tallies and the stop flag
+    cross domains. The sweeper never touches a queue itself: it posts
+    every page through the caller's [touch], the same owner-domain path
+    a client fault takes. *)
+
+type trigger =
+  | Demand  (** A client operation faulted on the page. *)
+  | Sweeper  (** The background sweeper reached it. *)
+
+(** {1 Plan derivation} *)
+
+type plan
+
+val plan :
+  shards:int ->
+  surely_on_disk:(pid:int -> lsn:Redo_storage.Lsn.t -> bool) ->
+  Redo_wal.Record.t list ->
+  plan
+(** Partition a redo-scan slice (LSN order, analysis start to crash
+    LSN) into per-page queues, one sub-table per owning shard
+    ([pid mod shards]). Records for which [surely_on_disk] holds — the
+    same shard-horizon ∨ dirty-page-table test eager recovery applies —
+    are excluded up front and counted as preskipped; the queues
+    partition exactly the remainder. Checkpoint records are ignored.
+    @raise Invalid_argument on a non-physiological operation record or
+    [shards <= 0]. *)
+
+val plan_pages : plan -> int
+(** Pages with a non-empty queue. *)
+
+val plan_records : plan -> int
+(** Records across all queues. *)
+
+val plan_shard_records : plan -> int -> int
+(** Records queued for one shard's pages. *)
+
+val plan_preskipped : plan -> int
+(** Records the [surely_on_disk] test excluded. *)
+
+val plan_queue : plan -> int -> Redo_wal.Record.t list
+(** The page's queue in LSN order ([[]] if none). *)
+
+val plan_queued_pids : plan -> int list
+(** Pages with queues, longest queue first — the sweep order. *)
+
+(** {1 Controller} *)
+
+type t
+
+val create :
+  plan:plan -> apply:(shard:int -> pid:int -> Redo_wal.Record.t array -> int * int) -> t
+(** Take ownership of the plan's queues. [apply] replays one page's
+    queue under the page-LSN redo test and returns
+    [(redone, skipped)]; it is invoked on whatever domain calls
+    {!ensure} — the shard owner's. Publishes the initial per-shard
+    pending-page counts to [Oplat.recovery_pending]. *)
+
+val ensure : t -> pid:int -> trigger:trigger -> bool
+(** Drain the page's queue if it still has one; idempotent ([false] =
+    nothing pending). {b Must run on the page's shard owner domain.}
+    The queue is removed before [apply] runs, so the logged-update path
+    inside [apply] cannot re-enter the drain. Emits a
+    [Flight.Lazy_drain] frame, feeds the [restart.lazy_queue_depth]
+    histogram and the demand/sweeper drain counters, and updates the
+    pending gauges. *)
+
+val pending_pages : t -> int -> int
+(** Pages of one shard still awaiting their drain. *)
+
+val pending_total : t -> int
+
+val finished : t -> bool
+(** The recovered set is total: every queue has been drained. *)
+
+val drained : t -> int * int
+(** Total [(redone, skipped)] across all drains so far. *)
+
+val demand_drains : t -> int
+
+val sweeper_drains : t -> int
+
+val await : t -> bool
+(** Block until {!finished} or {!stop}; returns {!finished}. The caller
+    must not be a shard owner domain (the drains it waits on run
+    there). *)
+
+val start_sweeper : t -> touch:(pid:int -> trigger:trigger -> unit) -> unit
+(** Start the background sweeper: one task on a private single-domain
+    pool walking {!plan_queued_pids} order and calling [touch] for each
+    — [touch] must route to the page's owner domain and call {!ensure}
+    there, blocking until the drain completes (so a demand operation
+    behind the sweeper waits for at most one page's drain). One full
+    pass makes the recovered set total.
+    @raise Invalid_argument if already started. *)
+
+val stop : t -> unit
+(** Raise the stop flag, join the sweeper (if any), and wake {!await}
+    waiters. Does {e not} drain remaining queues — a crash mid-restart
+    abandons them; the next recovery replays the same stable records
+    (idempotent under the page-LSN test). *)

@@ -31,4 +31,5 @@ let () =
       "span profiler", T_span.suite;
       "flight recorder", T_flight.suite;
       "oplat", T_oplat.suite;
+      "instant restart", T_restart.suite;
     ]
